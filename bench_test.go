@@ -1,0 +1,304 @@
+package megadc
+
+// One benchmark per experiment table (E1–E13; the paper's quantitative
+// claims and proposed evaluations — see DESIGN.md §4), plus
+// micro-benchmarks of the hot paths. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks execute the same code as `mdcexp -e <id>`
+// and report each table's headline figure as a custom metric.
+
+import (
+	"math/rand"
+	"testing"
+
+	"megadc/internal/cluster"
+	"megadc/internal/core"
+	"megadc/internal/dnsctl"
+	"megadc/internal/exp"
+	"megadc/internal/lbswitch"
+	"megadc/internal/placement"
+	"megadc/internal/sim"
+	"megadc/internal/viprip"
+)
+
+func benchOpts() exp.Options { return exp.Options{Seed: 1} }
+
+func BenchmarkE1SwitchPacking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Rows[1].MinSwitches), "switches@3vip20rip")
+	}
+}
+
+func BenchmarkE2PlacementScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.CentralizedSec, "central-s@max")
+		b.ReportMetric(last.HierMaxSec, "hier-s@max")
+	}
+}
+
+func BenchmarkE3PodSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MonolithicSec, "monolithic-s")
+	}
+}
+
+func BenchmarkE4LinkRelief(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Selective.ReliefTime, "selective-relief-s")
+		b.ReportMetric(res.Naive.ReliefTime, "naive-relief-s")
+	}
+}
+
+func BenchmarkE5VIPsPerApp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[5].LinkCoV, "linkCoV@k6")
+	}
+}
+
+func BenchmarkE6VIPTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].DrainSeconds, "drain-s@clean")
+	}
+}
+
+func BenchmarkE7PodRelief(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].FinalSatisfaction, "satisfaction@all")
+	}
+}
+
+func BenchmarkE8KnobAgility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r.Knob == "E (VM resize)" {
+				b.ReportMetric(r.RecoverySeconds, "resize-recovery-s")
+			}
+		}
+	}
+}
+
+func BenchmarkE9Multiplexing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].OverloadProb, "overload@64parts")
+	}
+}
+
+func BenchmarkE10FabricLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxSwitchUtil, "max-switch-util")
+	}
+}
+
+func BenchmarkE11TwoLayer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].ConflictGap, "gap@16x")
+	}
+}
+
+func BenchmarkE12AllocationSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE12(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Log10States, "log10-states")
+	}
+}
+
+func BenchmarkE13PolicyConflict(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res, err := exp.RunE13(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OneLayer.Objective-res.TwoLayer.Objective, "conflict-gap")
+	}
+}
+
+// ---- micro-benchmarks of hot paths ---------------------------------------
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	eng := sim.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(1, func() {})
+		eng.Step()
+	}
+}
+
+func BenchmarkSwitchPickRIP(b *testing.B) {
+	sw := lbswitch.NewSwitch(0, lbswitch.CatalystCSM())
+	sw.AddVIP("v", 1)
+	for i := 0; i < 20; i++ {
+		sw.AddRIP("v", lbswitch.RIP(rune('a'+i)), 1+float64(i%3))
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.PickRIP("v", rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSwitchOpenCloseConn(b *testing.B) {
+	sw := lbswitch.NewSwitch(0, lbswitch.CatalystCSM())
+	sw.AddVIP("v", 1)
+	for i := 0; i < 20; i++ {
+		sw.AddRIP("v", lbswitch.RIP(rune('a'+i)), 1)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, _, err := sw.OpenConn("v", rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sw.CloseConn(id)
+	}
+}
+
+func BenchmarkDNSResolve(b *testing.B) {
+	d := dnsctl.New(60)
+	for i := 0; i < 3; i++ {
+		d.Register(1, string(rune('a'+i)), float64(i+1))
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Resolve(1, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIPPoolAllocFree(b *testing.B) {
+	pool, err := viprip.NewIPPool("10.0.0.0", 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip, err := pool.Alloc()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pool.Free(ip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkControllerPlace500(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	prob := placement.Generate(1250, 500, placement.DefaultGenConfig(), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl := &placement.Controller{}
+		sol := ctl.Place(prob)
+		if sol.SatisfiedFraction(prob) < 0.9 {
+			b.Fatal("placement quality collapsed")
+		}
+	}
+}
+
+func BenchmarkPlatformPropagate(b *testing.B) {
+	p, err := core.NewPlatform(core.SmallTopology(), core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	slice := cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100}
+	for i := 0; i < 16; i++ {
+		if _, err := p.OnboardApp("a", slice, 3, core.Demand{CPU: 2, Mbps: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Propagate()
+	}
+}
+
+func BenchmarkPodManagerStep(b *testing.B) {
+	p, err := core.NewPlatform(core.SmallTopology(), core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	slice := cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100}
+	for i := 0; i < 16; i++ {
+		if _, err := p.OnboardApp("a", slice, 3, core.Demand{CPU: 2, Mbps: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pm := p.PodManagers()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pm.Step()
+		p.Eng.RunFor(30)
+	}
+}
+
+func BenchmarkGlobalManagerStep(b *testing.B) {
+	p, err := core.NewPlatform(core.SmallTopology(), core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	slice := cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100}
+	for i := 0; i < 16; i++ {
+		if _, err := p.OnboardApp("a", slice, 3, core.Demand{CPU: 2, Mbps: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Global.Step()
+		p.Eng.RunFor(30)
+	}
+}

@@ -1,0 +1,82 @@
+// Command mdcexp regenerates the reproduction's experiment tables:
+// E1–E13 (the paper's quantitative claims and proposed evaluations; see
+// DESIGN.md §4) plus the extension experiments X1–X4 (energy, multi-DC,
+// sessions, failures). Each experiment prints the same rows
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	mdcexp                 # run every experiment at laptop scale
+//	mdcexp -e e4           # run one experiment
+//	mdcexp -full           # larger configurations (minutes)
+//	mdcexp -seed 7         # change the deterministic seed
+//	mdcexp -list           # list experiment ids and titles
+//	mdcexp -json           # machine-readable output (one JSON doc per experiment)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"megadc/internal/exp"
+)
+
+func main() {
+	var (
+		id     = flag.String("e", "all", "experiment id (e1..e13, x1..x4) or 'all'")
+		full   = flag.Bool("full", false, "run the larger configurations")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		asJSON = flag.Bool("json", false, "emit each table as a JSON document")
+		asMD   = flag.Bool("md", false, "emit each table as GitHub-flavoured markdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := exp.Options{Full: *full, Seed: *seed}
+	var toRun []exp.Experiment
+	if *id == "all" {
+		toRun = exp.All()
+	} else {
+		e, ok := exp.Lookup(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mdcexp: unknown experiment %q (use -list)\n", *id)
+			os.Exit(2)
+		}
+		toRun = []exp.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		tb, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdcexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(tb); err != nil {
+				fmt.Fprintf(os.Stderr, "mdcexp: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if *asMD {
+			tb.RenderMarkdown(os.Stdout)
+			fmt.Println()
+			continue
+		}
+		tb.Render(os.Stdout)
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,308 @@
+// Command megadcsim builds a mega-data-center platform (the Figure 1
+// architecture), onboards a Zipf-popular application mix, drives demand,
+// runs the hierarchical managers, and reports the platform state over
+// time. With -print-topology it validates and prints the component graph
+// of Figure 1 instead of simulating (experiment F1).
+//
+// Usage:
+//
+//	megadcsim                          # default scenario, 1 simulated hour
+//	megadcsim -pods 8 -servers 16      # bigger data center
+//	megadcsim -apps 64 -duration 7200  # more apps, longer run
+//	megadcsim -flash 0                 # flash-crowd the most popular app
+//	megadcsim -knobs C,D               # enable only some knobs (A..F; empty = all)
+//	megadcsim -print-topology          # Figure 1 structural dump
+//	megadcsim -fail server,switch,link # inject failures mid-run
+//	megadcsim -sessions                # drive discrete sessions instead of fluid demand
+//	megadcsim -energy                  # attach the consolidation knob and report energy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"megadc/internal/cluster"
+	"megadc/internal/core"
+	"megadc/internal/energy"
+	"megadc/internal/metrics"
+	"megadc/internal/sessions"
+	"megadc/internal/workload"
+)
+
+func main() {
+	var (
+		pods      = flag.Int("pods", 4, "number of logical pods")
+		servers   = flag.Int("servers", 8, "servers per pod")
+		switches  = flag.Int("switches", 4, "LB switches")
+		swPods    = flag.Int("switchpods", 0, "partition switches into this many §V-A switch pods (0 = flat)")
+		isps      = flag.Int("isps", 2, "ISPs (one access router each)")
+		links     = flag.Int("links", 2, "access links per ISP")
+		apps      = flag.Int("apps", 16, "applications to onboard")
+		duration  = flag.Float64("duration", 3600, "simulated seconds")
+		flash     = flag.Int("flash", -1, "app index to hit with a 10× flash crowd (-1: none)")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		knobs     = flag.String("knobs", "", "comma-separated knob letters A..F (empty = all)")
+		printTopo = flag.Bool("print-topology", false, "validate and print the Figure 1 topology, then exit")
+		failures  = flag.String("fail", "", "comma-separated failures to inject mid-run: server, switch, link")
+		useSess   = flag.Bool("sessions", false, "drive discrete client sessions instead of fluid demand")
+		useEnergy = flag.Bool("energy", false, "attach the consolidation knob and report energy")
+		traceFile = flag.String("trace", "", "drive the most popular app's demand from a trace file (lines: 'time rate-multiplier')")
+	)
+	flag.Parse()
+
+	topo := core.SmallTopology()
+	topo.Pods = *pods
+	topo.ServersPerPod = *servers
+	topo.Switches = *switches
+	topo.ISPs = *isps
+	topo.LinksPerISP = *links
+	topo.SwitchPods = *swPods
+	topo.Seed = *seed
+
+	cfg := core.DefaultConfig()
+	if *knobs != "" {
+		var ks []core.Knob
+		for _, c := range strings.Split(strings.ToUpper(*knobs), ",") {
+			switch strings.TrimSpace(c) {
+			case "A":
+				ks = append(ks, core.KnobSelectiveExposure)
+			case "B":
+				ks = append(ks, core.KnobVIPTransfer)
+			case "C":
+				ks = append(ks, core.KnobServerTransfer)
+			case "D":
+				ks = append(ks, core.KnobAppDeployment)
+			case "E":
+				ks = append(ks, core.KnobVMResize)
+			case "F":
+				ks = append(ks, core.KnobRIPWeights)
+			default:
+				fmt.Fprintf(os.Stderr, "megadcsim: unknown knob %q\n", c)
+				os.Exit(2)
+			}
+		}
+		cfg = cfg.WithKnobs(ks...)
+	}
+
+	p, err := core.NewPlatform(topo, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "megadcsim:", err)
+		os.Exit(1)
+	}
+
+	if *printTopo {
+		printTopology(p, topo)
+		return
+	}
+
+	// Onboard a Zipf-popular application mix at ~55% aggregate load.
+	weights := workload.ZipfWeights(*apps, 0.9)
+	totalCPU := 0.55 * topo.ServerCapacity.CPU * float64(*pods**servers)
+	// Offered bandwidth fits whichever is tighter: the access links or
+	// the LB fabric aggregate.
+	linkAgg := topo.LinkMbps * float64(*isps**links)
+	fabricAgg := topo.SwitchLimits.ThroughputMbps * float64(*switches)
+	totalMbps := 0.55 * linkAgg
+	if 0.55*fabricAgg < totalMbps {
+		totalMbps = 0.55 * fabricAgg
+	}
+	slice := cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100}
+	var appIDs []cluster.AppID
+	var drv *sessions.Driver
+	if *useSess {
+		var err error
+		drv, err = sessions.NewDriver(p, sessions.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "megadcsim:", err)
+			os.Exit(1)
+		}
+		drv.StopAt = *duration
+	}
+	for i := 0; i < *apps; i++ {
+		demand := core.Demand{CPU: totalCPU * weights[i], Mbps: totalMbps * weights[i]}
+		if *useSess {
+			demand = core.Demand{}
+		}
+		a, err := p.OnboardApp(fmt.Sprintf("app-%02d", i), slice, 3, demand)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "megadcsim: onboarding:", err)
+			os.Exit(1)
+		}
+		appIDs = append(appIDs, a.ID)
+		if *useSess {
+			// Arrival rate sized so the mean session load matches the
+			// fluid demand the app would otherwise have had.
+			tpl := sessions.DefaultConfig().Template
+			rate := totalMbps * weights[i] / (tpl.Mbps * tpl.MeanDuration)
+			if err := drv.AddApp(a.ID, workload.Constant(rate)); err != nil {
+				fmt.Fprintln(os.Stderr, "megadcsim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	var meter *energy.Meter
+	var cons *energy.Consolidator
+	if *useEnergy {
+		meter = energy.NewMeter(p, energy.DefaultPowerModel())
+		cons = energy.NewConsolidator(p)
+		cons.Attach(meter, 120, 60)
+	}
+	if *failures != "" {
+		scheduleFailures(p, *failures, *duration)
+	}
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "megadcsim:", err)
+			os.Exit(1)
+		}
+		tr, err := workload.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "megadcsim:", err)
+			os.Exit(1)
+		}
+		target := appIDs[0]
+		base := p.AppDemand(target)
+		if base == (core.Demand{}) {
+			base = core.Demand{CPU: totalCPU * weights[0], Mbps: totalMbps * weights[0]}
+		}
+		p.DriveDemand(target, tr, base, 30, *duration)
+		fmt.Printf("trace %q drives app 0's demand (%d breakpoints)\n\n", *traceFile, tr.Len())
+	}
+	if *flash >= 0 && *flash < len(appIDs) {
+		target := appIDs[*flash]
+		base := p.AppDemand(target)
+		p.DriveDemand(target, workload.FlashCrowd{
+			Base: 1, Peak: 10, Start: *duration * 0.25, Ramp: *duration * 0.05, Hold: *duration * 0.3,
+		}, base, 30, *duration)
+		fmt.Printf("flash crowd armed on app %d (10× at t=%.0fs)\n\n", *flash, *duration*0.25)
+	}
+
+	p.Start()
+	reportEvery := *duration / 6
+	p.Eng.Every(reportEvery, reportEvery, func() bool {
+		report(p)
+		return p.Eng.Now() < *duration
+	})
+	p.Eng.RunUntil(*duration)
+
+	fmt.Println("=== final state ===")
+	report(p)
+	if drv != nil {
+		st := drv.TotalStats()
+		fmt.Printf("sessions: %d started, %d completed, %d broken, %d rejected\n",
+			st.Started, st.Completed, st.Broken, st.Rejected)
+	}
+	if meter != nil {
+		fmt.Printf("energy: %.1f kWh (avg %.0f W); %d servers off, %d power cycles\n",
+			meter.EnergyWh(*duration)/1000, meter.AverageWatts(*duration),
+			cons.PoweredOff(), cons.PowerOffs+cons.PowerOns)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		fmt.Fprintln(os.Stderr, "megadcsim: INVARIANT VIOLATION:", err)
+		os.Exit(1)
+	}
+	fmt.Println("invariants: ok")
+}
+
+// scheduleFailures injects the requested failures at 40%, 55%, and 70%
+// of the run.
+func scheduleFailures(p *core.Platform, spec string, duration float64) {
+	at := duration * 0.40
+	for _, kind := range strings.Split(spec, ",") {
+		kind := strings.TrimSpace(strings.ToLower(kind))
+		t := at
+		switch kind {
+		case "server":
+			p.Eng.At(t, func() {
+				victim := p.Cluster.ServerIDs()[0]
+				lost, err := p.FailServer(victim)
+				fmt.Printf("t=%6.0fs INJECTED server %d failure: %d VMs lost (err=%v)\n", t, victim, lost, err)
+			})
+		case "switch":
+			p.Eng.At(t, func() {
+				rehomed, dropped, err := p.FailSwitch(0)
+				fmt.Printf("t=%6.0fs INJECTED switch 0 failure: %d VIPs re-homed, %d dropped (err=%v)\n",
+					t, rehomed, dropped, err)
+			})
+		case "link":
+			p.Eng.At(t, func() {
+				readv, err := p.FailLink(0)
+				fmt.Printf("t=%6.0fs INJECTED link 0 failure: %d VIPs re-advertised (err=%v)\n", t, readv, err)
+			})
+		default:
+			fmt.Fprintf(os.Stderr, "megadcsim: unknown failure %q\n", kind)
+			os.Exit(2)
+		}
+		at += duration * 0.15
+	}
+}
+
+func report(p *core.Platform) {
+	var podUtils []float64
+	for _, pm := range p.PodManagers() {
+		podUtils = append(podUtils, pm.Utilization())
+	}
+	fmt.Printf("t=%6.0fs satisfaction=%.3f podUtil(max=%.2f cov=%.2f) linkUtil(max=%.2f) swUtil(max=%.2f) "+
+		"transfers=%d deploys=%d resizes=%d exposure=%d\n",
+		p.Eng.Now(), p.TotalSatisfaction(),
+		maxOf(podUtils), metrics.CoefficientOfVariation(podUtils),
+		maxOf(p.Net.LinkUtilizations()), maxOf(p.Fabric.Utilizations()),
+		p.Global.ServerTransfers, p.Global.Deployments, totalResizes(p), p.Global.ExposureChanges)
+}
+
+func totalResizes(p *core.Platform) int64 {
+	var n int64
+	for _, pm := range p.PodManagers() {
+		n += pm.Resizes
+	}
+	return n
+}
+
+func maxOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// printTopology dumps the Figure 1 component graph: access routers →
+// access links → border routers → LB switches → (full-bisection fabric)
+// → pods of servers, plus the control plane.
+func printTopology(p *core.Platform, topo core.Topology) {
+	fmt.Println("Figure 1 — data center architecture")
+	fmt.Println()
+	fmt.Println("Access connection layer:")
+	for _, l := range p.Net.Links() {
+		r := p.Net.Router(l.Router)
+		fmt.Printf("  AR%d (%s) --link%d (%.0f Mbps)--> BR%d\n", r.ID, r.ISP, l.ID, l.CapacityMbps, l.Border)
+	}
+	fmt.Println()
+	fmt.Println("Load-balancing layer (every switch reaches every border router):")
+	for _, sw := range p.Fabric.Switches() {
+		fmt.Printf("  LB switch %d: %d/%d VIPs, %d/%d RIPs, %.0f Mbps\n",
+			sw.ID, sw.NumVIPs(), sw.Limits.MaxVIPs, sw.NumRIPs(), sw.Limits.MaxRIPs, sw.Limits.ThroughputMbps)
+	}
+	fmt.Println()
+	fmt.Println("Existing interconnection (L2/L3 full-bisection fabric) connects switches to all servers")
+	fmt.Println()
+	fmt.Println("Server pods (logical):")
+	for _, pm := range p.PodManagers() {
+		pod := p.Cluster.Pod(pm.PodID())
+		fmt.Printf("  pod %d: %d servers (%v each), pod manager attached\n",
+			pm.PodID(), pod.NumServers(), topo.ServerCapacity)
+	}
+	fmt.Println()
+	fmt.Println("Global manager: access-link LB, LB-switch LB, inter-pod LB, VIP/RIP manager")
+	if err := p.CheckInvariants(); err != nil {
+		fmt.Println("TOPOLOGY INVALID:", err)
+		os.Exit(1)
+	}
+	fmt.Println("topology invariants: ok")
+}

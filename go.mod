@@ -1,0 +1,3 @@
+module megadc
+
+go 1.22

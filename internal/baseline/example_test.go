@@ -1,0 +1,26 @@
+package baseline_test
+
+import (
+	"fmt"
+
+	"megadc/internal/baseline"
+)
+
+// The statistical-multiplexing argument: the same stochastic demand on
+// one shared data center vs 16 isolated partitions.
+func ExampleRunMultiplexing() {
+	cfg := baseline.DefaultMuxConfig()
+	cfg.Trials = 400
+	results, err := baseline.RunMultiplexing(cfg, []int{1, 16})
+	if err != nil {
+		panic(err)
+	}
+	shared, parts := results[0], results[1]
+	fmt.Printf("shared DC overloads rarely: %v\n", shared.OverloadProb < 0.05)
+	fmt.Printf("16 partitions overload often: %v\n", parts.OverloadProb > 0.5)
+	fmt.Printf("same mean utilization: %v\n", shared.MeanUtilization == parts.MeanUtilization)
+	// Output:
+	// shared DC overloads rarely: true
+	// 16 partitions overload often: true
+	// same mean utilization: true
+}

@@ -1,0 +1,548 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Identifier types. Distinct types prevent accidentally mixing ID spaces.
+type (
+	// ServerID identifies a physical server.
+	ServerID int
+	// VMID identifies a virtual machine instance.
+	VMID int
+	// AppID identifies a hosted application (roughly, a website).
+	AppID int
+	// PodID identifies a logical server pod.
+	PodID int
+)
+
+// NoPod is the PodID of a server not assigned to any pod.
+const NoPod PodID = -1
+
+// VMState is the lifecycle state of a VM instance.
+type VMState int
+
+// VM lifecycle states.
+const (
+	VMDeploying VMState = iota // being created; not yet serving
+	VMRunning                  // serving traffic
+	VMMigrating                // moving between servers; still serving (live migration)
+	VMStopped                  // removed from service
+)
+
+func (s VMState) String() string {
+	switch s {
+	case VMDeploying:
+		return "deploying"
+	case VMRunning:
+		return "running"
+	case VMMigrating:
+		return "migrating"
+	case VMStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("VMState(%d)", int(s))
+}
+
+// Server is a physical machine with hard resource capacity.
+type Server struct {
+	ID       ServerID
+	Pod      PodID
+	Capacity Resources
+
+	used Resources
+	vms  map[VMID]*VM
+}
+
+// Used returns the sum of slices of VMs currently placed on the server.
+func (s *Server) Used() Resources { return s.used }
+
+// Free returns the remaining capacity.
+func (s *Server) Free() Resources { return s.Capacity.Sub(s.used) }
+
+// Utilization returns the maximum dimension-wise used/capacity fraction.
+func (s *Server) Utilization() float64 { return s.used.MaxFraction(s.Capacity) }
+
+// NumVMs returns the number of VMs placed on the server.
+func (s *Server) NumVMs() int { return len(s.vms) }
+
+// VMIDs returns the IDs of VMs on the server in ascending order.
+func (s *Server) VMIDs() []VMID {
+	ids := make([]VMID, 0, len(s.vms))
+	for id := range s.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// VM is a virtual machine instance of one application, holding a hard
+// resource slice on one server.
+type VM struct {
+	ID     VMID
+	App    AppID
+	Server ServerID
+	Slice  Resources // hard allocation; can be hot-resized
+	Demand Resources // current client demand routed to this VM
+	State  VMState
+}
+
+// Served returns the demand actually satisfied: the component-wise minimum
+// of demand and slice. A VM that is not running serves nothing.
+func (v *VM) Served() Resources {
+	if v.State != VMRunning && v.State != VMMigrating {
+		return Resources{}
+	}
+	return v.Demand.Min(v.Slice)
+}
+
+// Overload returns how far demand exceeds the slice in the most-stressed
+// dimension (≥ 1 means overloaded).
+func (v *VM) Overload() float64 { return v.Demand.MaxFraction(v.Slice) }
+
+// Application is a hosted elastic Internet application ("website").
+type Application struct {
+	ID           AppID
+	Name         string
+	DefaultSlice Resources // slice given to a new instance
+	vms          map[VMID]*VM
+}
+
+// NumInstances returns the number of live (non-stopped) VM instances.
+func (a *Application) NumInstances() int { return len(a.vms) }
+
+// VMIDs returns the application's instance IDs in ascending order.
+func (a *Application) VMIDs() []VMID {
+	ids := make([]VMID, 0, len(a.vms))
+	for id := range a.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Pod is a logical group of servers managed by one pod manager. Pods are
+// formed by configuration, not physical adjacency, so servers can be
+// transferred between pods (paper Section IV-C).
+type Pod struct {
+	ID      PodID
+	servers map[ServerID]*Server
+}
+
+// NumServers returns the number of servers in the pod.
+func (p *Pod) NumServers() int { return len(p.servers) }
+
+// ServerIDs returns the pod's server IDs in ascending order.
+func (p *Pod) ServerIDs() []ServerID {
+	ids := make([]ServerID, 0, len(p.servers))
+	for id := range p.servers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Errors returned by cluster mutations.
+var (
+	ErrNotFound     = errors.New("cluster: not found")
+	ErrInsufficient = errors.New("cluster: insufficient capacity")
+	ErrBadState     = errors.New("cluster: operation invalid in current state")
+)
+
+// Cluster is the registry of pods, servers, applications, and VMs, and the
+// home of all state-mutating primitives. Higher layers (pod managers, the
+// global manager) sequence these primitives and attach latencies.
+type Cluster struct {
+	pods    map[PodID]*Pod
+	servers map[ServerID]*Server
+	apps    map[AppID]*Application
+	vms     map[VMID]*VM
+
+	nextPod    PodID
+	nextServer ServerID
+	nextApp    AppID
+	nextVM     VMID
+}
+
+// New returns an empty cluster.
+func New() *Cluster {
+	return &Cluster{
+		pods:    make(map[PodID]*Pod),
+		servers: make(map[ServerID]*Server),
+		apps:    make(map[AppID]*Application),
+		vms:     make(map[VMID]*VM),
+	}
+}
+
+// AddPod creates a new empty pod.
+func (c *Cluster) AddPod() *Pod {
+	p := &Pod{ID: c.nextPod, servers: make(map[ServerID]*Server)}
+	c.nextPod++
+	c.pods[p.ID] = p
+	return p
+}
+
+// AddServer creates a server with the given capacity inside pod. Pass
+// NoPod to create an unassigned server.
+func (c *Cluster) AddServer(pod PodID, capacity Resources) (*Server, error) {
+	if !capacity.NonNegative() {
+		return nil, fmt.Errorf("%w: negative capacity %v", ErrBadState, capacity)
+	}
+	s := &Server{ID: c.nextServer, Pod: NoPod, Capacity: capacity, vms: make(map[VMID]*VM)}
+	c.nextServer++
+	c.servers[s.ID] = s
+	if pod != NoPod {
+		p, ok := c.pods[pod]
+		if !ok {
+			delete(c.servers, s.ID)
+			return nil, fmt.Errorf("%w: pod %d", ErrNotFound, pod)
+		}
+		s.Pod = pod
+		p.servers[s.ID] = s
+	}
+	return s, nil
+}
+
+// AddApp registers an application with a default per-instance slice.
+func (c *Cluster) AddApp(name string, defaultSlice Resources) *Application {
+	a := &Application{ID: c.nextApp, Name: name, DefaultSlice: defaultSlice, vms: make(map[VMID]*VM)}
+	c.nextApp++
+	c.apps[a.ID] = a
+	return a
+}
+
+// Pod returns the pod with the given ID, or nil.
+func (c *Cluster) Pod(id PodID) *Pod { return c.pods[id] }
+
+// Server returns the server with the given ID, or nil.
+func (c *Cluster) Server(id ServerID) *Server { return c.servers[id] }
+
+// App returns the application with the given ID, or nil.
+func (c *Cluster) App(id AppID) *Application { return c.apps[id] }
+
+// VM returns the VM with the given ID, or nil.
+func (c *Cluster) VM(id VMID) *VM { return c.vms[id] }
+
+// PodIDs returns all pod IDs in ascending order.
+func (c *Cluster) PodIDs() []PodID {
+	ids := make([]PodID, 0, len(c.pods))
+	for id := range c.pods {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AppIDs returns all application IDs in ascending order.
+func (c *Cluster) AppIDs() []AppID {
+	ids := make([]AppID, 0, len(c.apps))
+	for id := range c.apps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ServerIDs returns all server IDs in ascending order.
+func (c *Cluster) ServerIDs() []ServerID {
+	ids := make([]ServerID, 0, len(c.servers))
+	for id := range c.servers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// VMIDs returns all VM IDs in ascending order.
+func (c *Cluster) VMIDs() []VMID {
+	ids := make([]VMID, 0, len(c.vms))
+	for id := range c.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NumVMs returns the number of live VMs in the cluster.
+func (c *Cluster) NumVMs() int { return len(c.vms) }
+
+// PlaceVM creates a VM instance of app on server with the given slice.
+// The new VM starts in VMDeploying state; call Start to begin serving.
+func (c *Cluster) PlaceVM(app AppID, server ServerID, slice Resources) (*VM, error) {
+	a, ok := c.apps[app]
+	if !ok {
+		return nil, fmt.Errorf("%w: app %d", ErrNotFound, app)
+	}
+	s, ok := c.servers[server]
+	if !ok {
+		return nil, fmt.Errorf("%w: server %d", ErrNotFound, server)
+	}
+	if !slice.NonNegative() {
+		return nil, fmt.Errorf("%w: negative slice %v", ErrBadState, slice)
+	}
+	if !s.used.Add(slice).Fits(s.Capacity) {
+		return nil, fmt.Errorf("%w: server %d free %v, slice %v", ErrInsufficient, server, s.Free(), slice)
+	}
+	v := &VM{ID: c.nextVM, App: app, Server: server, Slice: slice, State: VMDeploying}
+	c.nextVM++
+	c.vms[v.ID] = v
+	a.vms[v.ID] = v
+	s.vms[v.ID] = v
+	s.used = s.used.Add(slice)
+	return v, nil
+}
+
+// Start transitions a deploying VM to running.
+func (c *Cluster) Start(vm VMID) error {
+	v, ok := c.vms[vm]
+	if !ok {
+		return fmt.Errorf("%w: vm %d", ErrNotFound, vm)
+	}
+	if v.State != VMDeploying && v.State != VMMigrating {
+		return fmt.Errorf("%w: vm %d is %v", ErrBadState, vm, v.State)
+	}
+	v.State = VMRunning
+	return nil
+}
+
+// RemoveVM stops and deletes a VM, releasing its slice.
+func (c *Cluster) RemoveVM(vm VMID) error {
+	v, ok := c.vms[vm]
+	if !ok {
+		return fmt.Errorf("%w: vm %d", ErrNotFound, vm)
+	}
+	s := c.servers[v.Server]
+	s.used = s.used.Sub(v.Slice)
+	delete(s.vms, vm)
+	delete(c.apps[v.App].vms, vm)
+	delete(c.vms, vm)
+	v.State = VMStopped
+	return nil
+}
+
+// ResizeVM hot-adjusts the VM's hard slice (paper knob E, Section IV-E).
+// Growth must fit in the server's free capacity.
+func (c *Cluster) ResizeVM(vm VMID, slice Resources) error {
+	v, ok := c.vms[vm]
+	if !ok {
+		return fmt.Errorf("%w: vm %d", ErrNotFound, vm)
+	}
+	if !slice.NonNegative() {
+		return fmt.Errorf("%w: negative slice %v", ErrBadState, slice)
+	}
+	s := c.servers[v.Server]
+	newUsed := s.used.Sub(v.Slice).Add(slice)
+	if !newUsed.Fits(s.Capacity) {
+		return fmt.Errorf("%w: server %d cannot hold resize to %v", ErrInsufficient, v.Server, slice)
+	}
+	s.used = newUsed
+	v.Slice = slice
+	return nil
+}
+
+// MigrateVM moves a VM to another server, keeping its slice. The caller
+// is responsible for modeling migration latency; the state change here is
+// atomic. The VM keeps serving (live migration) and ends in VMRunning.
+func (c *Cluster) MigrateVM(vm VMID, to ServerID) error {
+	v, ok := c.vms[vm]
+	if !ok {
+		return fmt.Errorf("%w: vm %d", ErrNotFound, vm)
+	}
+	dst, ok := c.servers[to]
+	if !ok {
+		return fmt.Errorf("%w: server %d", ErrNotFound, to)
+	}
+	if to == v.Server {
+		return nil
+	}
+	if !dst.used.Add(v.Slice).Fits(dst.Capacity) {
+		return fmt.Errorf("%w: server %d free %v, slice %v", ErrInsufficient, to, dst.Free(), v.Slice)
+	}
+	src := c.servers[v.Server]
+	src.used = src.used.Sub(v.Slice)
+	delete(src.vms, vm)
+	dst.used = dst.used.Add(v.Slice)
+	dst.vms[vm] = v
+	v.Server = to
+	return nil
+}
+
+// TransferServer moves a server (and any VMs it hosts) to another pod.
+// This is the paper's server-transfer knob (Section IV-C); transferring a
+// loaded server is exactly the elephant-pod mitigation of Section IV-C/D.
+func (c *Cluster) TransferServer(server ServerID, to PodID) error {
+	s, ok := c.servers[server]
+	if !ok {
+		return fmt.Errorf("%w: server %d", ErrNotFound, server)
+	}
+	dst, ok := c.pods[to]
+	if !ok {
+		return fmt.Errorf("%w: pod %d", ErrNotFound, to)
+	}
+	if s.Pod == to {
+		return nil
+	}
+	if s.Pod != NoPod {
+		delete(c.pods[s.Pod].servers, server)
+	}
+	dst.servers[server] = s
+	s.Pod = to
+	return nil
+}
+
+// PodUsed returns the summed used resources of the pod's servers.
+func (c *Cluster) PodUsed(pod PodID) Resources {
+	p := c.pods[pod]
+	if p == nil {
+		return Resources{}
+	}
+	var u Resources
+	for _, s := range p.servers {
+		u = u.Add(s.used)
+	}
+	return u
+}
+
+// PodCapacity returns the summed capacity of the pod's servers.
+func (c *Cluster) PodCapacity(pod PodID) Resources {
+	p := c.pods[pod]
+	if p == nil {
+		return Resources{}
+	}
+	var u Resources
+	for _, s := range p.servers {
+		u = u.Add(s.Capacity)
+	}
+	return u
+}
+
+// PodUtilization returns the pod's max-dimension utilization fraction.
+func (c *Cluster) PodUtilization(pod PodID) float64 {
+	return c.PodUsed(pod).MaxFraction(c.PodCapacity(pod))
+}
+
+// PodDemand returns the summed client demand on VMs hosted in the pod.
+func (c *Cluster) PodDemand(pod PodID) Resources {
+	p := c.pods[pod]
+	if p == nil {
+		return Resources{}
+	}
+	var d Resources
+	for _, s := range p.servers {
+		for _, v := range s.vms {
+			d = d.Add(v.Demand)
+		}
+	}
+	return d
+}
+
+// PodNumVMs returns the number of VMs hosted in the pod.
+func (c *Cluster) PodNumVMs(pod PodID) int {
+	p := c.pods[pod]
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range p.servers {
+		n += len(s.vms)
+	}
+	return n
+}
+
+// AppVMsInPod returns the IDs of app's VMs hosted in pod, ascending.
+// An application "covers" a pod when this is non-empty (paper III-A).
+func (c *Cluster) AppVMsInPod(app AppID, pod PodID) []VMID {
+	a := c.apps[app]
+	if a == nil {
+		return nil
+	}
+	var ids []VMID
+	for id, v := range a.vms {
+		if s := c.servers[v.Server]; s != nil && s.Pod == pod {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Covers reports whether app has at least one instance in pod.
+func (c *Cluster) Covers(app AppID, pod PodID) bool {
+	return len(c.AppVMsInPod(app, pod)) > 0
+}
+
+// approxEqual compares resource vectors with a relative tolerance that
+// absorbs the floating-point drift of incremental add/subtract updates.
+func approxEqual(a, b Resources) bool {
+	close := func(x, y float64) bool {
+		d := x - y
+		if d < 0 {
+			d = -d
+		}
+		scale := 1.0
+		if ax := absf(x); ax > scale {
+			scale = ax
+		}
+		return d <= 1e-9*scale
+	}
+	return close(a.CPU, b.CPU) && close(a.MemMB, b.MemMB) && close(a.NetMbps, b.NetMbps)
+}
+
+func epsilonOf(c Resources) Resources {
+	return Resources{1e-9 * (1 + absf(c.CPU)), 1e-9 * (1 + absf(c.MemMB)), 1e-9 * (1 + absf(c.NetMbps))}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// CheckInvariants verifies internal consistency: per-server used equals
+// the sum of its VM slices and never exceeds capacity, and all index maps
+// agree. It returns the first violation found, or nil. Tests and the
+// simulation harness call this after mutation sequences.
+func (c *Cluster) CheckInvariants() error {
+	for id, s := range c.servers {
+		var sum Resources
+		for vid, v := range s.vms {
+			if v.Server != id {
+				return fmt.Errorf("vm %d on server %d claims server %d", vid, id, v.Server)
+			}
+			sum = sum.Add(v.Slice)
+		}
+		if !approxEqual(sum, s.used) {
+			return fmt.Errorf("server %d used %v != sum of slices %v", id, s.used, sum)
+		}
+		if !s.used.Fits(s.Capacity.Add(epsilonOf(s.Capacity))) {
+			return fmt.Errorf("server %d overcommitted: used %v > capacity %v", id, s.used, s.Capacity)
+		}
+		if s.Pod != NoPod {
+			p := c.pods[s.Pod]
+			if p == nil || p.servers[id] == nil {
+				return fmt.Errorf("server %d claims pod %d but pod does not list it", id, s.Pod)
+			}
+		}
+	}
+	for pid, p := range c.pods {
+		for sid, s := range p.servers {
+			if s.Pod != pid {
+				return fmt.Errorf("pod %d lists server %d which claims pod %d", pid, sid, s.Pod)
+			}
+		}
+	}
+	for vid, v := range c.vms {
+		a := c.apps[v.App]
+		if a == nil || a.vms[vid] == nil {
+			return fmt.Errorf("vm %d claims app %d but app does not list it", vid, v.App)
+		}
+		s := c.servers[v.Server]
+		if s == nil || s.vms[vid] == nil {
+			return fmt.Errorf("vm %d claims server %d but server does not list it", vid, v.Server)
+		}
+	}
+	return nil
+}

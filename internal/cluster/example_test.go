@@ -1,0 +1,35 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"megadc/internal/cluster"
+)
+
+// Servers, VMs with hot-resizable slices, and logical pods — including
+// the server-transfer primitive behind the paper's knob C.
+func Example() {
+	c := cluster.New()
+	pod0 := c.AddPod()
+	pod1 := c.AddPod()
+	srv, _ := c.AddServer(pod0.ID, cluster.Resources{CPU: 8, MemMB: 16384, NetMbps: 1000})
+	app := c.AddApp("shop.example", cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100})
+
+	vm, _ := c.PlaceVM(app.ID, srv.ID, app.DefaultSlice)
+	c.Start(vm.ID)
+	vm.Demand = cluster.Resources{CPU: 2.5}
+	fmt.Printf("overloaded VM serves %.1f of %.1f cores\n", vm.Served().CPU, vm.Demand.CPU)
+
+	// Knob E: hot-resize the slice; no reboot.
+	c.ResizeVM(vm.ID, cluster.Resources{CPU: 3, MemMB: 1024, NetMbps: 100})
+	fmt.Printf("after hot resize: serves %.1f\n", vm.Served().CPU)
+
+	// Knob C: the server (with its VM) transfers to another logical pod.
+	c.TransferServer(srv.ID, pod1.ID)
+	fmt.Printf("app covers pod1: %v; invariants: %v\n",
+		c.Covers(app.ID, pod1.ID), c.CheckInvariants() == nil)
+	// Output:
+	// overloaded VM serves 1.0 of 2.5 cores
+	// after hot resize: serves 2.5
+	// app covers pod1: true; invariants: true
+}

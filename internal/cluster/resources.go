@@ -1,0 +1,87 @@
+// Package cluster models the compute substrate of the mega data center:
+// physical servers with hard resource capacities, virtual machines with
+// adjustable hard slices (VMware-ESX-style), applications represented by
+// sets of VM instances, and *logical pods* — the paper's unit of
+// hierarchical resource management. Pods are logical groupings independent
+// of physical topology, which is what enables the paper's server-transfer
+// knob (Section IV-C).
+package cluster
+
+import "fmt"
+
+// Resources is a resource vector: CPU cores, memory, and network bandwidth.
+// It is used both for capacities (what a server offers), slices (what a VM
+// is hard-allocated), and demands (what clients currently ask of a VM).
+type Resources struct {
+	CPU     float64 // cores
+	MemMB   float64 // megabytes
+	NetMbps float64 // megabits per second
+}
+
+// Add returns r + o component-wise.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.CPU + o.CPU, r.MemMB + o.MemMB, r.NetMbps + o.NetMbps}
+}
+
+// Sub returns r - o component-wise.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{r.CPU - o.CPU, r.MemMB - o.MemMB, r.NetMbps - o.NetMbps}
+}
+
+// Scale returns r multiplied by k component-wise.
+func (r Resources) Scale(k float64) Resources {
+	return Resources{r.CPU * k, r.MemMB * k, r.NetMbps * k}
+}
+
+// Min returns the component-wise minimum of r and o.
+func (r Resources) Min(o Resources) Resources {
+	return Resources{minf(r.CPU, o.CPU), minf(r.MemMB, o.MemMB), minf(r.NetMbps, o.NetMbps)}
+}
+
+// Fits reports whether r fits within capacity c in every dimension.
+func (r Resources) Fits(c Resources) bool {
+	return r.CPU <= c.CPU && r.MemMB <= c.MemMB && r.NetMbps <= c.NetMbps
+}
+
+// NonNegative reports whether every component of r is ≥ 0.
+func (r Resources) NonNegative() bool {
+	return r.CPU >= 0 && r.MemMB >= 0 && r.NetMbps >= 0
+}
+
+// IsZero reports whether every component is exactly zero.
+func (r Resources) IsZero() bool { return r == Resources{} }
+
+// MaxFraction returns the largest of the component ratios r/c, treating a
+// zero-capacity component with zero usage as 0 and with non-zero usage as
+// +Inf behaviourally capped at a large number. It is the server/pod
+// utilization measure used by the managers.
+func (r Resources) MaxFraction(c Resources) float64 {
+	frac := func(u, cap float64) float64 {
+		if cap <= 0 {
+			if u <= 0 {
+				return 0
+			}
+			return 1e9
+		}
+		return u / cap
+	}
+	m := frac(r.CPU, c.CPU)
+	if f := frac(r.MemMB, c.MemMB); f > m {
+		m = f
+	}
+	if f := frac(r.NetMbps, c.NetMbps); f > m {
+		m = f
+	}
+	return m
+}
+
+func (r Resources) String() string {
+	return fmt.Sprintf("{cpu=%.3g mem=%.4gMB net=%.4gMbps}", r.CPU, r.MemMB, r.NetMbps)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+	"megadc/internal/netmodel"
+)
+
+// TestPropertyChaos runs random event sequences — demand changes,
+// deploys, removals, exposure flips, VIP transfers, and component
+// failures — against a platform with all control loops running, and
+// checks that every invariant holds after every event and that the
+// platform never panics. This is the repository's failure-injection
+// umbrella test.
+func TestPropertyChaos(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		topo := SmallTopology()
+		topo.Seed = seed
+		cfg := DefaultConfig()
+		cfg.VIPsPerApp = 2
+		p, err := NewPlatform(topo, cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var apps []cluster.AppID
+		for i := 0; i < 4; i++ {
+			a, err := p.OnboardApp("chaos", cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100},
+				3, Demand{CPU: 2, Mbps: 50})
+			if err != nil {
+				return false
+			}
+			apps = append(apps, a.ID)
+		}
+		p.Start()
+		for _, op := range ops {
+			p.Eng.RunFor(15)
+			app := apps[rng.Intn(len(apps))]
+			switch op % 9 {
+			case 0: // demand spike
+				p.SetAppDemand(app, Demand{CPU: rng.Float64() * 30, Mbps: rng.Float64() * 400})
+			case 1: // demand drop
+				p.SetAppDemand(app, Demand{CPU: rng.Float64(), Mbps: rng.Float64() * 10})
+			case 2: // manual deploy
+				pods := p.Cluster.PodIDs()
+				p.DeployInstance(app, pods[rng.Intn(len(pods))])
+			case 3: // manual removal (keep at least one instance)
+				a := p.Cluster.App(app)
+				if a != nil && a.NumInstances() > 1 {
+					vms := a.VMIDs()
+					p.RemoveInstance(vms[rng.Intn(len(vms))])
+				}
+			case 4: // exposure flip
+				vips := p.DNS.VIPs(app)
+				if len(vips) > 0 {
+					p.DNS.SetWeight(app, vips[rng.Intn(len(vips))], rng.Float64()*2)
+					p.Propagate()
+				}
+			case 5: // manual forced VIP transfer
+				vips := p.Fabric.VIPsOfApp(app)
+				if len(vips) > 0 {
+					dst := lbswitch.SwitchID(rng.Intn(topo.Switches))
+					p.Fabric.TransferVIP(vips[rng.Intn(len(vips))], dst, true)
+					p.Propagate()
+				}
+			case 6: // server failure (spare the last server of a pod)
+				ids := p.Cluster.ServerIDs()
+				victim := ids[rng.Intn(len(ids))]
+				srv := p.Cluster.Server(victim)
+				if srv != nil && !srv.Capacity.IsZero() {
+					p.FailServer(victim)
+				}
+			case 7: // switch failure (keep at least two alive)
+				alive := 0
+				for _, sw := range p.Fabric.Switches() {
+					if sw.Limits.MaxVIPs > 0 {
+						alive++
+					}
+				}
+				if alive > 2 {
+					id := lbswitch.SwitchID(rng.Intn(topo.Switches))
+					if p.Fabric.Switch(id).Limits.MaxVIPs > 0 {
+						p.FailSwitch(id)
+					}
+				}
+			case 8: // link failure (keep at least two alive)
+				alive := 0
+				for _, l := range p.Net.Links() {
+					if l.CapacityMbps > 1 {
+						alive++
+					}
+				}
+				if alive > 2 {
+					id := netmodel.LinkID(rng.Intn(topo.ISPs * topo.LinksPerISP))
+					if p.Net.Link(id).CapacityMbps > 1 {
+						p.FailLink(id)
+					}
+				}
+			}
+			if err := p.CheckInvariants(); err != nil {
+				t.Logf("invariant after op %d: %v", op%9, err)
+				return false
+			}
+		}
+		// Let the loops settle and re-check.
+		p.Eng.RunFor(600)
+		if err := p.CheckInvariants(); err != nil {
+			t.Logf("invariant after settling: %v", err)
+			return false
+		}
+		return true
+	}
+	max := 25
+	if testing.Short() {
+		max = 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(24))}); err != nil {
+		t.Error(err)
+	}
+}

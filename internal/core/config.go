@@ -1,0 +1,175 @@
+// Package core implements the paper's contribution: the two-level
+// hierarchical resource-management architecture for a mega data center.
+// A Platform ties together the substrates (cluster, LB switch fabric,
+// access network, DNS, VIP/RIP manager); PodManagers run local resource
+// allocation inside each logical pod; the GlobalManager monitors pods,
+// LB switches, and access links, and actuates the paper's control knobs:
+//
+//	A. selective VIP exposure        (Section IV-A, via DNS weights)
+//	B. dynamic VIP transfer          (Section IV-B, between LB switches)
+//	C. server transfer between pods  (Section IV-C)
+//	D. dynamic application deployment(Section IV-D)
+//	E. VM capacity adjustment        (Section IV-E, pod-local)
+//	F. RIP weight adjustment         (Section IV-F, intra- and inter-pod)
+package core
+
+import "fmt"
+
+// Knob identifies one of the paper's control knobs, for ablation.
+type Knob int
+
+// The control knobs of Section IV.
+const (
+	KnobSelectiveExposure Knob = iota // A
+	KnobVIPTransfer                   // B
+	KnobServerTransfer                // C
+	KnobAppDeployment                 // D
+	KnobVMResize                      // E
+	KnobRIPWeights                    // F
+	numKnobs
+)
+
+func (k Knob) String() string {
+	switch k {
+	case KnobSelectiveExposure:
+		return "selective-vip-exposure"
+	case KnobVIPTransfer:
+		return "vip-transfer"
+	case KnobServerTransfer:
+		return "server-transfer"
+	case KnobAppDeployment:
+		return "app-deployment"
+	case KnobVMResize:
+		return "vm-resize"
+	case KnobRIPWeights:
+		return "rip-weight-adjust"
+	}
+	return fmt.Sprintf("Knob(%d)", int(k))
+}
+
+// Config holds the thresholds, latencies, and knob enables of the
+// resource-management platform. Latencies are in simulated seconds and
+// reflect the paper's agility claims: switch reconfiguration and VM
+// resize take seconds; VM deployment and migration take minutes.
+type Config struct {
+	// Knob enables, indexed by Knob. All on by default.
+	Knobs [numKnobs]bool
+
+	// ElephantGuard enables the Section IV-C/D mitigation that moves
+	// servers (with their instances) out of pods whose size would
+	// overwhelm the pod manager.
+	ElephantGuard bool
+
+	// Pod sizing targets (Section III-A: ~5,000 servers / ~10,000 VMs).
+	MaxPodServers int
+	MaxPodVMs     int
+
+	// Utilization thresholds.
+	PodOverloadUtil    float64 // pod CPU demand/capacity above this → act
+	PodTargetUtil      float64 // bring overloaded pods down to this
+	PodUnderloadUtil   float64 // donor pods must stay below this
+	LinkOverloadUtil   float64 // access-link utilization above this → knob A
+	SwitchOverloadUtil float64 // LB switch utilization above this → knob B
+	VMHeadroom         float64 // knob E grows slices to demand × (1+headroom)
+
+	// Operation latencies (simulated seconds).
+	SwitchReconfigLatency float64 // programmatic LB switch reconfiguration
+	DNSUpdateLatency      float64 // authoritative DNS weight change
+	VMResizeLatency       float64 // hot slice adjustment
+	VMDeployLatency       float64 // new VM instance deployment
+	VMMigrateLatency      float64 // live VM migration
+	VacateLatencyPerVM    float64 // per-VM cost of vacating a server
+
+	// Control loop periods (simulated seconds).
+	PodControlInterval    float64
+	GlobalControlInterval float64
+
+	// VIPsPerApp is the default number of VIPs assigned per application
+	// (Section IV-A: three on average).
+	VIPsPerApp int
+
+	// DrainMargin is how long past the DNS TTL the global manager waits
+	// before attempting a VIP transfer (knob B).
+	DrainMargin float64
+
+	// CostAwareExposure extends knob A with the paper's business
+	// objective ("control the traffic among the different access ISPs
+	// according to ... different link usage costs"): when no link is
+	// overloaded, exposure shifts from expensive links toward cheaper
+	// ones, as long as the cheap link stays below CostShiftCeiling.
+	CostAwareExposure bool
+	CostShiftCeiling  float64
+
+	// RecycleUnusedVIPs enables the paper's route hygiene: "the platform
+	// can periodically withdraw blocks of unused VIPs from the old
+	// access routers and re-advertise them through lightly loaded access
+	// links." A VIP is unused when it has no DNS exposure and no
+	// traffic.
+	RecycleUnusedVIPs bool
+}
+
+// DefaultConfig returns the configuration used throughout the
+// experiments, matching the paper's stated targets.
+func DefaultConfig() Config {
+	c := Config{
+		ElephantGuard:         true,
+		MaxPodServers:         5000,
+		MaxPodVMs:             10000,
+		PodOverloadUtil:       0.85,
+		PodTargetUtil:         0.70,
+		PodUnderloadUtil:      0.60,
+		LinkOverloadUtil:      0.90,
+		SwitchOverloadUtil:    0.90,
+		VMHeadroom:            0.20,
+		SwitchReconfigLatency: 3, // "configuring the load balancing switches takes only several seconds"
+		DNSUpdateLatency:      1,
+		VMResizeLatency:       2,   // hot-add is near-instant
+		VMDeployLatency:       120, // VM provisioning takes minutes
+		VMMigrateLatency:      30,
+		VacateLatencyPerVM:    30,
+		PodControlInterval:    10,
+		GlobalControlInterval: 30,
+		VIPsPerApp:            3,
+		DrainMargin:           5,
+		CostAwareExposure:     false, // opt-in: interacts with balance objectives
+		CostShiftCeiling:      0.70,
+		RecycleUnusedVIPs:     true,
+	}
+	for k := range c.Knobs {
+		c.Knobs[k] = true
+	}
+	return c
+}
+
+// WithKnobs returns a copy of the config with only the listed knobs
+// enabled — the ablation helper used by E7/E8.
+func (c Config) WithKnobs(knobs ...Knob) Config {
+	out := c
+	for k := range out.Knobs {
+		out.Knobs[k] = false
+	}
+	for _, k := range knobs {
+		out.Knobs[k] = true
+	}
+	return out
+}
+
+// Enabled reports whether knob k is on.
+func (c *Config) Enabled(k Knob) bool { return c.Knobs[k] }
+
+// Validate checks configuration sanity.
+func (c *Config) Validate() error {
+	if c.MaxPodServers <= 0 || c.MaxPodVMs <= 0 {
+		return fmt.Errorf("core: pod size limits must be positive")
+	}
+	if c.PodTargetUtil > c.PodOverloadUtil {
+		return fmt.Errorf("core: PodTargetUtil %v > PodOverloadUtil %v", c.PodTargetUtil, c.PodOverloadUtil)
+	}
+	if c.VIPsPerApp <= 0 {
+		return fmt.Errorf("core: VIPsPerApp must be positive")
+	}
+	if c.PodControlInterval <= 0 || c.GlobalControlInterval <= 0 {
+		return fmt.Errorf("core: control intervals must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+	"megadc/internal/netmodel"
+)
+
+// Failure handling. The paper's architecture is built for fail-over:
+// LB switches "achieve fine-grained load balancing and fail-over among
+// replicated servers", the border routers and switches are fully
+// interconnected "to enhance the platform reliability", and every
+// application runs replicated instances behind multiple VIPs. This file
+// implements the recovery paths for the three failure domains:
+//
+//   - server failure: its VMs die; RIPs are deconfigured so switches stop
+//     sending traffic to them; pod managers re-deploy replacements.
+//   - LB switch failure: every VIP homed there is re-homed onto healthy
+//     switches with its RIP group (the fabric's full interconnection is
+//     what makes this possible without route changes); connections die.
+//   - access link failure: routes over the link are withdrawn and the
+//     affected VIPs are re-advertised over healthy links; DNS keeps
+//     steering clients to the application's remaining VIPs meanwhile.
+
+// FailServer kills a server: all hosted VMs are removed (their RIPs
+// deconfigured), and the dead server is removed from its pod with zero
+// capacity left behind. Recovery (re-deploying lost instances) is the
+// normal job of the control loops, which see the lost capacity and the
+// unchanged demand. Returns the number of VMs lost.
+func (p *Platform) FailServer(id cluster.ServerID) (lostVMs int, err error) {
+	srv := p.Cluster.Server(id)
+	if srv == nil {
+		return 0, fmt.Errorf("core: unknown server %d", id)
+	}
+	for _, vmID := range srv.VMIDs() {
+		if err := p.RemoveInstance(vmID); err != nil {
+			return lostVMs, err
+		}
+		lostVMs++
+	}
+	// The dead server keeps its pod membership but with zero capacity it
+	// can host nothing; modeling removal as zero capacity keeps IDs
+	// stable for reports.
+	srv.Capacity = cluster.Resources{}
+	p.Propagate()
+	return lostVMs, nil
+}
+
+// FailSwitch kills an LB switch: every VIP homed on it is transferred
+// (forced — the sessions are gone with the switch) to the least-loaded
+// healthy switch with room. VIPs that cannot be re-homed anywhere are
+// dropped from the fabric and hidden from DNS until capacity appears.
+// Returns re-homed and dropped VIP counts.
+func (p *Platform) FailSwitch(id lbswitch.SwitchID) (rehomed, dropped int, err error) {
+	dead := p.Fabric.Switch(id)
+	if dead == nil {
+		return 0, 0, fmt.Errorf("core: unknown switch %d", id)
+	}
+	vips := dead.VIPs()
+	for _, vip := range vips {
+		app, _ := dead.AppOf(vip)
+		dst := p.healthiestSwitchFor(dead, vip)
+		if dst == nil {
+			// No capacity anywhere: drop the VIP and hide it.
+			if err := p.Fabric.DropVIP(vip, true); err != nil {
+				return rehomed, dropped, err
+			}
+			p.DNS.SetWeight(app, string(vip), 0)
+			dropped++
+			continue
+		}
+		if err := p.Fabric.TransferVIP(vip, dst.ID, true); err != nil {
+			return rehomed, dropped, err
+		}
+		rehomed++
+	}
+	// The dead switch accepts nothing further.
+	dead.Limits = lbswitch.Limits{}
+	p.Propagate()
+	return rehomed, dropped, nil
+}
+
+// healthiestSwitchFor picks the least-utilized healthy switch (≠ dead)
+// that can hold the VIP and its RIP group.
+func (p *Platform) healthiestSwitchFor(dead *lbswitch.Switch, vip lbswitch.VIP) *lbswitch.Switch {
+	_, rips, _, _, err := dead.ExportVIP(vip)
+	if err != nil {
+		return nil
+	}
+	var best *lbswitch.Switch
+	for _, sw := range p.Fabric.Switches() {
+		if sw.ID == dead.ID || sw.Limits.MaxVIPs == 0 {
+			continue
+		}
+		if sw.NumVIPs() >= sw.Limits.MaxVIPs || sw.NumRIPs()+len(rips) > sw.Limits.MaxRIPs {
+			continue
+		}
+		if best == nil || sw.Utilization() < best.Utilization() {
+			best = sw
+		}
+	}
+	return best
+}
+
+// FailLink kills an access link: every VIP actively advertised over it
+// is withdrawn and re-advertised over the healthiest remaining link (a
+// route update per VIP — link failure is the case where re-advertising
+// is unavoidable). The link's capacity drops to a token value so it
+// carries nothing. Returns the number of re-advertised VIPs.
+func (p *Platform) FailLink(id netmodel.LinkID) (readvertised int, err error) {
+	link := p.Net.Link(id)
+	if link == nil {
+		return 0, fmt.Errorf("core: unknown link %d", id)
+	}
+	vips := p.Net.VIPsOnLink(id)
+	for _, vip := range vips {
+		if err := p.Net.Withdraw(vip, id); err != nil {
+			return readvertised, err
+		}
+		target := p.bestHealthyLink(id)
+		if target < 0 {
+			continue // no healthy link; VIP is unreachable until repair
+		}
+		if err := p.Net.Advertise(vip, netmodel.LinkID(target), false); err != nil {
+			return readvertised, err
+		}
+		readvertised++
+	}
+	link.CapacityMbps = 1e-9
+	p.Propagate()
+	return readvertised, nil
+}
+
+func (p *Platform) bestHealthyLink(exclude netmodel.LinkID) int {
+	best := -1
+	bestU := 0.0
+	for _, l := range p.Net.Links() {
+		if l.ID == exclude || l.CapacityMbps <= 1e-6 {
+			continue
+		}
+		if u := l.Utilization(); best < 0 || u < bestU {
+			best, bestU = int(l.ID), u
+		}
+	}
+	return best
+}
+
+// RecoverLostCapacity is the explicit post-failure repair pass the
+// global manager can run (its normal loops also converge, but this runs
+// the whole ladder immediately): for every application whose
+// satisfaction dropped below target, deploy replacement instances into
+// the coldest pods, up to maxDeploys.
+func (p *Platform) RecoverLostCapacity(target float64, maxDeploys int) (deploys int) {
+	for _, app := range p.Cluster.AppIDs() {
+		for deploys < maxDeploys && p.AppSatisfaction(app) < target {
+			pod, ok := p.Global.coldestPodWithRoom(cluster.NoPod, p.appSlice[app])
+			if !ok {
+				break
+			}
+			if _, err := p.DeployInstance(app, pod); err != nil {
+				break
+			}
+			deploys++
+			p.Propagate()
+		}
+	}
+	return deploys
+}

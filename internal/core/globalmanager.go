@@ -1,0 +1,808 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+	"megadc/internal/netmodel"
+)
+
+// GlobalManager is the datacenter-scale resource manager (paper Section
+// III-A). It monitors every pod, LB switch, and access link, and
+// actuates the global knobs: selective VIP exposure (A), dynamic VIP
+// transfer (B), server transfer between pods (C), dynamic application
+// deployment (D), inter-pod RIP weight adjustment (F), and the
+// elephant-pod guard.
+type GlobalManager struct {
+	p *Platform
+
+	// Action counters (experiment outputs).
+	ExposureChanges  int64
+	VIPTransfers     int64
+	ServerTransfers  int64
+	Deployments      int64
+	Removals         int64
+	InterPodAdjusts  int64
+	ElephantMoves    int64
+	Steps            int64
+	FailedTransfers  int64
+	DrainForceBreaks int64
+	VIPRecycles      int64
+
+	pendingServer map[cluster.ServerID]bool
+	pendingDeploy map[cluster.AppID]bool
+	draining      map[lbswitch.VIP]bool
+}
+
+func newGlobalManager(p *Platform) *GlobalManager {
+	return &GlobalManager{
+		p:             p,
+		pendingServer: make(map[cluster.ServerID]bool),
+		pendingDeploy: make(map[cluster.AppID]bool),
+		draining:      make(map[lbswitch.VIP]bool),
+	}
+}
+
+// Step runs one global control iteration. The knobs are tried
+// cheapest-and-fastest first, matching the paper's agility observations:
+// DNS exposure and weight changes act in seconds, VIP transfers need a
+// drain, deployments take minutes, and server transfers require vacating
+// machines.
+func (g *GlobalManager) Step() {
+	g.Steps++
+	cfg := &g.p.Cfg
+	if cfg.Enabled(KnobSelectiveExposure) {
+		g.balanceAccessLinks()
+		if cfg.CostAwareExposure {
+			g.costAwareExposure()
+		}
+		if cfg.RecycleUnusedVIPs {
+			g.recycleUnusedVIPs()
+		}
+	}
+	if cfg.Enabled(KnobVIPTransfer) {
+		g.balanceSwitches()
+	}
+	if cfg.Enabled(KnobRIPWeights) {
+		g.interPodWeights()
+	}
+	if cfg.Enabled(KnobAppDeployment) {
+		g.deployToRelievePods()
+		g.removeIdleInstances()
+	}
+	if cfg.Enabled(KnobServerTransfer) {
+		g.transferServersToRelievePods()
+	}
+	if cfg.ElephantGuard {
+		g.guardElephantPods()
+	}
+}
+
+// ---- Knob A: selective VIP exposure -------------------------------------
+
+// balanceAccessLinks relieves overloaded access links by shifting DNS
+// exposure weight from VIPs advertised on hot links to the same
+// applications' VIPs on cold links. Routing is untouched — zero route
+// updates — and relief begins as soon as the DNS change propagates.
+func (g *GlobalManager) balanceAccessLinks() {
+	cfg := &g.p.Cfg
+	for _, linkID := range g.p.Net.OverloadedLinks(cfg.LinkOverloadUtil) {
+		link := g.p.Net.Link(linkID)
+		// How much traffic must leave the link to reach the target?
+		excess := link.LoadMbps() - cfg.LinkOverloadUtil*link.CapacityMbps
+		if excess <= 0 {
+			continue
+		}
+		// Hottest VIPs on the link first.
+		vips := g.p.Net.VIPsOnLink(linkID)
+		sort.Slice(vips, func(i, j int) bool {
+			ti, tj := g.p.Net.VIPTraffic(vips[i]), g.p.Net.VIPTraffic(vips[j])
+			if ti != tj {
+				return ti > tj
+			}
+			return vips[i] < vips[j]
+		})
+		for _, vipStr := range vips {
+			if excess <= 0 {
+				break
+			}
+			moved := g.shiftExposureOffLink(vipStr, linkID)
+			excess -= moved
+		}
+	}
+}
+
+// shiftExposureOffLink reduces the DNS weight of vip (which rides the
+// hot link) and raises the weights of the owning app's VIPs on links
+// below the overload threshold. It returns the traffic expected to move
+// off the hot link.
+func (g *GlobalManager) shiftExposureOffLink(vipStr string, hot netmodel.LinkID) float64 {
+	vip := lbswitch.VIP(vipStr)
+	home, ok := g.p.Fabric.HomeOf(vip)
+	if !ok {
+		return 0
+	}
+	app, ok := g.p.Fabric.Switch(home).AppOf(vip)
+	if !ok {
+		return 0
+	}
+	// Find sibling VIPs of the app on non-overloaded links.
+	dnsVIPs, weights, err := g.p.DNS.Weights(app)
+	if err != nil {
+		return 0
+	}
+	cfg := &g.p.Cfg
+	var hotIdx = -1
+	var coldIdx []int
+	for i, v := range dnsVIPs {
+		if v == vipStr {
+			hotIdx = i
+			continue
+		}
+		cold := true
+		for _, l := range g.p.Net.ActiveLinks(v) {
+			if g.p.Net.Link(l).Utilization() > cfg.LinkOverloadUtil {
+				cold = false
+				break
+			}
+		}
+		if cold && len(g.p.Net.ActiveLinks(v)) > 0 {
+			coldIdx = append(coldIdx, i)
+		}
+	}
+	if hotIdx < 0 || len(coldIdx) == 0 || weights[hotIdx] <= 0 {
+		return 0
+	}
+	// Halve the hot VIP's weight, spreading the removed weight across
+	// the cold VIPs. Repeated control iterations converge.
+	delta := weights[hotIdx] / 2
+	newHot := weights[hotIdx] - delta
+	perCold := delta / float64(len(coldIdx))
+	traffic := g.p.Net.VIPTraffic(vipStr)
+	g.p.Eng.After(cfg.DNSUpdateLatency, func() {
+		if err := g.p.DNS.SetWeight(app, vipStr, newHot); err != nil {
+			return
+		}
+		for _, i := range coldIdx {
+			g.p.DNS.SetWeight(app, dnsVIPs[i], weights[i]+perCold)
+		}
+		g.ExposureChanges++
+		g.p.Propagate()
+	})
+	return traffic / 2
+}
+
+// costAwareExposure is the business-objective half of knob A: when no
+// link is overloaded, shift DNS exposure from VIPs on expensive links
+// toward the same applications' VIPs on cheaper links, without pushing
+// any cheap link above CostShiftCeiling. One shift per step keeps the
+// adjustment gentle.
+func (g *GlobalManager) costAwareExposure() {
+	cfg := &g.p.Cfg
+	if len(g.p.Net.OverloadedLinks(cfg.LinkOverloadUtil)) > 0 {
+		return // balance first, economize later
+	}
+	// Most expensive loaded link first.
+	var hot *netmodel.Link
+	for _, l := range g.p.Net.Links() {
+		if l.LoadMbps() <= 0 {
+			continue
+		}
+		if hot == nil || l.CostPerMbps > hot.CostPerMbps {
+			hot = l
+		}
+	}
+	if hot == nil {
+		return
+	}
+	for _, vipStr := range g.p.Net.VIPsOnLink(hot.ID) {
+		vip := lbswitch.VIP(vipStr)
+		home, ok := g.p.Fabric.HomeOf(vip)
+		if !ok {
+			continue
+		}
+		app, ok := g.p.Fabric.Switch(home).AppOf(vip)
+		if !ok {
+			continue
+		}
+		dnsVIPs, weights, err := g.p.DNS.Weights(app)
+		if err != nil {
+			continue
+		}
+		hotIdx, cheapIdx := -1, -1
+		for i, v := range dnsVIPs {
+			if v == vipStr {
+				hotIdx = i
+				continue
+			}
+			for _, l := range g.p.Net.ActiveLinks(v) {
+				link := g.p.Net.Link(l)
+				if link.CostPerMbps < hot.CostPerMbps && link.Utilization() < cfg.CostShiftCeiling {
+					cheapIdx = i
+				}
+			}
+		}
+		if hotIdx < 0 || cheapIdx < 0 || weights[hotIdx] <= 0 {
+			continue
+		}
+		delta := weights[hotIdx] / 2
+		g.p.Eng.After(cfg.DNSUpdateLatency, func() {
+			if err := g.p.DNS.SetWeight(app, dnsVIPs[hotIdx], weights[hotIdx]-delta); err != nil {
+				return
+			}
+			g.p.DNS.SetWeight(app, dnsVIPs[cheapIdx], weights[cheapIdx]+delta)
+			g.ExposureChanges++
+			g.p.Propagate()
+		})
+		return // one shift per step
+	}
+}
+
+// recycleUnusedVIPs re-advertises VIPs with no exposure and no traffic
+// over the lightly loaded access links — the paper's periodic route
+// hygiene, which keeps route updates decoupled from load-balancing
+// decisions. Recycled VIPs are spread round-robin over the lightly
+// loaded half of the links (the paper says "links", plural: parking
+// every unused VIP on one link would overload it the moment they are
+// re-exposed).
+func (g *GlobalManager) recycleUnusedVIPs() {
+	// Healthy links sorted by utilization; targets = the lighter half.
+	var healthy []netmodel.LinkID
+	for _, l := range g.p.Net.Links() {
+		if l.CapacityMbps > 1 {
+			healthy = append(healthy, l.ID)
+		}
+	}
+	if len(healthy) == 0 {
+		return
+	}
+	sort.Slice(healthy, func(i, j int) bool {
+		ui := g.p.Net.Link(healthy[i]).Utilization()
+		uj := g.p.Net.Link(healthy[j]).Utilization()
+		if ui != uj {
+			return ui < uj
+		}
+		return healthy[i] < healthy[j]
+	})
+	targets := healthy[:(len(healthy)+1)/2]
+	isTarget := make(map[netmodel.LinkID]bool, len(targets))
+	for _, id := range targets {
+		isTarget[id] = true
+	}
+	rr := 0
+	for _, app := range g.p.Cluster.AppIDs() {
+		vips, weights, err := g.p.DNS.Weights(app)
+		if err != nil {
+			continue
+		}
+		for i, vipStr := range vips {
+			if weights[i] != 0 || g.p.Net.VIPTraffic(vipStr) > 0 {
+				continue
+			}
+			if g.p.suppressed[lbswitch.VIP(vipStr)] {
+				continue // drains manage their own exposure
+			}
+			active := g.p.Net.ActiveLinks(vipStr)
+			if len(active) == 1 && isTarget[active[0]] {
+				continue // already parked on a light link
+			}
+			target := targets[rr%len(targets)]
+			rr++
+			for _, l := range active {
+				g.p.Net.Withdraw(vipStr, l)
+			}
+			if err := g.p.Net.Advertise(vipStr, target, false); err == nil {
+				g.VIPRecycles++
+			}
+		}
+	}
+}
+
+// ---- Knob B: dynamic VIP transfer ----------------------------------------
+
+// balanceSwitches relieves LB switches near their throughput limit by
+// transferring their hottest VIPs to underloaded switches. Per the
+// paper, the VIP is first drained via selective exposure (weight 0), and
+// the internal transfer happens once ongoing sessions have paused — no
+// access-router involvement.
+func (g *GlobalManager) balanceSwitches() {
+	cfg := &g.p.Cfg
+	for _, sw := range g.p.Fabric.Switches() {
+		if sw.Utilization() <= cfg.SwitchOverloadUtil {
+			continue
+		}
+		excess := sw.ThroughputMbps() - cfg.SwitchOverloadUtil*sw.Limits.ThroughputMbps
+		for _, vip := range sw.SortVIPsByLoad() {
+			if excess <= 0 {
+				break
+			}
+			if g.draining[vip] {
+				continue
+			}
+			dst := g.pickTransferTarget(sw, vip)
+			if dst == nil {
+				continue
+			}
+			excess -= sw.VIPLoad(vip)
+			g.startDrainAndTransfer(vip, dst.ID)
+		}
+	}
+}
+
+// pickTransferTarget returns the least-utilized switch that can accept
+// vip (VIP slot, RIP slots, and projected throughput below threshold).
+func (g *GlobalManager) pickTransferTarget(from *lbswitch.Switch, vip lbswitch.VIP) *lbswitch.Switch {
+	_, rips, _, load, err := from.ExportVIP(vip)
+	if err != nil {
+		return nil
+	}
+	cfg := &g.p.Cfg
+	var best *lbswitch.Switch
+	for _, sw := range g.p.Fabric.Switches() {
+		if sw.ID == from.ID {
+			continue
+		}
+		if sw.NumVIPs() >= sw.Limits.MaxVIPs || sw.NumRIPs()+len(rips) > sw.Limits.MaxRIPs {
+			continue
+		}
+		if sw.Limits.ThroughputMbps > 0 &&
+			(sw.ThroughputMbps()+load)/sw.Limits.ThroughputMbps > cfg.SwitchOverloadUtil {
+			continue
+		}
+		if best == nil || sw.Utilization() < best.Utilization() {
+			best = sw
+		}
+	}
+	return best
+}
+
+// startDrainAndTransfer runs the Section IV-B protocol: stop exposing
+// the VIP, wait out the DNS TTL plus a margin, then transfer. If
+// sessions still linger (TTL violators), retry once more and finally
+// force the transfer, counting the broken connections.
+func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.SwitchID) {
+	home, ok := g.p.Fabric.HomeOf(vip)
+	if !ok {
+		return
+	}
+	app, ok := g.p.Fabric.Switch(home).AppOf(vip)
+	if !ok {
+		return
+	}
+	g.draining[vip] = true
+	g.p.Suppress(vip, true)
+	cfg := &g.p.Cfg
+	vips, ws, err := g.p.DNS.Weights(app)
+	if err != nil {
+		delete(g.draining, vip)
+		g.p.Suppress(vip, false)
+		return
+	}
+	restoreWeight := 1.0
+	for i, v := range vips {
+		if v == string(vip) {
+			restoreWeight = ws[i]
+		}
+	}
+	finish := func() {
+		g.p.DNS.SetWeight(app, string(vip), restoreWeight)
+		delete(g.draining, vip)
+		g.p.Suppress(vip, false)
+		g.p.Propagate()
+	}
+	attempt := func(retriesLeft int, attemptFn func(int)) {
+		before := g.p.Fabric.BrokenConns
+		err := g.p.Fabric.TransferVIP(vip, dst, retriesLeft == 0)
+		switch {
+		case err == nil:
+			g.VIPTransfers++
+			g.DrainForceBreaks += g.p.Fabric.BrokenConns - before
+			finish()
+		case errors.Is(err, lbswitch.ErrActiveConns) && retriesLeft > 0:
+			g.p.Eng.After(cfg.DrainMargin, func() { attemptFn(retriesLeft - 1) })
+		default:
+			g.FailedTransfers++
+			finish()
+		}
+	}
+	var attemptRec func(int)
+	attemptRec = func(n int) { attempt(n, attemptRec) }
+
+	g.p.Eng.After(cfg.DNSUpdateLatency, func() {
+		if err := g.p.DNS.SetWeight(app, string(vip), 0); err != nil {
+			delete(g.draining, vip)
+			g.p.Suppress(vip, false)
+			return
+		}
+		g.p.Propagate()
+		g.p.Eng.After(g.p.DNS.TTL()+cfg.DrainMargin, func() { attemptRec(2) })
+	})
+}
+
+// ---- Knob F (inter-pod): RIP weight adjustment ---------------------------
+
+// interPodWeights shifts LB weight between pods covered by a common VIP:
+// weight moves from RIPs in overloaded pods to RIPs in underloaded pods,
+// preserving the VIP's total weight (so only the split between pods
+// changes). This is the fastest inter-pod knob — just a switch
+// reconfiguration.
+func (g *GlobalManager) interPodWeights() {
+	cfg := &g.p.Cfg
+	podUtil := make(map[cluster.PodID]float64)
+	for _, id := range g.p.podOrder {
+		podUtil[id] = g.p.pods[id].Utilization()
+	}
+	for _, sw := range g.p.Fabric.Switches() {
+		for _, vip := range sw.VIPs() {
+			rips, weights, err := sw.Weights(vip)
+			if err != nil || len(rips) < 2 {
+				continue
+			}
+			// Partition the VIP's RIPs by pod.
+			podOf := make([]cluster.PodID, len(rips))
+			hasHot, hasCold := false, false
+			for i, rip := range rips {
+				podOf[i] = cluster.NoPod
+				if vmID, ok := g.p.ripToVM[rip]; ok {
+					if vm := g.p.Cluster.VM(vmID); vm != nil {
+						if srv := g.p.Cluster.Server(vm.Server); srv != nil {
+							podOf[i] = srv.Pod
+						}
+					}
+				}
+				if podOf[i] == cluster.NoPod {
+					continue
+				}
+				if podUtil[podOf[i]] > cfg.PodOverloadUtil {
+					hasHot = true
+				}
+				if podUtil[podOf[i]] < cfg.PodUnderloadUtil {
+					hasCold = true
+				}
+			}
+			if !hasHot || !hasCold {
+				continue
+			}
+			newWeights := append([]float64(nil), weights...)
+			var moved float64
+			var coldIdx []int
+			for i := range rips {
+				if podOf[i] == cluster.NoPod {
+					continue
+				}
+				if podUtil[podOf[i]] > cfg.PodOverloadUtil {
+					d := weights[i] * 0.25
+					newWeights[i] -= d
+					moved += d
+				} else if podUtil[podOf[i]] < cfg.PodUnderloadUtil {
+					coldIdx = append(coldIdx, i)
+				}
+			}
+			if moved <= 0 || len(coldIdx) == 0 {
+				continue
+			}
+			per := moved / float64(len(coldIdx))
+			for _, i := range coldIdx {
+				newWeights[i] += per
+			}
+			vip := vip
+			nw := newWeights
+			g.p.Eng.After(cfg.SwitchReconfigLatency, func() {
+				if err := g.p.VIPRIP.AdjustWeights(vip, nw); err == nil {
+					g.InterPodAdjusts++
+					g.p.Propagate()
+				}
+			})
+		}
+	}
+}
+
+// ---- Knob D: dynamic application deployment ------------------------------
+
+// deployToRelievePods replicates the hottest application of each
+// overloaded pod into an underloaded pod. Deployment is the slow knob —
+// VM provisioning takes minutes — so at most one deployment per hot pod
+// per step keeps the "number of application deployments ... minimized".
+func (g *GlobalManager) deployToRelievePods() {
+	cfg := &g.p.Cfg
+	for _, podID := range g.p.podOrder {
+		pm := g.p.pods[podID]
+		if pm.Utilization() <= cfg.PodOverloadUtil {
+			continue
+		}
+		app, ok := g.hottestApp(podID)
+		if !ok || g.pendingDeploy[app] {
+			continue
+		}
+		target, ok := g.coldestPodWithRoom(podID, g.p.appSlice[app])
+		if !ok {
+			continue
+		}
+		vip := g.hottestVIPOfApp(app, podID)
+		g.pendingDeploy[app] = true
+		g.p.Eng.After(cfg.VMDeployLatency, func() {
+			delete(g.pendingDeploy, app)
+			if _, err := g.p.DeployInstanceFor(app, target, vip); err == nil {
+				g.Deployments++
+				g.p.Propagate()
+			}
+		})
+	}
+}
+
+// removeIdleInstances prunes instances of under-utilized applications
+// that cover many pods: a VM serving (almost) nothing whose application
+// is fully satisfied is removed, freeing capacity and shrinking pod
+// managers' decision spaces.
+func (g *GlobalManager) removeIdleInstances() {
+	for _, app := range g.p.Cluster.AppIDs() {
+		a := g.p.Cluster.App(app)
+		if a.NumInstances() <= g.p.Cfg.VIPsPerApp { // keep a floor of instances
+			continue
+		}
+		if g.p.AppSatisfaction(app) < 0.999 {
+			continue
+		}
+		for _, vmID := range a.VMIDs() {
+			vm := g.p.Cluster.VM(vmID)
+			if vm.State == cluster.VMRunning && vm.Demand.CPU < 1e-6 && a.NumInstances() > g.p.Cfg.VIPsPerApp {
+				vmID := vmID
+				g.p.Eng.After(g.p.Cfg.SwitchReconfigLatency, func() {
+					if g.p.Cluster.VM(vmID) == nil {
+						return
+					}
+					if err := g.p.RemoveInstance(vmID); err == nil {
+						g.Removals++
+						g.p.Propagate()
+					}
+				})
+				break // at most one removal per app per step
+			}
+		}
+	}
+}
+
+// ---- Knob C: server transfer between pods --------------------------------
+
+// transferServersToRelievePods vacates a server in an underloaded donor
+// pod (migrating its VMs to the donor's other servers) and hands it to
+// the overloaded pod.
+func (g *GlobalManager) transferServersToRelievePods() {
+	cfg := &g.p.Cfg
+	for _, podID := range g.p.podOrder {
+		if g.p.pods[podID].Utilization() <= cfg.PodOverloadUtil {
+			continue
+		}
+		donor, ok := g.pickDonorPod(podID)
+		if !ok {
+			continue
+		}
+		srv, ok := g.pickServerToVacate(donor)
+		if !ok {
+			continue
+		}
+		g.vacateAndTransfer(srv, donor, podID)
+	}
+}
+
+// pickDonorPod returns the least-utilized pod below the underload
+// threshold (other than the recipient).
+func (g *GlobalManager) pickDonorPod(recipient cluster.PodID) (cluster.PodID, bool) {
+	cfg := &g.p.Cfg
+	best := cluster.NoPod
+	bestU := cfg.PodUnderloadUtil
+	for _, id := range g.p.podOrder {
+		if id == recipient {
+			continue
+		}
+		if u := g.p.pods[id].Utilization(); u < bestU {
+			best, bestU = id, u
+		}
+	}
+	return best, best != cluster.NoPod
+}
+
+// pickServerToVacate chooses the donor server with the fewest VMs whose
+// VMs can all be rehomed within the donor pod.
+func (g *GlobalManager) pickServerToVacate(donor cluster.PodID) (cluster.ServerID, bool) {
+	pd := g.p.Cluster.Pod(donor)
+	if pd == nil || pd.NumServers() <= 1 {
+		return 0, false
+	}
+	best := cluster.ServerID(-1)
+	bestVMs := 0
+	for _, sid := range pd.ServerIDs() {
+		if g.pendingServer[sid] {
+			continue
+		}
+		srv := g.p.Cluster.Server(sid)
+		if best == cluster.ServerID(-1) || srv.NumVMs() < bestVMs {
+			best, bestVMs = sid, srv.NumVMs()
+		}
+	}
+	if best == cluster.ServerID(-1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// vacateAndTransfer migrates every VM off the server (within the donor
+// pod), then transfers the empty server to the recipient pod. If any VM
+// cannot be rehomed the transfer is abandoned (already-moved VMs stay at
+// their new homes; they remain inside the donor pod).
+func (g *GlobalManager) vacateAndTransfer(srv cluster.ServerID, donor, recipient cluster.PodID) {
+	g.pendingServer[srv] = true
+	server := g.p.Cluster.Server(srv)
+	nVMs := server.NumVMs()
+	latency := g.p.Cfg.VacateLatencyPerVM*float64(nVMs) + g.p.Cfg.VMMigrateLatency
+	g.p.Eng.After(latency, func() {
+		defer delete(g.pendingServer, srv)
+		server := g.p.Cluster.Server(srv)
+		if server == nil || server.Pod != donor {
+			return
+		}
+		for _, vmID := range server.VMIDs() {
+			vm := g.p.Cluster.VM(vmID)
+			dst := g.rehomeTarget(donor, srv, vm.Slice)
+			if dst == cluster.ServerID(-1) {
+				return // cannot fully vacate; abandon
+			}
+			if err := g.p.Cluster.MigrateVM(vmID, dst); err != nil {
+				return
+			}
+		}
+		if err := g.p.Cluster.TransferServer(srv, recipient); err == nil {
+			g.ServerTransfers++
+			g.p.Propagate()
+		}
+	})
+}
+
+// rehomeTarget finds a server in pod (≠ excluded) that fits slice.
+func (g *GlobalManager) rehomeTarget(pod cluster.PodID, exclude cluster.ServerID, slice cluster.Resources) cluster.ServerID {
+	pd := g.p.Cluster.Pod(pod)
+	best := cluster.ServerID(-1)
+	var bestFree float64
+	for _, sid := range pd.ServerIDs() {
+		if sid == exclude {
+			continue
+		}
+		s := g.p.Cluster.Server(sid)
+		if !s.Used().Add(slice).Fits(s.Capacity) {
+			continue
+		}
+		if best == cluster.ServerID(-1) || s.Free().CPU > bestFree {
+			best, bestFree = sid, s.Free().CPU
+		}
+	}
+	return best
+}
+
+// ---- Elephant-pod guard ---------------------------------------------------
+
+// guardElephantPods keeps every pod's size within the configured limits
+// by transferring servers *along with their deployed instances* out of
+// oversized pods into the smallest pods — the Section IV-C/D mitigation
+// that protects pod managers' decision time.
+func (g *GlobalManager) guardElephantPods() {
+	cfg := &g.p.Cfg
+	for _, podID := range g.p.podOrder {
+		pd := g.p.Cluster.Pod(podID)
+		for pd.NumServers() > cfg.MaxPodServers || g.p.Cluster.PodNumVMs(podID) > cfg.MaxPodVMs {
+			srvIDs := pd.ServerIDs()
+			if len(srvIDs) <= 1 {
+				break
+			}
+			// Move the server with the most VMs (shrinks the VM count
+			// fastest) — with its instances — but only to a pod that
+			// stays within its own limits after the move; otherwise the
+			// guard would just ping-pong the overflow.
+			best := srvIDs[0]
+			bestVMs := -1
+			for _, sid := range srvIDs {
+				if n := g.p.Cluster.Server(sid).NumVMs(); n > bestVMs {
+					best, bestVMs = sid, n
+				}
+			}
+			target := g.elephantTarget(podID, bestVMs)
+			if target == cluster.NoPod {
+				break
+			}
+			if err := g.p.Cluster.TransferServer(best, target); err != nil {
+				break
+			}
+			g.ElephantMoves++
+		}
+	}
+	g.p.Propagate()
+}
+
+// elephantTarget returns the smallest pod (by servers) that can accept
+// one more server carrying movedVMs VMs without itself exceeding limits.
+func (g *GlobalManager) elephantTarget(exclude cluster.PodID, movedVMs int) cluster.PodID {
+	cfg := &g.p.Cfg
+	best := cluster.NoPod
+	bestN := 0
+	for _, id := range g.p.podOrder {
+		if id == exclude {
+			continue
+		}
+		pd := g.p.Cluster.Pod(id)
+		if pd.NumServers()+1 > cfg.MaxPodServers {
+			continue
+		}
+		if g.p.Cluster.PodNumVMs(id)+movedVMs > cfg.MaxPodVMs {
+			continue
+		}
+		if n := pd.NumServers(); best == cluster.NoPod || n < bestN {
+			best, bestN = id, n
+		}
+	}
+	return best
+}
+
+// hottestVIPOfApp returns the VIP served by the app's worst-overloaded
+// VM in the pod, so a relieving deployment adds capacity where the
+// demand actually arrives. Empty when nothing is overloaded.
+func (g *GlobalManager) hottestVIPOfApp(app cluster.AppID, pod cluster.PodID) lbswitch.VIP {
+	var vip lbswitch.VIP
+	worst := 1.0
+	for _, vmID := range g.p.Cluster.AppVMsInPod(app, pod) {
+		vm := g.p.Cluster.VM(vmID)
+		if ov := vm.Overload(); ov > worst {
+			if rip, ok := g.p.RIPForVM(vmID); ok {
+				if v, ok := g.p.VIPOfRIP(rip); ok {
+					vip, worst = v, ov
+				}
+			}
+		}
+	}
+	return vip
+}
+
+// hottestApp returns the application with the highest CPU demand inside
+// the pod.
+func (g *GlobalManager) hottestApp(pod cluster.PodID) (cluster.AppID, bool) {
+	pd := g.p.Cluster.Pod(pod)
+	if pd == nil {
+		return 0, false
+	}
+	demand := make(map[cluster.AppID]float64)
+	for _, sid := range pd.ServerIDs() {
+		srv := g.p.Cluster.Server(sid)
+		for _, vmID := range srv.VMIDs() {
+			vm := g.p.Cluster.VM(vmID)
+			demand[vm.App] += vm.Demand.CPU
+		}
+	}
+	best := cluster.AppID(-1)
+	var bestD float64
+	for app, d := range demand {
+		if best == cluster.AppID(-1) || d > bestD || (d == bestD && app < best) {
+			best, bestD = app, d
+		}
+	}
+	return best, best != cluster.AppID(-1)
+}
+
+// coldestPodWithRoom returns the least-utilized pod (≠ exclude) below
+// the underload threshold with room for slice.
+func (g *GlobalManager) coldestPodWithRoom(exclude cluster.PodID, slice cluster.Resources) (cluster.PodID, bool) {
+	cfg := &g.p.Cfg
+	best := cluster.NoPod
+	bestU := cfg.PodUnderloadUtil
+	for _, id := range g.p.podOrder {
+		if id == exclude {
+			continue
+		}
+		if g.p.emptiestServer(id, slice) == nil {
+			continue
+		}
+		if u := g.p.pods[id].Utilization(); u < bestU {
+			best, bestU = id, u
+		}
+	}
+	return best, best != cluster.NoPod
+}

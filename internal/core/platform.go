@@ -1,0 +1,718 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"megadc/internal/cluster"
+	"megadc/internal/dnsctl"
+	"megadc/internal/lbswitch"
+	"megadc/internal/netmodel"
+	"megadc/internal/sim"
+	"megadc/internal/viprip"
+	"megadc/internal/workload"
+)
+
+// Demand is an application's offered load: total CPU across all its
+// sessions and total external bandwidth.
+type Demand struct {
+	CPU  float64 // cores
+	Mbps float64 // external traffic
+}
+
+// Scale returns the demand multiplied by k.
+func (d Demand) Scale(k float64) Demand { return Demand{d.CPU * k, d.Mbps * k} }
+
+// Topology describes the physical build-out of a platform.
+type Topology struct {
+	ISPs           int     // number of ISPs (one access router each)
+	LinksPerISP    int     // access links per ISP (to distinct border routers)
+	LinkMbps       float64 // capacity per access link
+	BorderRouters  int
+	Switches       int
+	SwitchLimits   lbswitch.Limits
+	Pods           int
+	ServersPerPod  int
+	ServerCapacity cluster.Resources
+	DNSTTLSeconds  float64
+	VIPPoolBase    string
+	VIPPoolSize    uint32
+	RIPPoolBase    string
+	RIPPoolSize    uint32
+	Seed           int64
+
+	// SwitchPods > 1 enables the Section V-A hierarchy: the switches are
+	// partitioned into that many logical switch pods and new VIPs are
+	// allocated two-level (least-pressured pod, then the pod's switches)
+	// instead of by a scan of every switch.
+	SwitchPods int
+}
+
+// SmallTopology returns a laptop-scale topology used by tests and the
+// quickstart example: 2 ISPs × 2 links, 4 switches (Catalyst limits
+// scaled 10×), 4 pods × 8 servers.
+func SmallTopology() Topology {
+	return Topology{
+		ISPs:           2,
+		LinksPerISP:    2,
+		LinkMbps:       1000,
+		BorderRouters:  2,
+		Switches:       4,
+		SwitchLimits:   lbswitch.CatalystCSM().Scaled(10),
+		Pods:           4,
+		ServersPerPod:  8,
+		ServerCapacity: cluster.Resources{CPU: 8, MemMB: 16384, NetMbps: 1000},
+		DNSTTLSeconds:  60,
+		VIPPoolBase:    "198.51.0.0",
+		VIPPoolSize:    65536,
+		RIPPoolBase:    "10.0.0.0",
+		RIPPoolSize:    1 << 20,
+		Seed:           1,
+	}
+}
+
+// Platform is one mega data center under management: all substrates plus
+// the hierarchical managers. Construct with NewPlatform, onboard
+// applications, drive demand, and Run the engine.
+type Platform struct {
+	Eng     *sim.Engine
+	Cfg     Config
+	Cluster *cluster.Cluster
+	Fabric  *lbswitch.Fabric
+	Net     *netmodel.Network
+	DNS     *dnsctl.DNS
+	VIPRIP  *viprip.Manager
+	Global  *GlobalManager
+
+	// SwitchHier is non-nil when the topology enabled Section V-A switch
+	// pods; new VIP allocations then go through it.
+	SwitchHier *viprip.Hierarchy
+
+	pods       map[cluster.PodID]*PodManager
+	podOrder   []cluster.PodID
+	appDemand  map[cluster.AppID]Demand
+	ripToVM    map[lbswitch.RIP]cluster.VMID
+	vmToRIP    map[cluster.VMID]lbswitch.RIP
+	appSlice   map[cluster.AppID]cluster.Resources
+	ripHomeVIP map[lbswitch.RIP]lbswitch.VIP // which VIP each RIP is configured under
+	linkRR     int                           // round-robin cursor for VIP advertisement
+
+	// activeVIPs remembers which VIPs carried load after the last
+	// Propagate, so the next Propagate can clear loads of VIPs whose
+	// demand disappeared.
+	activeVIPs map[lbswitch.VIP]bool
+
+	// suppressed marks VIPs whose DNS exposure is being managed by an
+	// in-flight control action (e.g. a knob-B drain); exposure
+	// reconciliation leaves them alone.
+	suppressed map[lbswitch.VIP]bool
+
+	// Session-level demand overlay (see SessionOpened/SessionClosed):
+	// discrete sessions contribute demand on top of the fluid model.
+	sessVM  map[cluster.VMID]cluster.Resources
+	sessVIP map[lbswitch.VIP]float64
+}
+
+// NewPlatform builds a platform from a topology and config. Control
+// loops are not started; call Start, or invoke manager steps directly.
+func NewPlatform(topo Topology, cfg Config) (*Platform, error) {
+	return NewPlatformOn(sim.New(topo.Seed), topo, cfg)
+}
+
+// NewPlatformOn builds a platform on an existing engine, so that several
+// platforms (e.g. the data centers of a multidc.Federation) share one
+// simulated clock.
+func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if topo.ISPs <= 0 || topo.LinksPerISP <= 0 || topo.BorderRouters <= 0 {
+		return nil, fmt.Errorf("core: topology needs ISPs, links, and border routers")
+	}
+	if topo.Switches <= 0 || topo.Pods <= 0 || topo.ServersPerPod <= 0 {
+		return nil, fmt.Errorf("core: topology needs switches, pods, and servers")
+	}
+	p := &Platform{
+		Eng:        eng,
+		Cfg:        cfg,
+		Cluster:    cluster.New(),
+		Fabric:     lbswitch.NewFabric(),
+		Net:        netmodel.New(),
+		DNS:        dnsctl.New(topo.DNSTTLSeconds),
+		pods:       make(map[cluster.PodID]*PodManager),
+		appDemand:  make(map[cluster.AppID]Demand),
+		ripToVM:    make(map[lbswitch.RIP]cluster.VMID),
+		vmToRIP:    make(map[cluster.VMID]lbswitch.RIP),
+		appSlice:   make(map[cluster.AppID]cluster.Resources),
+		ripHomeVIP: make(map[lbswitch.RIP]lbswitch.VIP),
+		activeVIPs: make(map[lbswitch.VIP]bool),
+		suppressed: make(map[lbswitch.VIP]bool),
+		sessVM:     make(map[cluster.VMID]cluster.Resources),
+		sessVIP:    make(map[lbswitch.VIP]float64),
+	}
+
+	// Access network: each ISP gets one AR; each AR gets LinksPerISP
+	// links to distinct border routers.
+	for b := 0; b < topo.BorderRouters; b++ {
+		p.Net.AddBorderRouter()
+	}
+	for i := 0; i < topo.ISPs; i++ {
+		ar := p.Net.AddAccessRouter(fmt.Sprintf("isp-%d", i))
+		for j := 0; j < topo.LinksPerISP; j++ {
+			br := netmodel.BorderRouterID(j % topo.BorderRouters)
+			if _, err := p.Net.AddLink(ar.ID, br, topo.LinkMbps, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// LB switch fabric.
+	for i := 0; i < topo.Switches; i++ {
+		p.Fabric.AddSwitch(topo.SwitchLimits)
+	}
+
+	// IP pools and the VIP/RIP manager.
+	vipPool, err := viprip.NewIPPool(topo.VIPPoolBase, topo.VIPPoolSize)
+	if err != nil {
+		return nil, err
+	}
+	ripPool, err := viprip.NewIPPool(topo.RIPPoolBase, topo.RIPPoolSize)
+	if err != nil {
+		return nil, err
+	}
+	p.VIPRIP = viprip.NewManager(p.Fabric, vipPool, ripPool, viprip.Blend)
+	if topo.SwitchPods > 1 {
+		h, err := viprip.NewHierarchy(p.Fabric, vipPool, topo.SwitchPods, viprip.Blend)
+		if err != nil {
+			return nil, err
+		}
+		p.SwitchHier = h
+	}
+
+	// Pods and servers.
+	for i := 0; i < topo.Pods; i++ {
+		pod := p.Cluster.AddPod()
+		for j := 0; j < topo.ServersPerPod; j++ {
+			if _, err := p.Cluster.AddServer(pod.ID, topo.ServerCapacity); err != nil {
+				return nil, err
+			}
+		}
+		pm := newPodManager(p, pod.ID)
+		p.pods[pod.ID] = pm
+		p.podOrder = append(p.podOrder, pod.ID)
+	}
+
+	p.Global = newGlobalManager(p)
+	return p, nil
+}
+
+// Pod returns the pod manager for the given pod.
+func (p *Platform) Pod(id cluster.PodID) *PodManager { return p.pods[id] }
+
+// PodManagers returns all pod managers in pod order.
+func (p *Platform) PodManagers() []*PodManager {
+	out := make([]*PodManager, 0, len(p.podOrder))
+	for _, id := range p.podOrder {
+		out = append(out, p.pods[id])
+	}
+	return out
+}
+
+// Rand returns the platform's deterministic random source.
+func (p *Platform) Rand() *rand.Rand { return p.Eng.Rand() }
+
+// VMForRIP resolves a RIP to its VM.
+func (p *Platform) VMForRIP(rip lbswitch.RIP) (cluster.VMID, bool) {
+	id, ok := p.ripToVM[rip]
+	return id, ok
+}
+
+// RIPForVM resolves a VM to its RIP.
+func (p *Platform) RIPForVM(vm cluster.VMID) (lbswitch.RIP, bool) {
+	rip, ok := p.vmToRIP[vm]
+	return rip, ok
+}
+
+// OnboardApp registers an application end to end: VIPs allocated on
+// switches and registered in DNS, each VIP advertised over one access
+// link (least-loaded first, per the paper each VIP is typically
+// advertised at only one access router), and the initial VM instances
+// placed across pods with RIPs configured under the app's VIPs.
+func (p *Platform) OnboardApp(name string, slice cluster.Resources, instances int, demand Demand) (*cluster.Application, error) {
+	app := p.Cluster.AddApp(name, slice)
+	p.appSlice[app.ID] = slice
+
+	for i := 0; i < p.Cfg.VIPsPerApp; i++ {
+		vip, _, err := p.allocVIP(app.ID)
+		if err != nil {
+			return nil, fmt.Errorf("core: onboarding %s: %w", name, err)
+		}
+		if err := p.DNS.Register(app.ID, string(vip), 1); err != nil {
+			return nil, err
+		}
+		link := p.pickAdvertLink()
+		if err := p.Net.Advertise(string(vip), link, false); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < instances; i++ {
+		pod := p.podOrder[i%len(p.podOrder)]
+		if _, err := p.DeployInstance(app.ID, pod); err != nil {
+			return nil, fmt.Errorf("core: onboarding %s instance %d: %w", name, i, err)
+		}
+	}
+
+	p.reconcileExposure(app.ID)
+	p.SetAppDemand(app.ID, demand)
+	return app, nil
+}
+
+// allocVIP allocates a VIP through the switch-pod hierarchy when the
+// topology enabled it (Section V-A), or through the flat manager.
+func (p *Platform) allocVIP(app cluster.AppID) (lbswitch.VIP, lbswitch.SwitchID, error) {
+	if p.SwitchHier != nil {
+		return p.SwitchHier.AddVIP(app)
+	}
+	return p.VIPRIP.AddVIP(app)
+}
+
+// pickAdvertLink chooses the access link with the lowest utilization,
+// breaking ties round-robin so onboarding spreads VIPs over ISPs.
+func (p *Platform) pickAdvertLink() netmodel.LinkID {
+	links := p.Net.Links()
+	best := -1
+	bestU := 0.0
+	for i := 0; i < len(links); i++ {
+		idx := (p.linkRR + i) % len(links)
+		u := links[idx].Utilization()
+		if best < 0 || u < bestU-1e-12 {
+			best, bestU = idx, u
+		}
+	}
+	p.linkRR = (best + 1) % len(links)
+	return links[best].ID
+}
+
+// DeployInstance creates one VM instance of app in the given pod (on the
+// server with the most free capacity), allocates its RIP, and configures
+// the RIP under one of the app's VIPs. It returns the new VM. The caller
+// is responsible for modeling deployment latency (knob D's cost); the
+// state change itself is atomic.
+func (p *Platform) DeployInstance(app cluster.AppID, pod cluster.PodID) (*cluster.VM, error) {
+	return p.DeployInstanceFor(app, pod, "")
+}
+
+// DeployInstanceFor is DeployInstance with an explicit target VIP: the
+// new instance's RIP is configured under that VIP, so the deployment
+// adds serving capacity exactly where an overloaded VIP needs it (the
+// pod manager "needs to be aware of which VIPs its RIPs are mapped to",
+// Section IV-F). An empty VIP lets the VIP/RIP manager choose.
+func (p *Platform) DeployInstanceFor(app cluster.AppID, pod cluster.PodID, preferred lbswitch.VIP) (*cluster.VM, error) {
+	slice, ok := p.appSlice[app]
+	if !ok {
+		a := p.Cluster.App(app)
+		if a == nil {
+			return nil, fmt.Errorf("core: unknown app %d", app)
+		}
+		slice = a.DefaultSlice
+	}
+	server := p.emptiestServer(pod, slice)
+	if server == nil {
+		return nil, fmt.Errorf("core: pod %d has no server with room for %v", pod, slice)
+	}
+	vm, err := p.Cluster.PlaceVM(app, server.ID, slice)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Cluster.Start(vm.ID); err != nil {
+		return nil, err
+	}
+	rip, err := p.VIPRIP.AllocRIP()
+	if err != nil {
+		p.Cluster.RemoveVM(vm.ID)
+		return nil, err
+	}
+	vip, _, err := p.VIPRIP.AddRIP(app, rip, 1, preferred)
+	if err != nil && preferred != "" {
+		// The preferred VIP's switch may be RIP-full; fall back to any.
+		vip, _, err = p.VIPRIP.AddRIP(app, rip, 1, "")
+	}
+	if err != nil {
+		p.VIPRIP.FreeRIP(rip)
+		p.Cluster.RemoveVM(vm.ID)
+		return nil, err
+	}
+	p.ripToVM[rip] = vm.ID
+	p.vmToRIP[vm.ID] = rip
+	p.ripHomeVIP[rip] = vip
+	p.reconcileExposure(app)
+	return vm, nil
+}
+
+// VIPOfRIP returns the VIP a RIP is configured under.
+func (p *Platform) VIPOfRIP(rip lbswitch.RIP) (lbswitch.VIP, bool) {
+	vip, ok := p.ripHomeVIP[rip]
+	return vip, ok
+}
+
+// Suppress marks or unmarks a VIP as under explicit exposure control (a
+// drain in progress); reconcileExposure skips suppressed VIPs.
+func (p *Platform) Suppress(vip lbswitch.VIP, on bool) {
+	if on {
+		p.suppressed[vip] = true
+	} else {
+		delete(p.suppressed, vip)
+	}
+}
+
+// reconcileExposure keeps DNS exposure consistent with serving capacity:
+// a VIP with no RIPs configured must not be exposed (clients resolving
+// to it would reach nothing), and a VIP that regained RIPs is re-exposed
+// with weight 1. VIPs under explicit control (Suppress) are left alone.
+func (p *Platform) reconcileExposure(app cluster.AppID) {
+	vips, ws, err := p.DNS.Weights(app)
+	if err != nil {
+		return
+	}
+	for i, vipStr := range vips {
+		vip := lbswitch.VIP(vipStr)
+		if p.suppressed[vip] {
+			continue
+		}
+		home, ok := p.Fabric.HomeOf(vip)
+		if !ok {
+			continue
+		}
+		rips, _, err := p.Fabric.Switch(home).Weights(vip)
+		hasRIPs := err == nil && len(rips) > 0
+		if !hasRIPs && ws[i] != 0 {
+			p.DNS.SetWeight(app, vipStr, 0)
+		} else if hasRIPs && ws[i] == 0 {
+			p.DNS.SetWeight(app, vipStr, 1)
+		}
+	}
+}
+
+// RemoveInstance tears down one VM instance: RIP deconfigured from the
+// fabric, address freed, VM removed.
+func (p *Platform) RemoveInstance(vm cluster.VMID) error {
+	v := p.Cluster.VM(vm)
+	if v == nil {
+		return fmt.Errorf("core: unknown vm %d", vm)
+	}
+	if rip, ok := p.vmToRIP[vm]; ok {
+		if err := p.VIPRIP.DelRIP(v.App, rip); err != nil {
+			return err
+		}
+		p.VIPRIP.FreeRIP(rip)
+		delete(p.vmToRIP, vm)
+		delete(p.ripToVM, rip)
+		delete(p.ripHomeVIP, rip)
+	}
+	if err := p.Cluster.RemoveVM(vm); err != nil {
+		return err
+	}
+	p.reconcileExposure(v.App)
+	return nil
+}
+
+// emptiestServer returns the server in pod with the most free CPU that
+// can fit slice, or nil.
+func (p *Platform) emptiestServer(pod cluster.PodID, slice cluster.Resources) *cluster.Server {
+	pd := p.Cluster.Pod(pod)
+	if pd == nil {
+		return nil
+	}
+	var best *cluster.Server
+	for _, id := range pd.ServerIDs() {
+		s := p.Cluster.Server(id)
+		if !s.Used().Add(slice).Fits(s.Capacity) {
+			continue
+		}
+		if best == nil || s.Free().CPU > best.Free().CPU {
+			best = s
+		}
+	}
+	return best
+}
+
+// SetAppDemand sets an application's offered demand and repropagates.
+func (p *Platform) SetAppDemand(app cluster.AppID, d Demand) {
+	if d.CPU <= 0 && d.Mbps <= 0 {
+		delete(p.appDemand, app)
+	} else {
+		p.appDemand[app] = d
+	}
+	p.Propagate()
+}
+
+// AppDemand returns the current offered demand of app.
+func (p *Platform) AppDemand(app cluster.AppID) Demand { return p.appDemand[app] }
+
+// Propagate pushes application demand through the whole stack:
+// DNS exposure weights split each app's demand over its VIPs; each VIP's
+// bandwidth lands on its advertised access link and its home LB switch;
+// each VIP's demand splits over its RIPs by LB weight; and each RIP's
+// share becomes its VM's demand. Call after any change to demand,
+// exposure, placement, or weights. Managers call it automatically after
+// their actions.
+func (p *Platform) Propagate() {
+	// Reset VM demand and clear loads of previously active VIPs, so a
+	// VIP whose app lost its demand (or exposure) stops carrying load.
+	for vmID := range p.vmToRIP {
+		if vm := p.Cluster.VM(vmID); vm != nil {
+			vm.Demand = cluster.Resources{}
+		}
+	}
+	for vip := range p.activeVIPs {
+		p.Net.SetVIPTraffic(string(vip), 0)
+		if home, ok := p.Fabric.HomeOf(vip); ok {
+			p.Fabric.Switch(home).SetVIPLoad(vip, 0)
+		}
+		delete(p.activeVIPs, vip)
+	}
+	for app, demand := range p.appDemand {
+		vips, shares, err := p.DNS.ExpectedShares(app)
+		if err != nil {
+			continue // app has no DNS record: demand is unroutable
+		}
+		for i, vipStr := range vips {
+			share := shares[i]
+			vip := lbswitch.VIP(vipStr)
+			vipMbps := demand.Mbps * share
+			vipCPU := demand.CPU * share
+			p.Net.SetVIPTraffic(vipStr, vipMbps)
+			if vipMbps > 0 || vipCPU > 0 {
+				p.activeVIPs[vip] = true
+			}
+			home, ok := p.Fabric.HomeOf(vip)
+			if !ok {
+				continue
+			}
+			sw := p.Fabric.Switch(home)
+			sw.SetVIPLoad(vip, vipMbps)
+			rips, mbpsShares, err := sw.VIPLoadShare(vip)
+			if err != nil {
+				continue
+			}
+			// VIPLoadShare distributes the fluid Mbps; CPU follows the
+			// same weight proportions.
+			var totalMbps float64
+			for _, m := range mbpsShares {
+				totalMbps += m
+			}
+			for j, rip := range rips {
+				frac := 0.0
+				if totalMbps > 0 {
+					frac = mbpsShares[j] / totalMbps
+				} else if len(rips) > 0 {
+					frac = 1 / float64(len(rips))
+				}
+				vmID, ok := p.ripToVM[rip]
+				if !ok {
+					continue
+				}
+				vm := p.Cluster.VM(vmID)
+				if vm == nil {
+					continue
+				}
+				vm.Demand = vm.Demand.Add(cluster.Resources{
+					CPU:     vipCPU * frac,
+					NetMbps: mbpsShares[j],
+				})
+			}
+		}
+	}
+	// Session overlay: discrete sessions (internal/sessions) contribute
+	// their demand on top of the fluid model, pinned to their VMs.
+	for vip, mbps := range p.sessVIP {
+		if mbps <= 0 {
+			continue
+		}
+		p.Net.SetVIPTraffic(string(vip), p.Net.VIPTraffic(string(vip))+mbps)
+		if home, ok := p.Fabric.HomeOf(vip); ok {
+			sw := p.Fabric.Switch(home)
+			sw.SetVIPLoad(vip, sw.VIPLoad(vip)+mbps)
+		}
+		p.activeVIPs[vip] = true
+	}
+	for vmID, res := range p.sessVM {
+		if vm := p.Cluster.VM(vmID); vm != nil {
+			vm.Demand = vm.Demand.Add(res)
+		}
+	}
+}
+
+// SessionOpened records a discrete session's demand: res pinned to the
+// VM it connected to (TCP affinity) and its bandwidth on the VIP it
+// arrived through. The update is applied incrementally; a subsequent
+// Propagate reproduces the same state from the overlay maps.
+func (p *Platform) SessionOpened(vip lbswitch.VIP, vm cluster.VMID, res cluster.Resources) {
+	p.sessVIP[vip] += res.NetMbps
+	p.sessVM[vm] = p.sessVM[vm].Add(res)
+	if v := p.Cluster.VM(vm); v != nil {
+		v.Demand = v.Demand.Add(res)
+	}
+	p.Net.SetVIPTraffic(string(vip), p.Net.VIPTraffic(string(vip))+res.NetMbps)
+	if home, ok := p.Fabric.HomeOf(vip); ok {
+		sw := p.Fabric.Switch(home)
+		sw.SetVIPLoad(vip, sw.VIPLoad(vip)+res.NetMbps)
+	}
+	p.activeVIPs[vip] = true
+}
+
+// SessionClosed reverses SessionOpened when the session ends.
+func (p *Platform) SessionClosed(vip lbswitch.VIP, vm cluster.VMID, res cluster.Resources) {
+	p.sessVIP[vip] -= res.NetMbps
+	if p.sessVIP[vip] <= 1e-12 {
+		delete(p.sessVIP, vip)
+	}
+	left := p.sessVM[vm].Sub(res)
+	if left.IsZero() || !left.NonNegative() {
+		delete(p.sessVM, vm)
+	} else {
+		p.sessVM[vm] = left
+	}
+	if v := p.Cluster.VM(vm); v != nil {
+		d := v.Demand.Sub(res)
+		if !d.NonNegative() {
+			d = cluster.Resources{}
+		}
+		v.Demand = d
+	}
+	if t := p.Net.VIPTraffic(string(vip)) - res.NetMbps; t > 1e-12 {
+		p.Net.SetVIPTraffic(string(vip), t)
+	} else {
+		p.Net.SetVIPTraffic(string(vip), 0)
+	}
+	if home, ok := p.Fabric.HomeOf(vip); ok {
+		sw := p.Fabric.Switch(home)
+		if l := sw.VIPLoad(vip) - res.NetMbps; l > 1e-12 {
+			sw.SetVIPLoad(vip, l)
+		} else {
+			sw.SetVIPLoad(vip, 0)
+		}
+	}
+}
+
+// DriveDemand schedules periodic demand updates for app following the
+// profile: demand(t) = perUnit × profile.RateAt(t), re-evaluated every
+// interval seconds until stopAt (0 = forever).
+func (p *Platform) DriveDemand(app cluster.AppID, profile workload.Profile, perUnit Demand, interval, stopAt float64) {
+	p.Eng.Every(0, interval, func() bool {
+		p.SetAppDemand(app, perUnit.Scale(profile.RateAt(p.Eng.Now())))
+		return stopAt <= 0 || p.Eng.Now() < stopAt
+	})
+}
+
+// Start launches the pod and global control loops on the engine.
+func (p *Platform) Start() {
+	for _, id := range p.podOrder {
+		pm := p.pods[id]
+		p.Eng.Every(p.Cfg.PodControlInterval, p.Cfg.PodControlInterval, func() bool {
+			pm.Step()
+			return true
+		})
+	}
+	p.Eng.Every(p.Cfg.GlobalControlInterval, p.Cfg.GlobalControlInterval, func() bool {
+		p.Global.Step()
+		return true
+	})
+}
+
+// appServedDemand returns (served CPU, demanded CPU) for app. Demand is
+// the larger of the fluid app demand (which counts demand dropped by
+// unexposed VIPs as unserved) and the summed VM demand (which counts
+// session-overlay demand the fluid model does not know about).
+func (p *Platform) appServedDemand(app cluster.AppID) (served, demand float64) {
+	a := p.Cluster.App(app)
+	if a == nil {
+		return 0, p.appDemand[app].CPU
+	}
+	var vmDemand float64
+	for _, vmID := range a.VMIDs() {
+		vm := p.Cluster.VM(vmID)
+		vmDemand += vm.Demand.CPU
+		served += vm.Served().CPU
+	}
+	demand = p.appDemand[app].CPU
+	if vmDemand > demand {
+		demand = vmDemand
+	}
+	if served > demand {
+		served = demand
+	}
+	return served, demand
+}
+
+// AppSatisfaction returns served/demanded CPU for app (1 when it has no
+// demand).
+func (p *Platform) AppSatisfaction(app cluster.AppID) float64 {
+	served, demand := p.appServedDemand(app)
+	if demand <= 0 {
+		return 1
+	}
+	return served / demand
+}
+
+// TotalSatisfaction returns served/demanded CPU across all applications.
+func (p *Platform) TotalSatisfaction() float64 {
+	var demand, served float64
+	for _, app := range p.Cluster.AppIDs() {
+		s, d := p.appServedDemand(app)
+		served += s
+		demand += d
+	}
+	// Fluid demand of apps that no longer exist in the cluster still
+	// counts as unserved.
+	for app, d := range p.appDemand {
+		if p.Cluster.App(app) == nil {
+			demand += d.CPU
+		}
+	}
+	if demand == 0 {
+		return 1
+	}
+	return served / demand
+}
+
+// CheckInvariants validates every substrate plus the RIP↔VM index.
+func (p *Platform) CheckInvariants() error {
+	if err := p.Cluster.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := p.Fabric.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := p.Net.CheckInvariants(); err != nil {
+		return err
+	}
+	for rip, vm := range p.ripToVM {
+		if p.vmToRIP[vm] != rip {
+			return fmt.Errorf("core: rip %s -> vm %d -> rip %s mismatch", rip, vm, p.vmToRIP[vm])
+		}
+		if p.Cluster.VM(vm) == nil {
+			return fmt.Errorf("core: rip %s maps to missing vm %d", rip, vm)
+		}
+	}
+	// Cross-layer: every VIP DNS actually exposes (weight > 0) must be
+	// homed on a switch — otherwise clients would resolve to a dead
+	// address. (Hidden VIPs may be legitimately un-homed, e.g. dropped
+	// by a switch failure with no spare capacity.)
+	for _, app := range p.DNS.Apps() {
+		vips, weights, err := p.DNS.Weights(app)
+		if err != nil {
+			continue
+		}
+		for i, vipStr := range vips {
+			if weights[i] <= 0 {
+				continue
+			}
+			if _, ok := p.Fabric.HomeOf(lbswitch.VIP(vipStr)); !ok {
+				return fmt.Errorf("core: exposed VIP %s of app %d not homed on any switch", vipStr, app)
+			}
+		}
+	}
+	return nil
+}

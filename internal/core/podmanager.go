@@ -1,0 +1,504 @@
+package core
+
+import (
+	"time"
+
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+	"megadc/internal/placement"
+)
+
+// PodManager performs local resource allocation within one logical pod
+// (paper Section III-A). It only knows its own servers and the
+// applications covering the pod. Its knobs are the fast, pod-local ones:
+// VM capacity adjustment (E), intra-pod RIP weight adjustment (F, via
+// requests to the global VIP/RIP manager), and scale-out of overloaded
+// applications onto lightly loaded servers in the same pod.
+type PodManager struct {
+	p   *Platform
+	pod cluster.PodID
+
+	// Action counters (experiment outputs).
+	Resizes       int64
+	WeightAdjusts int64
+	LocalDeploys  int64
+	Defrags       int64
+	Steps         int64
+
+	// LastDecision is the wall-clock cost of the most recent Step — the
+	// quantity the paper worries grows with pod size ("too many servers
+	// and applications in the pod ... slows down its resource allocation
+	// algorithms beyond acceptable levels").
+	LastDecision time.Duration
+
+	pendingVM     map[cluster.VMID]bool
+	pendingDeploy map[cluster.AppID]bool
+}
+
+// resizeDeadband is the relative slack within which knob E leaves a
+// slice alone, and weightDeadband the relative slack for knob F weight
+// updates; both stop the two fast loops from endlessly correcting each
+// other's float-level jitter.
+const (
+	resizeDeadband = 0.10
+	weightDeadband = 0.10
+	// shrinkHysteresis widens the shrink side further: shrinking frees
+	// capacity another VM may immediately want back, so it only happens
+	// when the slice is clearly oversized.
+	shrinkHysteresis = 0.25
+)
+
+func newPodManager(p *Platform, pod cluster.PodID) *PodManager {
+	return &PodManager{
+		p: p, pod: pod,
+		pendingVM:     make(map[cluster.VMID]bool),
+		pendingDeploy: make(map[cluster.AppID]bool),
+	}
+}
+
+// PodID returns the managed pod's ID.
+func (pm *PodManager) PodID() cluster.PodID { return pm.pod }
+
+// Utilization returns the pod's demand-based utilization: CPU demand
+// over CPU capacity (what the managers act on; slice-based utilization
+// lags demand).
+func (pm *PodManager) Utilization() float64 {
+	capRes := pm.p.Cluster.PodCapacity(pm.pod)
+	if capRes.CPU <= 0 {
+		return 0
+	}
+	return pm.p.Cluster.PodDemand(pm.pod).CPU / capRes.CPU
+}
+
+// SliceUtilization returns allocated slices over capacity.
+func (pm *PodManager) SliceUtilization() float64 {
+	return pm.p.Cluster.PodUtilization(pm.pod)
+}
+
+// DecisionSpace returns servers × VMs — the size proxy for the pod
+// manager's allocation problem (E3's x-axis at fixed cluster size).
+func (pm *PodManager) DecisionSpace() int {
+	pd := pm.p.Cluster.Pod(pm.pod)
+	if pd == nil {
+		return 0
+	}
+	return pd.NumServers() * pm.p.Cluster.PodNumVMs(pm.pod)
+}
+
+// Step runs one control iteration: shrink idle slices, grow overloaded
+// ones (knob E), rebalance intra-pod RIP weights (knob F), and scale out
+// overloaded applications locally.
+func (pm *PodManager) Step() {
+	start := time.Now()
+	pm.Steps++
+	if pm.p.Cfg.Enabled(KnobVMResize) {
+		pm.resizeVMs()
+		pm.defragment()
+	}
+	if pm.p.Cfg.Enabled(KnobRIPWeights) {
+		pm.adjustIntraPodWeights()
+	}
+	if pm.p.Cfg.Enabled(KnobAppDeployment) {
+		pm.localScaleOut()
+	}
+	pm.LastDecision = time.Since(start)
+}
+
+// resizeVMs is knob E: hot adjustment of VM hard slices. Two passes:
+// first shrink slices whose demand dropped (never below the app default),
+// releasing capacity; then grow overloaded VMs into the freed room.
+func (pm *PodManager) resizeVMs() {
+	pd := pm.p.Cluster.Pod(pm.pod)
+	if pd == nil {
+		return
+	}
+	head := 1 + pm.p.Cfg.VMHeadroom
+	for _, sid := range pd.ServerIDs() {
+		srv := pm.p.Cluster.Server(sid)
+		// Pass 1: shrink. A 5% deadband prevents the resize loop from
+		// chattering against the weight-adjustment loop (knob F), whose
+		// redistribution slightly shifts per-VM demand every step.
+		for _, vmID := range srv.VMIDs() {
+			vm := pm.p.Cluster.VM(vmID)
+			if vm.State != cluster.VMRunning || pm.pendingVM[vmID] {
+				continue
+			}
+			def := pm.defaultSlice(vm.App)
+			want := pm.targetSlice(vm, def, head)
+			if want.CPU < vm.Slice.CPU*(1-shrinkHysteresis) || want.NetMbps < vm.Slice.NetMbps*(1-shrinkHysteresis) {
+				pm.scheduleResize(vmID, want)
+			}
+		}
+		// Pass 2: grow.
+		for _, vmID := range srv.VMIDs() {
+			vm := pm.p.Cluster.VM(vmID)
+			if vm.State != cluster.VMRunning || pm.pendingVM[vmID] {
+				continue
+			}
+			def := pm.defaultSlice(vm.App)
+			want := pm.targetSlice(vm, def, head)
+			if want.CPU > vm.Slice.CPU*(1+resizeDeadband) || want.NetMbps > vm.Slice.NetMbps*(1+resizeDeadband) {
+				// Clamp growth to what the server can hold.
+				free := srv.Free()
+				grown := vm.Slice
+				if dc := want.CPU - vm.Slice.CPU; dc > 0 {
+					grow := dc
+					if grow > free.CPU {
+						grow = free.CPU
+					}
+					grown.CPU += grow
+				}
+				if dn := want.NetMbps - vm.Slice.NetMbps; dn > 0 {
+					grow := dn
+					if grow > free.NetMbps {
+						grow = free.NetMbps
+					}
+					grown.NetMbps += grow
+				}
+				if grown != vm.Slice {
+					pm.scheduleResize(vmID, grown)
+				}
+			}
+		}
+	}
+}
+
+// targetSlice computes the desired slice for a VM: demand plus headroom,
+// but never below the application's default slice, with the memory
+// footprint unchanged.
+func (pm *PodManager) targetSlice(vm *cluster.VM, def cluster.Resources, head float64) cluster.Resources {
+	want := cluster.Resources{
+		CPU:     vm.Demand.CPU * head,
+		MemMB:   vm.Slice.MemMB,
+		NetMbps: vm.Demand.NetMbps * head,
+	}
+	if want.CPU < def.CPU {
+		want.CPU = def.CPU
+	}
+	if want.NetMbps < def.NetMbps {
+		want.NetMbps = def.NetMbps
+	}
+	return want
+}
+
+func (pm *PodManager) defaultSlice(app cluster.AppID) cluster.Resources {
+	if s, ok := pm.p.appSlice[app]; ok {
+		return s
+	}
+	if a := pm.p.Cluster.App(app); a != nil {
+		return a.DefaultSlice
+	}
+	return cluster.Resources{}
+}
+
+func (pm *PodManager) scheduleResize(vmID cluster.VMID, slice cluster.Resources) {
+	pm.pendingVM[vmID] = true
+	pm.p.Eng.After(pm.p.Cfg.VMResizeLatency, func() {
+		delete(pm.pendingVM, vmID)
+		if pm.p.Cluster.VM(vmID) == nil {
+			return // removed while the resize was in flight
+		}
+		if err := pm.p.Cluster.ResizeVM(vmID, slice); err == nil {
+			pm.Resizes++
+		}
+	})
+}
+
+// defragment unblocks knob E when a VM wants to grow but its server is
+// full: the smallest co-located VM is live-migrated to another server in
+// the pod (using the efficient VM migration the paper cites for knob D),
+// freeing room for the next resize pass. One migration per pod per step
+// keeps the churn bounded.
+func (pm *PodManager) defragment() {
+	pd := pm.p.Cluster.Pod(pm.pod)
+	if pd == nil {
+		return
+	}
+	trigger := 1 + resizeDeadband
+	for _, sid := range pd.ServerIDs() {
+		srv := pm.p.Cluster.Server(sid)
+		// A grow-blocked VM: overloaded past the deadband with no free
+		// CPU left on the server.
+		if srv.Free().CPU > 1e-6 {
+			continue
+		}
+		blocked := false
+		for _, vmID := range srv.VMIDs() {
+			vm := pm.p.Cluster.VM(vmID)
+			if vm.State == cluster.VMRunning && !pm.pendingVM[vmID] && vm.Overload() > trigger {
+				blocked = true
+				break
+			}
+		}
+		if !blocked || srv.NumVMs() < 2 {
+			continue
+		}
+		// Victim: the smallest co-located VM that fits elsewhere.
+		victim := cluster.VMID(-1)
+		var victimCPU float64
+		var dst cluster.ServerID
+		for _, vmID := range srv.VMIDs() {
+			vm := pm.p.Cluster.VM(vmID)
+			if vm.State != cluster.VMRunning || pm.pendingVM[vmID] {
+				continue
+			}
+			target := pm.migrationTarget(sid, vm.Slice)
+			if target == cluster.ServerID(-1) {
+				continue
+			}
+			if victim == cluster.VMID(-1) || vm.Slice.CPU < victimCPU {
+				victim, victimCPU, dst = vmID, vm.Slice.CPU, target
+			}
+		}
+		if victim == cluster.VMID(-1) {
+			continue
+		}
+		vmID, target := victim, dst
+		pm.pendingVM[vmID] = true
+		pm.p.Eng.After(pm.p.Cfg.VMMigrateLatency, func() {
+			delete(pm.pendingVM, vmID)
+			if pm.p.Cluster.VM(vmID) == nil {
+				return
+			}
+			if err := pm.p.Cluster.MigrateVM(vmID, target); err == nil {
+				pm.Defrags++
+				pm.p.Propagate()
+			}
+		})
+		return // one defrag per pod per step
+	}
+}
+
+// migrationTarget finds a pod server (≠ from) that fits slice.
+func (pm *PodManager) migrationTarget(from cluster.ServerID, slice cluster.Resources) cluster.ServerID {
+	pd := pm.p.Cluster.Pod(pm.pod)
+	best := cluster.ServerID(-1)
+	var bestFree float64
+	for _, sid := range pd.ServerIDs() {
+		if sid == from {
+			continue
+		}
+		s := pm.p.Cluster.Server(sid)
+		if !s.Used().Add(slice).Fits(s.Capacity) {
+			continue
+		}
+		if best == cluster.ServerID(-1) || s.Free().CPU > bestFree {
+			best, bestFree = sid, s.Free().CPU
+		}
+	}
+	return best
+}
+
+// adjustIntraPodWeights is the intra-pod half of knob F: for every VIP
+// with two or more RIPs inside this pod, redistribute the *in-pod* share
+// of the VIP's weight in proportion to each VM's slice capacity, keeping
+// the in-pod total (and therefore the load on other pods) unchanged.
+// The adjustment is enacted through the global VIP/RIP manager, as the
+// paper requires.
+func (pm *PodManager) adjustIntraPodWeights() {
+	for _, sw := range pm.p.Fabric.Switches() {
+		for _, vip := range sw.VIPs() {
+			pm.adjustVIP(sw, vip)
+		}
+	}
+}
+
+func (pm *PodManager) adjustVIP(sw *lbswitch.Switch, vip lbswitch.VIP) {
+	rips, weights, err := sw.Weights(vip)
+	if err != nil {
+		return
+	}
+	var inPod []int
+	var inPodTotal, capTotal float64
+	caps := make([]float64, len(rips))
+	for i, rip := range rips {
+		vmID, ok := pm.p.ripToVM[rip]
+		if !ok {
+			continue
+		}
+		vm := pm.p.Cluster.VM(vmID)
+		if vm == nil {
+			continue
+		}
+		srv := pm.p.Cluster.Server(vm.Server)
+		if srv == nil || srv.Pod != pm.pod {
+			continue
+		}
+		inPod = append(inPod, i)
+		inPodTotal += weights[i]
+		caps[i] = vm.Slice.CPU
+		capTotal += caps[i]
+	}
+	if len(inPod) < 2 || inPodTotal <= 0 || capTotal <= 0 {
+		return
+	}
+	newWeights := append([]float64(nil), weights...)
+	changed := false
+	for _, i := range inPod {
+		w := inPodTotal * caps[i] / capTotal
+		if w <= 0 {
+			w = 1e-6 // weights must stay positive
+		}
+		if diff := w - newWeights[i]; diff > weightDeadband*inPodTotal || diff < -weightDeadband*inPodTotal {
+			changed = true
+		}
+		newWeights[i] = w
+	}
+	if !changed {
+		return
+	}
+	// Renormalize exactly to preserve the full total against float drift.
+	var oldTotal, newTotal float64
+	for i := range weights {
+		oldTotal += weights[i]
+		newTotal += newWeights[i]
+	}
+	if newTotal > 0 {
+		k := oldTotal / newTotal
+		for i := range newWeights {
+			newWeights[i] *= k
+		}
+	}
+	pm.p.Eng.After(pm.p.Cfg.SwitchReconfigLatency, func() {
+		if err := pm.p.VIPRIP.AdjustWeights(vip, newWeights); err == nil {
+			pm.WeightAdjusts++
+			pm.p.Propagate()
+		}
+	})
+}
+
+// localScaleOut creates additional instances of overloaded applications
+// on lightly loaded servers in the same pod — the pod manager's own
+// elasticity response from Section III-A.
+func (pm *PodManager) localScaleOut() {
+	pd := pm.p.Cluster.Pod(pm.pod)
+	if pd == nil {
+		return
+	}
+	// Find, per app, the worst-overloaded VM in this pod and the VIP its
+	// RIP serves: that VIP is where the new instance must add capacity.
+	type hot struct {
+		app      cluster.AppID
+		overload float64
+		vip      lbswitch.VIP
+	}
+	seen := make(map[cluster.AppID]hot)
+	for _, sid := range pd.ServerIDs() {
+		srv := pm.p.Cluster.Server(sid)
+		for _, vmID := range srv.VMIDs() {
+			vm := pm.p.Cluster.VM(vmID)
+			if vm.State != cluster.VMRunning {
+				continue
+			}
+			if ov := vm.Overload(); ov > seen[vm.App].overload {
+				var vip lbswitch.VIP
+				if rip, ok := pm.p.RIPForVM(vmID); ok {
+					vip, _ = pm.p.VIPOfRIP(rip)
+				}
+				seen[vm.App] = hot{app: vm.App, overload: ov, vip: vip}
+			}
+		}
+	}
+	// Scale out as soon as a VM is persistently past the resize
+	// deadband: below that, knob E still has room to act alone.
+	trigger := 1 + resizeDeadband
+	var hots []hot
+	for _, h := range seen {
+		if h.overload > trigger {
+			hots = append(hots, h)
+		}
+	}
+	// Deterministic order: worst first, then app ID.
+	for i := 0; i < len(hots); i++ {
+		for j := i + 1; j < len(hots); j++ {
+			if hots[j].overload > hots[i].overload ||
+				(hots[j].overload == hots[i].overload && hots[j].app < hots[i].app) {
+				hots[i], hots[j] = hots[j], hots[i]
+			}
+		}
+	}
+	for _, h := range hots {
+		h := h
+		if pm.pendingDeploy[h.app] {
+			continue // a deployment for this app is already in flight
+		}
+		slice := pm.defaultSlice(h.app)
+		if pm.p.emptiestServer(pm.pod, slice) == nil {
+			continue // no room locally; the global manager's problem
+		}
+		pm.pendingDeploy[h.app] = true
+		pm.p.Eng.After(pm.p.Cfg.VMDeployLatency, func() {
+			delete(pm.pendingDeploy, h.app)
+			if _, err := pm.p.DeployInstanceFor(h.app, pm.pod, h.vip); err == nil {
+				pm.LocalDeploys++
+				pm.p.Propagate()
+			}
+		})
+	}
+}
+
+// BuildPlacementProblem converts the pod's current state into a
+// placement problem: machines are the pod's servers, applications are
+// those covering the pod with their current in-pod CPU demand, and
+// Current is today's instance placement. Used by the pod-scale
+// experiments (E2/E3) and by RunPlacement.
+func (pm *PodManager) BuildPlacementProblem() (*placement.Problem, []cluster.AppID, []cluster.ServerID) {
+	pd := pm.p.Cluster.Pod(pm.pod)
+	if pd == nil {
+		return &placement.Problem{}, nil, nil
+	}
+	serverIDs := pd.ServerIDs()
+	machIndex := make(map[cluster.ServerID]int, len(serverIDs))
+	for i, id := range serverIDs {
+		machIndex[id] = i
+	}
+	prob := &placement.Problem{
+		MachCPU: make([]float64, len(serverIDs)),
+		MachMem: make([]float64, len(serverIDs)),
+	}
+	for i, id := range serverIDs {
+		s := pm.p.Cluster.Server(id)
+		prob.MachCPU[i] = s.Capacity.CPU
+		prob.MachMem[i] = s.Capacity.MemMB
+	}
+	demand := make(map[cluster.AppID]float64)
+	instances := make(map[cluster.AppID][]int)
+	for _, sid := range serverIDs {
+		srv := pm.p.Cluster.Server(sid)
+		for _, vmID := range srv.VMIDs() {
+			vm := pm.p.Cluster.VM(vmID)
+			demand[vm.App] += vm.Demand.CPU
+			instances[vm.App] = append(instances[vm.App], machIndex[sid])
+		}
+	}
+	var apps []cluster.AppID
+	for app := range demand {
+		apps = append(apps, app)
+	}
+	for i := 0; i < len(apps); i++ {
+		for j := i + 1; j < len(apps); j++ {
+			if apps[j] < apps[i] {
+				apps[i], apps[j] = apps[j], apps[i]
+			}
+		}
+	}
+	for _, app := range apps {
+		prob.AppDemand = append(prob.AppDemand, demand[app])
+		prob.AppMem = append(prob.AppMem, pm.defaultSlice(app).MemMB)
+		prob.Current = append(prob.Current, instances[app])
+	}
+	return prob, apps, serverIDs
+}
+
+// RunPlacement runs the placement controller on the pod's current state
+// and reports the wall-clock decision time and solution quality.
+func (pm *PodManager) RunPlacement() (elapsed time.Duration, satisfied float64, changes int) {
+	prob, _, _ := pm.BuildPlacementProblem()
+	if prob.NumApps() == 0 || prob.NumMachines() == 0 {
+		return 0, 1, 0
+	}
+	ctl := &placement.Controller{}
+	start := time.Now()
+	sol := ctl.Place(prob)
+	return time.Since(start), sol.SatisfiedFraction(prob), sol.Changes(prob)
+}

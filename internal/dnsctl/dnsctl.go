@@ -1,0 +1,243 @@
+// Package dnsctl models the platform's authoritative DNS system — the
+// actuator behind the paper's *selective VIP exposure* knob (Section
+// IV-A). Each application resolves to one of its VIPs; the global
+// manager adjusts per-VIP exposure weights so that client traffic shifts
+// toward VIPs advertised over lightly-loaded access links (or configured
+// on lightly-loaded LB switches), without issuing route updates.
+//
+// The package also models the client side: a population of resolvers
+// with TTL-bound caches, including the fraction of clients that violate
+// TTLs (per the paper's citations of Pang et al. and Callahan et al.) —
+// the reason a VIP being drained for transfer keeps receiving stragglers.
+package dnsctl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"megadc/internal/cluster"
+)
+
+// Errors returned by DNS operations.
+var (
+	ErrNoApp     = errors.New("dnsctl: application not registered")
+	ErrNoVIP     = errors.New("dnsctl: VIP not registered for application")
+	ErrNoExposed = errors.New("dnsctl: application has no exposed VIPs")
+	ErrDupVIP    = errors.New("dnsctl: VIP already registered")
+)
+
+type exposure struct {
+	vip    string
+	weight float64
+}
+
+type record struct {
+	vips []exposure // insertion order, deterministic
+}
+
+// DNS is the authoritative DNS of the platform.
+type DNS struct {
+	ttl     float64 // seconds
+	records map[cluster.AppID]*record
+
+	// Resolutions counts queries answered; WeightChanges counts exposure
+	// reconfigurations (an agility/complexity output for E4/E5).
+	Resolutions   int64
+	WeightChanges int64
+}
+
+// New returns a DNS with the given record TTL in seconds.
+func New(ttlSeconds float64) *DNS {
+	if ttlSeconds <= 0 {
+		panic("dnsctl: TTL must be positive")
+	}
+	return &DNS{ttl: ttlSeconds, records: make(map[cluster.AppID]*record)}
+}
+
+// TTL returns the record TTL in seconds.
+func (d *DNS) TTL() float64 { return d.ttl }
+
+// Register adds a VIP for app with the given exposure weight (0 hides
+// the VIP from resolution while keeping it registered).
+func (d *DNS) Register(app cluster.AppID, vip string, weight float64) error {
+	if weight < 0 {
+		return fmt.Errorf("dnsctl: negative weight %v", weight)
+	}
+	r := d.records[app]
+	if r == nil {
+		r = &record{}
+		d.records[app] = r
+	}
+	for _, e := range r.vips {
+		if e.vip == vip {
+			return fmt.Errorf("%w: %s", ErrDupVIP, vip)
+		}
+	}
+	r.vips = append(r.vips, exposure{vip: vip, weight: weight})
+	return nil
+}
+
+// Unregister removes a VIP from app's record.
+func (d *DNS) Unregister(app cluster.AppID, vip string) error {
+	r := d.records[app]
+	if r == nil {
+		return fmt.Errorf("%w: %d", ErrNoApp, app)
+	}
+	for i, e := range r.vips {
+		if e.vip == vip {
+			r.vips = append(r.vips[:i], r.vips[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrNoVIP, vip)
+}
+
+// SetWeight changes the exposure weight of one VIP. Weight 0 stops
+// exposing the VIP to new resolutions (the drain step of knob B).
+func (d *DNS) SetWeight(app cluster.AppID, vip string, weight float64) error {
+	if weight < 0 {
+		return fmt.Errorf("dnsctl: negative weight %v", weight)
+	}
+	r := d.records[app]
+	if r == nil {
+		return fmt.Errorf("%w: %d", ErrNoApp, app)
+	}
+	for i, e := range r.vips {
+		if e.vip == vip {
+			if e.weight != weight {
+				r.vips[i].weight = weight
+				d.WeightChanges++
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrNoVIP, vip)
+}
+
+// ExposeOnly sets weight 1 on the listed VIPs and 0 on all of app's
+// other VIPs.
+func (d *DNS) ExposeOnly(app cluster.AppID, vips ...string) error {
+	r := d.records[app]
+	if r == nil {
+		return fmt.Errorf("%w: %d", ErrNoApp, app)
+	}
+	keep := make(map[string]bool, len(vips))
+	for _, v := range vips {
+		keep[v] = true
+	}
+	for _, v := range vips {
+		found := false
+		for _, e := range r.vips {
+			if e.vip == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: %s", ErrNoVIP, v)
+		}
+	}
+	for i := range r.vips {
+		w := 0.0
+		if keep[r.vips[i].vip] {
+			w = 1.0
+		}
+		if r.vips[i].weight != w {
+			r.vips[i].weight = w
+			d.WeightChanges++
+		}
+	}
+	return nil
+}
+
+// Weights returns app's VIPs and exposure weights in registration order.
+func (d *DNS) Weights(app cluster.AppID) (vips []string, weights []float64, err error) {
+	r := d.records[app]
+	if r == nil {
+		return nil, nil, fmt.Errorf("%w: %d", ErrNoApp, app)
+	}
+	for _, e := range r.vips {
+		vips = append(vips, e.vip)
+		weights = append(weights, e.weight)
+	}
+	return vips, weights, nil
+}
+
+// Apps returns every application with a DNS record, sorted.
+func (d *DNS) Apps() []cluster.AppID {
+	out := make([]cluster.AppID, 0, len(d.records))
+	for app := range d.records {
+		out = append(out, app)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VIPs returns app's registered VIPs sorted.
+func (d *DNS) VIPs(app cluster.AppID) []string {
+	r := d.records[app]
+	if r == nil {
+		return nil
+	}
+	out := make([]string, 0, len(r.vips))
+	for _, e := range r.vips {
+		out = append(out, e.vip)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve answers one query for app with a weighted choice among the
+// exposed (weight > 0) VIPs.
+func (d *DNS) Resolve(app cluster.AppID, rng *rand.Rand) (string, error) {
+	r := d.records[app]
+	if r == nil {
+		return "", fmt.Errorf("%w: %d", ErrNoApp, app)
+	}
+	var total float64
+	for _, e := range r.vips {
+		total += e.weight
+	}
+	if total <= 0 {
+		return "", fmt.Errorf("%w: app %d", ErrNoExposed, app)
+	}
+	d.Resolutions++
+	x := rng.Float64() * total
+	for _, e := range r.vips {
+		x -= e.weight
+		if x < 0 && e.weight > 0 {
+			return e.vip, nil
+		}
+	}
+	// Numeric edge: return the last exposed VIP.
+	for i := len(r.vips) - 1; i >= 0; i-- {
+		if r.vips[i].weight > 0 {
+			return r.vips[i].vip, nil
+		}
+	}
+	return "", fmt.Errorf("%w: app %d", ErrNoExposed, app)
+}
+
+// ExpectedShares returns the steady-state fraction of resolutions each
+// registered VIP receives, in registration order.
+func (d *DNS) ExpectedShares(app cluster.AppID) (vips []string, shares []float64, err error) {
+	r := d.records[app]
+	if r == nil {
+		return nil, nil, fmt.Errorf("%w: %d", ErrNoApp, app)
+	}
+	var total float64
+	for _, e := range r.vips {
+		total += e.weight
+	}
+	for _, e := range r.vips {
+		vips = append(vips, e.vip)
+		if total > 0 {
+			shares = append(shares, e.weight/total)
+		} else {
+			shares = append(shares, 0)
+		}
+	}
+	return vips, shares, nil
+}

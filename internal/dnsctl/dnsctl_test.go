@@ -1,0 +1,309 @@
+package dnsctl
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTTLValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestRegisterResolve(t *testing.T) {
+	d := New(60)
+	if d.TTL() != 60 {
+		t.Errorf("TTL = %v", d.TTL())
+	}
+	if err := d.Register(1, "v1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(1, "v1", 1); !errors.Is(err, ErrDupVIP) {
+		t.Errorf("dup err = %v", err)
+	}
+	if err := d.Register(1, "v2", -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	vip, err := d.Resolve(1, rng)
+	if err != nil || vip != "v1" {
+		t.Errorf("Resolve = %q,%v", vip, err)
+	}
+	if _, err := d.Resolve(99, rng); !errors.Is(err, ErrNoApp) {
+		t.Errorf("missing app err = %v", err)
+	}
+	if d.Resolutions != 1 {
+		t.Errorf("Resolutions = %d", d.Resolutions)
+	}
+}
+
+func TestResolveWeighted(t *testing.T) {
+	d := New(60)
+	d.Register(1, "a", 1)
+	d.Register(1, "b", 3)
+	rng := rand.New(rand.NewSource(2))
+	counts := map[string]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		vip, err := d.Resolve(1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[vip]++
+	}
+	if frac := float64(counts["b"]) / n; math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("b fraction = %v, want ≈0.75", frac)
+	}
+}
+
+func TestZeroWeightHidden(t *testing.T) {
+	d := New(60)
+	d.Register(1, "a", 1)
+	d.Register(1, "b", 0)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		vip, err := d.Resolve(1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vip == "b" {
+			t.Fatal("zero-weight VIP resolved")
+		}
+	}
+	// Hiding everything yields ErrNoExposed.
+	d.SetWeight(1, "a", 0)
+	if _, err := d.Resolve(1, rng); !errors.Is(err, ErrNoExposed) {
+		t.Errorf("all-hidden err = %v", err)
+	}
+}
+
+func TestSetWeightAndChanges(t *testing.T) {
+	d := New(60)
+	d.Register(1, "a", 1)
+	if err := d.SetWeight(1, "a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.WeightChanges != 1 {
+		t.Errorf("WeightChanges = %d", d.WeightChanges)
+	}
+	// No-op change is not counted.
+	d.SetWeight(1, "a", 2)
+	if d.WeightChanges != 1 {
+		t.Errorf("no-op counted: %d", d.WeightChanges)
+	}
+	if err := d.SetWeight(1, "zzz", 1); !errors.Is(err, ErrNoVIP) {
+		t.Errorf("missing vip err = %v", err)
+	}
+	if err := d.SetWeight(9, "a", 1); !errors.Is(err, ErrNoApp) {
+		t.Errorf("missing app err = %v", err)
+	}
+	if err := d.SetWeight(1, "a", -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestExposeOnly(t *testing.T) {
+	d := New(60)
+	d.Register(1, "a", 1)
+	d.Register(1, "b", 1)
+	d.Register(1, "c", 0)
+	if err := d.ExposeOnly(1, "c"); err != nil {
+		t.Fatal(err)
+	}
+	_, ws, _ := d.Weights(1)
+	if ws[0] != 0 || ws[1] != 0 || ws[2] != 1 {
+		t.Errorf("weights = %v", ws)
+	}
+	if err := d.ExposeOnly(1, "nope"); !errors.Is(err, ErrNoVIP) {
+		t.Errorf("unknown vip err = %v", err)
+	}
+	if err := d.ExposeOnly(42, "a"); !errors.Is(err, ErrNoApp) {
+		t.Errorf("unknown app err = %v", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	d := New(60)
+	d.Register(1, "a", 1)
+	if err := d.Unregister(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Unregister(1, "a"); !errors.Is(err, ErrNoVIP) {
+		t.Errorf("double unregister err = %v", err)
+	}
+	if err := d.Unregister(9, "a"); !errors.Is(err, ErrNoApp) {
+		t.Errorf("missing app err = %v", err)
+	}
+	if got := d.VIPs(1); len(got) != 0 {
+		t.Errorf("VIPs = %v", got)
+	}
+	if got := d.VIPs(9); got != nil {
+		t.Errorf("missing app VIPs = %v", got)
+	}
+}
+
+func TestApps(t *testing.T) {
+	d := New(60)
+	if got := d.Apps(); len(got) != 0 {
+		t.Errorf("empty Apps = %v", got)
+	}
+	d.Register(3, "a", 1)
+	d.Register(1, "b", 1)
+	d.Register(2, "c", 1)
+	got := d.Apps()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("Apps = %v, want sorted [1 2 3]", got)
+	}
+}
+
+func TestExpectedShares(t *testing.T) {
+	d := New(60)
+	d.Register(1, "a", 1)
+	d.Register(1, "b", 3)
+	vips, shares, err := d.ExpectedShares(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vips[0] != "a" || shares[0] != 0.25 || shares[1] != 0.75 {
+		t.Errorf("shares = %v %v", vips, shares)
+	}
+	d.SetWeight(1, "a", 0)
+	d.SetWeight(1, "b", 0)
+	_, shares, _ = d.ExpectedShares(1)
+	if shares[0] != 0 || shares[1] != 0 {
+		t.Errorf("all-zero shares = %v", shares)
+	}
+	if _, _, err := d.ExpectedShares(5); !errors.Is(err, ErrNoApp) {
+		t.Errorf("missing app err = %v", err)
+	}
+}
+
+func TestClientPopulationCaching(t *testing.T) {
+	d := New(10)
+	d.Register(1, "old", 1)
+	rng := rand.New(rand.NewSource(4))
+	p, err := NewClientPopulation(d, 1, 500, 0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every cache at t=0.
+	for i := 0; i < 5000; i++ {
+		if _, err := p.Arrive(0, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.UsingVIP("old", 1); got < 0.99 {
+		t.Fatalf("warm fraction = %v", got)
+	}
+	// Switch exposure to a new VIP.
+	d.Register(1, "new", 1)
+	d.ExposeOnly(1, "new")
+	// Before TTL expiry, cached clients still go to old.
+	for i := 0; i < 2000; i++ {
+		vip, _ := p.Arrive(5, rng)
+		if vip != "old" {
+			t.Fatal("client re-resolved before TTL expiry")
+		}
+	}
+	// After TTL expiry, arrivals re-resolve to new.
+	for i := 0; i < 2000; i++ {
+		vip, _ := p.Arrive(11, rng)
+		if vip != "new" {
+			t.Fatal("client used stale entry past TTL with no violators")
+		}
+	}
+}
+
+func TestClientPopulationViolators(t *testing.T) {
+	d := New(10)
+	d.Register(1, "old", 1)
+	rng := rand.New(rand.NewSource(5))
+	p, err := NewClientPopulation(d, 1, 2000, 0.3, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		p.Arrive(0, rng)
+	}
+	d.Register(1, "new", 1)
+	d.ExposeOnly(1, "new")
+	// At t=15 (past TTL=10, within violation hold), only violators
+	// should still hit old.
+	oldCount, n := 0, 20000
+	for i := 0; i < n; i++ {
+		vip, _ := p.Arrive(15, rng)
+		if vip == "old" {
+			oldCount++
+		}
+	}
+	frac := float64(oldCount) / float64(n)
+	if math.Abs(frac-0.3) > 0.05 {
+		t.Errorf("stale fraction = %v, want ≈0.30 (the violator fraction)", frac)
+	}
+	if p.ViolatorFraction() != 0.3 || p.Size() != 2000 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestClientPopulationValidation(t *testing.T) {
+	d := New(10)
+	rng := rand.New(rand.NewSource(6))
+	if _, err := NewClientPopulation(d, 1, 0, 0, 0, rng); err == nil {
+		t.Error("zero population accepted")
+	}
+	if _, err := NewClientPopulation(d, 1, 10, 1.5, 0, rng); err == nil {
+		t.Error("violator fraction > 1 accepted")
+	}
+	if _, err := NewClientPopulation(d, 1, 10, 0.5, -1, rng); err == nil {
+		t.Error("negative hold accepted")
+	}
+	// Arrive with unregistered app surfaces the DNS error.
+	p, _ := NewClientPopulation(d, 1, 10, 0, 0, rng)
+	if _, err := p.Arrive(0, rng); !errors.Is(err, ErrNoApp) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Property: Resolve only ever returns registered, positively weighted
+// VIPs, regardless of the weight configuration.
+func TestPropertyResolveRespectsWeights(t *testing.T) {
+	f := func(weights []uint8, seed int64) bool {
+		if len(weights) == 0 {
+			return true
+		}
+		if len(weights) > 12 {
+			weights = weights[:12]
+		}
+		d := New(30)
+		exposed := make(map[string]bool)
+		for i, w := range weights {
+			vip := string(rune('a' + i))
+			d.Register(1, vip, float64(w))
+			if w > 0 {
+				exposed[vip] = true
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			vip, err := d.Resolve(1, rng)
+			if err != nil {
+				return len(exposed) == 0 && errors.Is(err, ErrNoExposed)
+			}
+			if !exposed[vip] {
+				t.Logf("resolved hidden VIP %q", vip)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"megadc/internal/baseline"
+	"megadc/internal/metrics"
+)
+
+// E9Result records the statistical-multiplexing experiment.
+type E9Result struct {
+	Rows []baseline.MuxResult
+}
+
+// RunE9 quantifies the paper's Section I promise: a shared mega data
+// center "promise[s] better resource utilization through the statistical
+// multiplexing of resource usage among the hosted applications", which
+// compartmentalizing apps among switch/server partitions destroys.
+func RunE9(o Options) (*metrics.Table, *E9Result, error) {
+	cfg := baseline.DefaultMuxConfig()
+	cfg.Seed = o.Seed
+	if !o.Full {
+		cfg.Trials = 800
+	}
+	parts := []int{1, 2, 4, 8, 16, 32, 64}
+	rows, err := baseline.RunMultiplexing(cfg, parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := metrics.NewTable("E9 — shared DC vs compartmentalized partitions (overload probability)",
+		"partitions", "overload prob", "mean util", "p99 max-partition util", "lost demand frac")
+	for _, r := range rows {
+		tb.AddRow(r.Partitions, r.OverloadProb, r.MeanUtilization, r.P99Utilization, r.LostDemandFrac)
+	}
+	return tb, &E9Result{Rows: rows}, nil
+}

@@ -1,0 +1,513 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func opts() Options { return Options{Seed: 1} }
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17 (e1..e13, x1..x4)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Lookup("e7"); !ok {
+		t.Error("Lookup(e7) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+}
+
+func TestE1PaperNumbers(t *testing.T) {
+	tb, res, err := RunE1(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Section III-B: 150 switches, 600 Gbps.
+	if res.Rows[0].MinSwitches != 150 {
+		t.Errorf("2-VIP min switches = %d, want 150", res.Rows[0].MinSwitches)
+	}
+	if res.Rows[0].AggregateGbps != 600 {
+		t.Errorf("aggregate = %v Gbps, want 600", res.Rows[0].AggregateGbps)
+	}
+	// Section V-A: 375 switches.
+	if res.Rows[1].MinSwitches != 375 {
+		t.Errorf("3-VIP/20-RIP min switches = %d, want 375", res.Rows[1].MinSwitches)
+	}
+	// The packer achieves the bound (within the 2 spare switches).
+	for _, r := range res.Rows {
+		if r.UsedSwitches > r.MinSwitches {
+			t.Errorf("packer used %d switches, bound %d", r.UsedSwitches, r.MinSwitches)
+		}
+	}
+	if !strings.Contains(tb.String(), "375") {
+		t.Error("table missing 375")
+	}
+}
+
+func TestE2ShapeSuperlinearAndHierarchyWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	_, res, err := RunE2(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(res.Rows)
+	if n < 3 {
+		t.Fatalf("rows = %d", n)
+	}
+	first, last := res.Rows[0], res.Rows[n-1]
+	sizeRatio := float64(last.Servers) / float64(first.Servers)
+	if first.CentralizedSec > 0 {
+		timeRatio := last.CentralizedSec / first.CentralizedSec
+		// Super-linear growth: time grows faster than size.
+		if timeRatio < sizeRatio {
+			t.Errorf("centralized time ratio %v < size ratio %v; expected super-linear", timeRatio, sizeRatio)
+		}
+	}
+	// Hierarchy bounds the per-decision time at the largest size.
+	if last.HierMaxSec >= last.CentralizedSec {
+		t.Errorf("hier max %v ≥ centralized %v at %d servers", last.HierMaxSec, last.CentralizedSec, last.Servers)
+	}
+	// Quality stays close.
+	for _, r := range res.Rows {
+		if r.CentralizedSat < 0.9 || r.HierSat < 0.85 {
+			t.Errorf("satisfaction too low: %+v", r)
+		}
+	}
+}
+
+func TestE3PodSizeTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	_, res, err := RunE3(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Smaller pods must have smaller max decision time than the
+	// monolithic solve.
+	smallest := res.Rows[0]
+	if smallest.MaxSec >= res.MonolithicSec && res.MonolithicSec > 0 {
+		t.Errorf("smallest pod max %v ≥ monolithic %v", smallest.MaxSec, res.MonolithicSec)
+	}
+	for _, r := range res.Rows {
+		if r.Satisfied < 0.8 {
+			t.Errorf("pod size %d satisfied only %v", r.PodSize, r.Satisfied)
+		}
+	}
+}
+
+func TestE4SelectiveBeatsNaive(t *testing.T) {
+	_, res, err := RunE4(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selective.RouteUpdates != 0 {
+		t.Errorf("selective route updates = %d", res.Selective.RouteUpdates)
+	}
+	if res.Naive.RouteUpdates == 0 {
+		t.Error("naive issued no route updates")
+	}
+	if res.Selective.ReliefTime < 0 || res.Naive.ReliefTime < 0 {
+		t.Fatalf("relief never happened: %+v %+v", res.Selective.ReliefTime, res.Naive.ReliefTime)
+	}
+	if res.Selective.ReliefTime >= res.Naive.ReliefTime {
+		t.Errorf("selective %v ≥ naive %v; paper expects selective faster",
+			res.Selective.ReliefTime, res.Naive.ReliefTime)
+	}
+	// The violator sweep: relief time is non-decreasing in the violator
+	// fraction (stale clients keep feeding the hot link).
+	if len(res.ViolatorSweep) != 3 {
+		t.Fatalf("sweep rows = %d", len(res.ViolatorSweep))
+	}
+	for i := 1; i < len(res.ViolatorSweep); i++ {
+		prev, cur := res.ViolatorSweep[i-1], res.ViolatorSweep[i]
+		prevT, curT := prev.ReliefSeconds, cur.ReliefSeconds
+		if prevT < 0 {
+			prevT = 1e18
+		}
+		if curT < 0 {
+			curT = 1e18
+		}
+		if curT < prevT {
+			t.Errorf("relief not monotone in violators: %+v", res.ViolatorSweep)
+		}
+	}
+}
+
+func TestE5MoreVIPsBalanceBetter(t *testing.T) {
+	_, res, err := RunE5(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	k1, k6 := res.Rows[0], res.Rows[5]
+	// Every configuration starts with the engineered hot link.
+	for _, r := range res.Rows {
+		if r.StartHotUtil < 1.0 {
+			t.Errorf("k=%d hot link starts at %v; scenario broken", r.VIPsPerApp, r.StartHotUtil)
+		}
+	}
+	// k=1: no sibling VIPs, selective exposure is powerless.
+	if k1.MaxLinkUtil < 1.0 {
+		t.Errorf("k=1 relieved the link (%v) without alternative VIPs", k1.MaxLinkUtil)
+	}
+	if k1.ExposureChanges != 0 {
+		t.Errorf("k=1 exposure changes = %d, want 0", k1.ExposureChanges)
+	}
+	// k≥2: knob A relieves the link via exposure changes.
+	for _, r := range res.Rows[1:] {
+		if r.MaxLinkUtil >= 1.0 {
+			t.Errorf("k=%d link still overloaded: %v", r.VIPsPerApp, r.MaxLinkUtil)
+		}
+		if r.ExposureChanges == 0 {
+			t.Errorf("k=%d made no exposure changes", r.VIPsPerApp)
+		}
+	}
+	if k6.LinkCoV >= k1.LinkCoV {
+		t.Errorf("k=6 CoV %v ≥ k=1 CoV %v; more VIPs should balance better", k6.LinkCoV, k1.LinkCoV)
+	}
+	// Switch cost is monotone in k (paper's other side of the tradeoff).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].SwitchesNeeded < res.Rows[i-1].SwitchesNeeded {
+			t.Errorf("switch count not monotone: %+v", res.Rows)
+		}
+	}
+	if res.Rows[0].SwitchesNeeded != 375 { // RIP-bound dominates at k=1..5
+		t.Errorf("k=1 switches = %d, want 375 (RIP-bound)", res.Rows[0].SwitchesNeeded)
+	}
+	if res.Rows[5].SwitchesNeeded != 450 { // k=6: VIP-bound 300K·6/4000
+		t.Errorf("k=6 switches = %d, want 450", res.Rows[5].SwitchesNeeded)
+	}
+}
+
+func TestE6ViolatorsDelayDrain(t *testing.T) {
+	_, res, err := RunE6(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	clean := res.Rows[0]
+	if clean.DrainSeconds < 0 {
+		t.Error("clean population never drained")
+	}
+	// Clean drains within TTL + a few mean session times.
+	if clean.DrainSeconds > res.TTL+300 {
+		t.Errorf("clean drain = %v s, too slow", clean.DrainSeconds)
+	}
+	// Heavy violators leave residual connections (or drain much later).
+	dirty := res.Rows[len(res.Rows)-1]
+	if dirty.DrainSeconds >= 0 && dirty.DrainSeconds <= clean.DrainSeconds {
+		t.Errorf("30%% violators drained as fast as clean: %v vs %v", dirty.DrainSeconds, clean.DrainSeconds)
+	}
+}
+
+func TestE7KnobsRelievePod(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	_, res, err := RunE7(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]E7Row{}
+	for _, r := range res.Rows {
+		byName[r.Knobs] = r
+	}
+	none := byName["none"]
+	all := byName["all knobs"]
+	if none.ReliefSeconds >= 0 {
+		t.Error("no-knob run relieved the pod by itself")
+	}
+	if all.ReliefSeconds < 0 {
+		t.Error("all-knob run never relieved the pod")
+	}
+	if all.FinalSatisfaction <= none.FinalSatisfaction {
+		t.Errorf("all-knob satisfaction %v ≤ none %v", all.FinalSatisfaction, none.FinalSatisfaction)
+	}
+	// C-only must transfer servers; D-only must deploy.
+	if byName["C (server transfer)"].ServerTransfers == 0 {
+		t.Error("C-only run transferred no servers")
+	}
+	if byName["D (deployment)"].Deployments == 0 {
+		t.Error("D-only run deployed nothing")
+	}
+}
+
+func TestE8AgilityLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	_, res, err := RunE8(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]E8Row{}
+	for _, r := range res.Rows {
+		byName[r.Knob] = r
+	}
+	fast := byName["E (VM resize)"]
+	slow := byName["D (deployment)"]
+	if fast.RecoverySeconds < 0 {
+		t.Fatal("VM resize never recovered")
+	}
+	if slow.RecoverySeconds < 0 {
+		t.Fatal("deployment never recovered")
+	}
+	// The agility ladder: resize (seconds) beats deployment (minutes).
+	if fast.RecoverySeconds >= slow.RecoverySeconds {
+		t.Errorf("resize %v ≥ deployment %v; expected resize faster",
+			fast.RecoverySeconds, slow.RecoverySeconds)
+	}
+	if all := byName["all"]; all.RecoverySeconds < 0 || all.RecoverySeconds > slow.RecoverySeconds {
+		t.Errorf("all-knob recovery %v worse than slowest single knob %v",
+			all.RecoverySeconds, slow.RecoverySeconds)
+	}
+}
+
+func TestE9PartitioningHurts(t *testing.T) {
+	_, res, err := RunE9(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].OverloadProb >= res.Rows[len(res.Rows)-1].OverloadProb {
+		t.Errorf("shared %v ≥ most-partitioned %v", res.Rows[0].OverloadProb, res.Rows[len(res.Rows)-1].OverloadProb)
+	}
+}
+
+func TestE10FabricHeadroom(t *testing.T) {
+	_, res, err := RunE10(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExternalFraction != 0.2 {
+		t.Errorf("external fraction = %v, want 0.2", res.ExternalFraction)
+	}
+	if res.MaxSwitchUtil > 1 {
+		t.Errorf("a switch is saturated: %v", res.MaxSwitchUtil)
+	}
+	if !res.HoseAdmissible {
+		t.Error("switch↔server flows not admissible in the hose fabric")
+	}
+	if res.AggregateGbps <= res.TotalExternalMbps/1000 {
+		t.Errorf("aggregate %v Gbps ≤ offered %v Gbps", res.AggregateGbps, res.TotalExternalMbps/1000)
+	}
+}
+
+func TestE11GapGrowsWithAsymmetry(t *testing.T) {
+	_, res, err := RunE11(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].ConflictGap > 1e-6 {
+		t.Errorf("symmetric gap = %v, want ~0", res.Rows[0].ConflictGap)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].ConflictGap+1e-9 < res.Rows[i-1].ConflictGap {
+			t.Errorf("gap not monotone in asymmetry: %+v", res.Rows)
+		}
+	}
+	if res.Rows[0].ExtraSwitches != 225 { // 300K×3/4000
+		t.Errorf("extra DD switches = %d, want 225", res.Rows[0].ExtraSwitches)
+	}
+}
+
+func TestE12PoliciesAndPods(t *testing.T) {
+	_, res, err := RunE12(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Log10States < 1e6 {
+		t.Errorf("log10 states = %v, expected ~2.3M", res.Log10States)
+	}
+	byName := map[string]E12PolicyRow{}
+	for _, r := range res.Policies {
+		byName[r.Policy] = r
+	}
+	// Load-aware policies beat first-fit on throughput balance.
+	ff := byName["first-fit"]
+	blend := byName["blend"]
+	if blend.ThroughputCoV >= ff.ThroughputCoV {
+		t.Errorf("blend CoV %v ≥ first-fit CoV %v", blend.ThroughputCoV, ff.ThroughputCoV)
+	}
+	// Hierarchical pods reduce scan work; balance degrades gracefully.
+	if len(res.Pods) < 2 {
+		t.Fatalf("pod rows = %d", len(res.Pods))
+	}
+	if res.Pods[0].ScanPerAlloc <= res.Pods[len(res.Pods)-1].ScanPerAlloc {
+		t.Error("scan work did not shrink with switch pods")
+	}
+}
+
+func TestE13ConflictResolved(t *testing.T) {
+	_, res, err := RunE13(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OneLayer.Objective <= res.TwoLayer.Objective {
+		t.Errorf("one-layer %v ≤ two-layer %v", res.OneLayer.Objective, res.TwoLayer.Objective)
+	}
+	// Two-layer meets both targets exactly: links 500/600, pods 0.8.
+	if res.TwoLayer.MaxPodUtil > 0.81 || res.TwoLayer.MaxLinkUtil > 0.84 {
+		t.Errorf("two-layer utils too high: %+v", res.TwoLayer)
+	}
+}
+
+func TestX1EnergySaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated day ×2")
+	}
+	_, res, err := RunX1(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SavingFrac < 0.10 {
+		t.Errorf("saving = %.1f%%, expected > 10%%", res.SavingFrac*100)
+	}
+	if res.Rows[1].MinSatisfaction < res.Rows[0].MinSatisfaction-0.1 {
+		t.Errorf("consolidation hurt satisfaction: %+v", res.Rows)
+	}
+}
+
+func TestX2FederationSteers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	_, res, err := RunX2(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.ShareSmall >= first.ShareSmall {
+		t.Errorf("share did not move off the small DC: %+v", res.Rows)
+	}
+	if last.Satisfaction < 0.95 {
+		t.Errorf("final satisfaction = %v", last.Satisfaction)
+	}
+	if res.Shifts == 0 {
+		t.Error("no shifts recorded")
+	}
+}
+
+func TestX3DrainWithSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	_, res, err := RunX3(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartSw0Util < 1.0 {
+		t.Fatalf("scenario broken: sw0 util %v not saturated", res.StartSw0Util)
+	}
+	if res.FinalSw0Util >= 1.0 {
+		t.Errorf("drain protocol did not relieve switch 0: %v", res.FinalSw0Util)
+	}
+	if res.Transfers == 0 {
+		t.Error("no VIP transfers")
+	}
+	if res.BrokenFrac > 0.1 {
+		t.Errorf("broken fraction %v too high", res.BrokenFrac)
+	}
+	if res.Completed+res.Broken > res.Started {
+		t.Errorf("session accounting wrong: %+v", res)
+	}
+}
+
+func TestX4FailureRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	_, res, err := RunX4(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]X4Row{}
+	for _, r := range res.Rows {
+		byName[r.Failure] = r
+	}
+	// Switch failure must not touch routing; link failure must.
+	if byName["switch"].RouteUpdates != 0 {
+		t.Errorf("switch failure issued %d route updates", byName["switch"].RouteUpdates)
+	}
+	if byName["link"].RouteUpdates == 0 {
+		t.Error("link failure issued no route updates")
+	}
+	for _, r := range res.Rows {
+		if r.SatisfactionEnd < 0.95 {
+			t.Errorf("%s failure: final satisfaction %v", r.Failure, r.SatisfactionEnd)
+		}
+	}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range All() {
+		tb, err := e.Run(opts())
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if tb.NumRows() == 0 {
+			t.Errorf("%s produced an empty table", e.ID)
+		}
+	}
+}
+
+// TestFullModeCheapExperiments exercises the -full configurations of the
+// experiments whose large variants still run in well under a minute, so
+// the Full branches stay correct.
+func TestFullModeCheapExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-mode runs")
+	}
+	full := Options{Full: true, Seed: 1}
+	// e1 -full (the paper-scale 6M-RIP packing) is exercised manually via
+	// `mdcexp -e e1 -full`; it is too heavy for the routine suite.
+	for _, id := range []string{"e5", "e9", "e12", "e13"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tb, err := e.Run(full)
+		if err != nil {
+			t.Errorf("%s full: %v", id, err)
+			continue
+		}
+		if tb.NumRows() == 0 {
+			t.Errorf("%s full produced an empty table", id)
+		}
+	}
+}

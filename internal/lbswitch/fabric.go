@@ -1,0 +1,226 @@
+package lbswitch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"megadc/internal/cluster"
+)
+
+// Fabric is the load-balancing layer: the pool of LB switches shared
+// globally by all applications (paper Section III-C). It maintains the
+// VIP → switch index and implements dynamic VIP transfer between switches
+// (knob B, Section IV-B): because every LB switch connects to every
+// border router, a VIP can be moved internally with no external route
+// re-advertisement.
+type Fabric struct {
+	switches map[SwitchID]*Switch
+	order    []SwitchID
+	vipHome  map[VIP]SwitchID
+
+	// Transfers counts successful dynamic VIP transfers; BrokenConns
+	// counts connections broken by forced transfers.
+	Transfers   int64
+	BrokenConns int64
+}
+
+// ErrVIPExists is returned when adding a VIP that is already homed.
+var ErrVIPExists = errors.New("lbswitch: VIP already homed in fabric")
+
+// ErrVIPUnknown is returned for operations on a VIP the fabric does not know.
+var ErrVIPUnknown = errors.New("lbswitch: VIP not homed in fabric")
+
+// NewFabric returns an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{
+		switches: make(map[SwitchID]*Switch),
+		vipHome:  make(map[VIP]SwitchID),
+	}
+}
+
+// AddSwitch creates a switch with the given limits and adds it to the pool.
+func (f *Fabric) AddSwitch(limits Limits) *Switch {
+	id := SwitchID(len(f.order))
+	sw := NewSwitch(id, limits)
+	f.switches[id] = sw
+	f.order = append(f.order, id)
+	return sw
+}
+
+// Switch returns the switch with the given ID, or nil.
+func (f *Fabric) Switch(id SwitchID) *Switch { return f.switches[id] }
+
+// Switches returns all switches in creation order.
+func (f *Fabric) Switches() []*Switch {
+	out := make([]*Switch, 0, len(f.order))
+	for _, id := range f.order {
+		out = append(out, f.switches[id])
+	}
+	return out
+}
+
+// NumSwitches returns the number of switches in the pool.
+func (f *Fabric) NumSwitches() int { return len(f.order) }
+
+// HomeOf returns the switch currently hosting vip.
+func (f *Fabric) HomeOf(vip VIP) (SwitchID, bool) {
+	id, ok := f.vipHome[vip]
+	return id, ok
+}
+
+// PlaceVIP configures vip for app on the given switch and records the
+// home mapping.
+func (f *Fabric) PlaceVIP(vip VIP, app cluster.AppID, sw SwitchID) error {
+	if _, ok := f.vipHome[vip]; ok {
+		return fmt.Errorf("%w: %s", ErrVIPExists, vip)
+	}
+	s, ok := f.switches[sw]
+	if !ok {
+		return fmt.Errorf("lbswitch: no switch %d", sw)
+	}
+	if err := s.AddVIP(vip, app); err != nil {
+		return err
+	}
+	f.vipHome[vip] = sw
+	return nil
+}
+
+// DropVIP removes vip from its home switch. Active connections block the
+// removal unless force is set.
+func (f *Fabric) DropVIP(vip VIP, force bool) error {
+	home, ok := f.vipHome[vip]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrVIPUnknown, vip)
+	}
+	broken, err := f.switches[home].RemoveVIP(vip, force)
+	if err != nil {
+		return err
+	}
+	f.BrokenConns += int64(broken)
+	delete(f.vipHome, vip)
+	return nil
+}
+
+// TransferVIP moves vip from its current switch to switch dst, carrying
+// its full RIP group, weights, and fluid load. Per the paper, a VIP
+// cannot be blindly transferred while TCP sessions are using it — only
+// the original switch knows their RIP bindings — so the transfer fails
+// with ErrActiveConns unless either the VIP is quiescent or force is set
+// (breaking the remaining sessions, whose count is tallied).
+func (f *Fabric) TransferVIP(vip VIP, dst SwitchID, force bool) error {
+	home, ok := f.vipHome[vip]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrVIPUnknown, vip)
+	}
+	if home == dst {
+		return nil
+	}
+	to, ok := f.switches[dst]
+	if !ok {
+		return fmt.Errorf("lbswitch: no switch %d", dst)
+	}
+	from := f.switches[home]
+	app, rips, weights, load, err := from.ExportVIP(vip)
+	if err != nil {
+		return err
+	}
+	if from.VIPConns(vip) > 0 && !force {
+		return fmt.Errorf("%w: %s has %d", ErrActiveConns, vip, from.VIPConns(vip))
+	}
+	// Admission check on the destination before mutating anything.
+	if to.NumVIPs() >= to.Limits.MaxVIPs {
+		return fmt.Errorf("%w: switch %d", ErrVIPLimit, dst)
+	}
+	if to.NumRIPs()+len(rips) > to.Limits.MaxRIPs {
+		return fmt.Errorf("%w: switch %d", ErrRIPLimit, dst)
+	}
+	broken, err := from.RemoveVIP(vip, force)
+	if err != nil {
+		return err
+	}
+	f.BrokenConns += int64(broken)
+	if err := to.AddVIP(vip, app); err != nil {
+		return fmt.Errorf("lbswitch: transfer re-add failed: %w", err)
+	}
+	for i, rip := range rips {
+		if err := to.AddRIP(vip, rip, weights[i]); err != nil {
+			return fmt.Errorf("lbswitch: transfer RIP re-add failed: %w", err)
+		}
+	}
+	if load > 0 {
+		if err := to.SetVIPLoad(vip, load); err != nil {
+			return err
+		}
+	}
+	f.vipHome[vip] = dst
+	f.Transfers++
+	return nil
+}
+
+// VIPsOfApp returns every VIP in the fabric owned by app, sorted.
+func (f *Fabric) VIPsOfApp(app cluster.AppID) []VIP {
+	var out []VIP
+	for vip, home := range f.vipHome {
+		if got, ok := f.switches[home].AppOf(vip); ok && got == app {
+			out = append(out, vip)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Utilizations returns per-switch throughput utilization in switch order.
+func (f *Fabric) Utilizations() []float64 {
+	out := make([]float64, 0, len(f.order))
+	for _, id := range f.order {
+		out = append(out, f.switches[id].Utilization())
+	}
+	return out
+}
+
+// TotalThroughputMbps returns the fabric-wide offered load.
+func (f *Fabric) TotalThroughputMbps() float64 {
+	var sum float64
+	for _, id := range f.order {
+		sum += f.switches[id].ThroughputMbps()
+	}
+	return sum
+}
+
+// AggregateCapacityMbps returns the sum of switch throughput limits —
+// the paper's "600 Gbps aggregate external bandwidth" style figure.
+func (f *Fabric) AggregateCapacityMbps() float64 {
+	var sum float64
+	for _, id := range f.order {
+		sum += f.switches[id].Limits.ThroughputMbps
+	}
+	return sum
+}
+
+// CheckInvariants validates every switch plus the home index.
+func (f *Fabric) CheckInvariants() error {
+	for _, id := range f.order {
+		if err := f.switches[id].CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	for vip, home := range f.vipHome {
+		s, ok := f.switches[home]
+		if !ok {
+			return fmt.Errorf("fabric: VIP %s homed on unknown switch %d", vip, home)
+		}
+		if !s.HasVIP(vip) {
+			return fmt.Errorf("fabric: VIP %s homed on switch %d which lacks it", vip, home)
+		}
+	}
+	// Every configured VIP must be in the home index exactly once.
+	n := 0
+	for _, id := range f.order {
+		n += f.switches[id].NumVIPs()
+	}
+	if n != len(f.vipHome) {
+		return fmt.Errorf("fabric: %d VIPs configured on switches, %d homed", n, len(f.vipHome))
+	}
+	return nil
+}

@@ -1,0 +1,572 @@
+// Package lbswitch models the layer-4 load-balancing switches of the
+// paper's load-balancing layer. A switch owns a set of VIPs (virtual IP
+// addresses visible to clients); each VIP maps to a weighted group of RIPs
+// (real IPs of the application's VM instances). Switches have the hard
+// limits the paper takes from the Cisco Catalyst CSM datasheet: 4,000
+// VIPs, 16,000 RIPs, 4 Gbps layer-4 throughput, 1M concurrent TCP
+// connections, and 1.25M packets per second. All limits are enforced; the
+// VIP/RIP manager above must respect them.
+//
+// Traffic is modeled two ways, matching the two granularities the
+// experiments need: a fluid per-VIP offered load in Mbps (for
+// fabric-utilization and balancing experiments) and discrete tracked
+// connections with RIP affinity (for the VIP-transfer drain experiments,
+// where "packets of the same TCP session must arrive to the same RIP").
+package lbswitch
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"megadc/internal/cluster"
+)
+
+// VIP is a virtual IP address (externally routable).
+type VIP string
+
+// RIP is a real IP address of one VM instance (private, e.g. from 10/8).
+type RIP string
+
+// SwitchID identifies one LB switch.
+type SwitchID int
+
+// ConnID identifies one tracked client connection.
+type ConnID int64
+
+// Limits are the hard capacities of one LB switch.
+type Limits struct {
+	MaxVIPs        int     // max configured VIPs
+	MaxRIPs        int     // max configured RIPs (total across VIPs)
+	ThroughputMbps float64 // layer-4 switching capacity
+	MaxConns       int     // max concurrent TCP connections
+	MaxPPS         float64 // max packets per second
+}
+
+// CatalystCSM returns the limits the paper assumes throughout: the Cisco
+// Catalyst 6500 content switching module parameters (Section II).
+func CatalystCSM() Limits {
+	return Limits{
+		MaxVIPs:        4000,
+		MaxRIPs:        16000,
+		ThroughputMbps: 4000, // 4 Gbps
+		MaxConns:       1_000_000,
+		MaxPPS:         1_250_000,
+	}
+}
+
+// Scaled returns the limits divided by k, used by laptop-scale experiment
+// configurations that shrink the data center and the switches together so
+// that the packing ratios the paper reasons about are preserved.
+func (l Limits) Scaled(k int) Limits {
+	if k <= 0 {
+		panic("lbswitch: scale factor must be positive")
+	}
+	return Limits{
+		MaxVIPs:        l.MaxVIPs / k,
+		MaxRIPs:        l.MaxRIPs / k,
+		ThroughputMbps: l.ThroughputMbps / float64(k),
+		MaxConns:       l.MaxConns / k,
+		MaxPPS:         l.MaxPPS / float64(k),
+	}
+}
+
+// Errors returned by switch operations.
+var (
+	ErrVIPLimit    = errors.New("lbswitch: VIP limit reached")
+	ErrRIPLimit    = errors.New("lbswitch: RIP limit reached")
+	ErrConnLimit   = errors.New("lbswitch: connection limit reached")
+	ErrNoSuchVIP   = errors.New("lbswitch: no such VIP")
+	ErrNoSuchRIP   = errors.New("lbswitch: no such RIP")
+	ErrDupVIP      = errors.New("lbswitch: VIP already configured")
+	ErrDupRIP      = errors.New("lbswitch: RIP already in group")
+	ErrActiveConns = errors.New("lbswitch: VIP has active connections")
+	ErrNoRIPs      = errors.New("lbswitch: VIP has no RIPs configured")
+	ErrBadWeight   = errors.New("lbswitch: weight must be positive")
+)
+
+type ripEntry struct {
+	rip    RIP
+	weight float64
+	conns  int
+}
+
+type vipEntry struct {
+	app      cluster.AppID
+	rips     []*ripEntry // kept in insertion order for determinism
+	ripIndex map[RIP]*ripEntry
+	conns    int
+	loadMbps float64 // fluid offered load
+}
+
+type conn struct {
+	vip VIP
+	rip RIP
+}
+
+// Switch is one L4 load-balancing switch.
+type Switch struct {
+	ID     SwitchID
+	Limits Limits
+
+	vips      map[VIP]*vipEntry
+	vipOrder  []VIP // insertion order for deterministic iteration
+	totalRIPs int
+	conns     map[ConnID]conn
+	nextConn  ConnID
+
+	// Reconfigs counts programmatic reconfiguration operations applied to
+	// the switch (VIP/RIP add/remove, weight changes). The paper notes
+	// these take "only several seconds"; the latency itself is applied by
+	// the managers, but the count is an experiment output.
+	Reconfigs int64
+}
+
+// NewSwitch returns a switch with the given limits.
+func NewSwitch(id SwitchID, limits Limits) *Switch {
+	return &Switch{
+		ID:     id,
+		Limits: limits,
+		vips:   make(map[VIP]*vipEntry),
+		conns:  make(map[ConnID]conn),
+	}
+}
+
+// NumVIPs returns the number of configured VIPs.
+func (s *Switch) NumVIPs() int { return len(s.vips) }
+
+// NumRIPs returns the total number of configured RIPs across all VIPs.
+func (s *Switch) NumRIPs() int { return s.totalRIPs }
+
+// NumConns returns the number of tracked active connections.
+func (s *Switch) NumConns() int { return len(s.conns) }
+
+// HasVIP reports whether vip is configured on the switch.
+func (s *Switch) HasVIP(vip VIP) bool { _, ok := s.vips[vip]; return ok }
+
+// AppOf returns the application a configured VIP belongs to.
+func (s *Switch) AppOf(vip VIP) (cluster.AppID, bool) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return 0, false
+	}
+	return e.app, true
+}
+
+// VIPs returns the configured VIPs in insertion order.
+func (s *Switch) VIPs() []VIP {
+	out := make([]VIP, len(s.vipOrder))
+	copy(out, s.vipOrder)
+	return out
+}
+
+// AddVIP configures a new VIP owned by app.
+func (s *Switch) AddVIP(vip VIP, app cluster.AppID) error {
+	if _, ok := s.vips[vip]; ok {
+		return fmt.Errorf("%w: %s on switch %d", ErrDupVIP, vip, s.ID)
+	}
+	if len(s.vips) >= s.Limits.MaxVIPs {
+		return fmt.Errorf("%w: switch %d at %d", ErrVIPLimit, s.ID, s.Limits.MaxVIPs)
+	}
+	s.vips[vip] = &vipEntry{app: app, ripIndex: make(map[RIP]*ripEntry)}
+	s.vipOrder = append(s.vipOrder, vip)
+	s.Reconfigs++
+	return nil
+}
+
+// RemoveVIP deletes a VIP and its RIP group. It fails with ErrActiveConns
+// if connections are still using the VIP, unless force is set, in which
+// case the connections are broken and their count returned.
+func (s *Switch) RemoveVIP(vip VIP, force bool) (broken int, err error) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	if e.conns > 0 && !force {
+		return 0, fmt.Errorf("%w: %s has %d", ErrActiveConns, vip, e.conns)
+	}
+	broken = e.conns
+	for id, c := range s.conns {
+		if c.vip == vip {
+			delete(s.conns, id)
+		}
+	}
+	s.totalRIPs -= len(e.rips)
+	delete(s.vips, vip)
+	for i, v := range s.vipOrder {
+		if v == vip {
+			s.vipOrder = append(s.vipOrder[:i], s.vipOrder[i+1:]...)
+			break
+		}
+	}
+	s.Reconfigs++
+	return broken, nil
+}
+
+// AddRIP adds a RIP with the given positive weight to vip's group.
+func (s *Switch) AddRIP(vip VIP, rip RIP, weight float64) error {
+	e, ok := s.vips[vip]
+	if !ok {
+		return fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("%w: %v", ErrBadWeight, weight)
+	}
+	if _, dup := e.ripIndex[rip]; dup {
+		return fmt.Errorf("%w: %s in %s", ErrDupRIP, rip, vip)
+	}
+	if s.totalRIPs >= s.Limits.MaxRIPs {
+		return fmt.Errorf("%w: switch %d at %d", ErrRIPLimit, s.ID, s.Limits.MaxRIPs)
+	}
+	re := &ripEntry{rip: rip, weight: weight}
+	e.rips = append(e.rips, re)
+	e.ripIndex[rip] = re
+	s.totalRIPs++
+	s.Reconfigs++
+	return nil
+}
+
+// RemoveRIP removes a RIP from vip's group. Connections bound to the RIP
+// are broken (a real switch would drop them); the count is returned.
+func (s *Switch) RemoveRIP(vip VIP, rip RIP) (broken int, err error) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	re, ok := e.ripIndex[rip]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s in %s", ErrNoSuchRIP, rip, vip)
+	}
+	broken = re.conns
+	for id, c := range s.conns {
+		if c.vip == vip && c.rip == rip {
+			delete(s.conns, id)
+		}
+	}
+	e.conns -= broken
+	delete(e.ripIndex, rip)
+	for i, r := range e.rips {
+		if r.rip == rip {
+			e.rips = append(e.rips[:i], e.rips[i+1:]...)
+			break
+		}
+	}
+	s.totalRIPs--
+	s.Reconfigs++
+	return broken, nil
+}
+
+// SetWeight programmatically changes a RIP's load-balancing weight
+// (paper knob F, Section IV-F).
+func (s *Switch) SetWeight(vip VIP, rip RIP, weight float64) error {
+	e, ok := s.vips[vip]
+	if !ok {
+		return fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	re, ok := e.ripIndex[rip]
+	if !ok {
+		return fmt.Errorf("%w: %s in %s", ErrNoSuchRIP, rip, vip)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("%w: %v", ErrBadWeight, weight)
+	}
+	re.weight = weight
+	s.Reconfigs++
+	return nil
+}
+
+// Weights returns the RIPs and weights of vip's group in insertion order.
+func (s *Switch) Weights(vip VIP) (rips []RIP, weights []float64, err error) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	for _, re := range e.rips {
+		rips = append(rips, re.rip)
+		weights = append(weights, re.weight)
+	}
+	return rips, weights, nil
+}
+
+// TotalWeight returns the sum of RIP weights for vip.
+func (s *Switch) TotalWeight(vip VIP) (float64, error) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	var sum float64
+	for _, re := range e.rips {
+		sum += re.weight
+	}
+	return sum, nil
+}
+
+// PickRIP performs one weighted load-balancing decision for vip.
+func (s *Switch) PickRIP(vip VIP, rng *rand.Rand) (RIP, error) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return "", fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	re, err := pickWeighted(e.rips, rng)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", vip, err)
+	}
+	return re.rip, nil
+}
+
+func pickWeighted(rips []*ripEntry, rng *rand.Rand) (*ripEntry, error) {
+	if len(rips) == 0 {
+		return nil, ErrNoRIPs
+	}
+	var total float64
+	for _, re := range rips {
+		total += re.weight
+	}
+	x := rng.Float64() * total
+	for _, re := range rips {
+		x -= re.weight
+		if x < 0 {
+			return re, nil
+		}
+	}
+	return rips[len(rips)-1], nil
+}
+
+// OpenConn admits a new client connection to vip, binding it to a RIP
+// chosen by weighted balancing. The binding is sticky: the connection
+// stays on that RIP for its lifetime (TCP session affinity).
+func (s *Switch) OpenConn(vip VIP, rng *rand.Rand) (ConnID, RIP, error) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return 0, "", fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	if len(s.conns) >= s.Limits.MaxConns {
+		return 0, "", fmt.Errorf("%w: switch %d at %d", ErrConnLimit, s.ID, s.Limits.MaxConns)
+	}
+	re, err := pickWeighted(e.rips, rng)
+	if err != nil {
+		return 0, "", fmt.Errorf("%s: %w", vip, err)
+	}
+	id := s.nextConn
+	s.nextConn++
+	s.conns[id] = conn{vip: vip, rip: re.rip}
+	re.conns++
+	e.conns++
+	return id, re.rip, nil
+}
+
+// CloseConn ends a tracked connection. Closing an unknown connection
+// (e.g. already broken by a forced reconfiguration) is a no-op and
+// reports false.
+func (s *Switch) CloseConn(id ConnID) bool {
+	c, ok := s.conns[id]
+	if !ok {
+		return false
+	}
+	delete(s.conns, id)
+	e := s.vips[c.vip]
+	if e != nil {
+		e.conns--
+		if re := e.ripIndex[c.rip]; re != nil {
+			re.conns--
+		}
+	}
+	return true
+}
+
+// VIPConns returns the number of active connections on vip.
+func (s *Switch) VIPConns(vip VIP) int {
+	if e, ok := s.vips[vip]; ok {
+		return e.conns
+	}
+	return 0
+}
+
+// RIPConns returns per-RIP active connection counts for vip, in the RIP
+// group's insertion order.
+func (s *Switch) RIPConns(vip VIP) (rips []RIP, counts []int) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return nil, nil
+	}
+	for _, re := range e.rips {
+		rips = append(rips, re.rip)
+		counts = append(counts, re.conns)
+	}
+	return rips, counts
+}
+
+// SetVIPLoad sets the fluid offered load on vip in Mbps. The fluid model
+// and the connection model coexist; experiments use whichever granularity
+// they need.
+func (s *Switch) SetVIPLoad(vip VIP, mbps float64) error {
+	e, ok := s.vips[vip]
+	if !ok {
+		return fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	if mbps < 0 {
+		return fmt.Errorf("lbswitch: negative load %v", mbps)
+	}
+	e.loadMbps = mbps
+	return nil
+}
+
+// VIPLoad returns the fluid offered load on vip in Mbps.
+func (s *Switch) VIPLoad(vip VIP) float64 {
+	if e, ok := s.vips[vip]; ok {
+		return e.loadMbps
+	}
+	return 0
+}
+
+// ThroughputMbps returns the switch's total fluid offered load.
+func (s *Switch) ThroughputMbps() float64 {
+	var sum float64
+	for _, e := range s.vips {
+		sum += e.loadMbps
+	}
+	return sum
+}
+
+// Utilization returns offered load over throughput capacity. Values above
+// 1 mean the switch is saturated and would drop/queue traffic.
+func (s *Switch) Utilization() float64 {
+	if s.Limits.ThroughputMbps <= 0 {
+		return 0
+	}
+	return s.ThroughputMbps() / s.Limits.ThroughputMbps
+}
+
+// PacketsPerMbps converts the fluid Mbps model to packets per second
+// assuming ~500-byte average packets (1 Mbps ≈ 250 pps). At this rate
+// the Catalyst CSM's 4 Gbps equals 1M pps, inside its 1.25M pps limit —
+// consistent with the datasheet the paper cites.
+const PacketsPerMbps = 250.0
+
+// PPS returns the switch's offered packet rate under the fluid model.
+func (s *Switch) PPS() float64 { return s.ThroughputMbps() * PacketsPerMbps }
+
+// PPSUtilization returns offered packet rate over the MaxPPS limit.
+func (s *Switch) PPSUtilization() float64 {
+	if s.Limits.MaxPPS <= 0 {
+		return 0
+	}
+	return s.PPS() / s.Limits.MaxPPS
+}
+
+// BottleneckUtilization returns the binding constraint: the larger of
+// throughput utilization and pps utilization.
+func (s *Switch) BottleneckUtilization() float64 {
+	u := s.Utilization()
+	if p := s.PPSUtilization(); p > u {
+		u = p
+	}
+	return u
+}
+
+// VIPLoadShare distributes vip's fluid load over its RIPs according to
+// weights, returning parallel slices. This is the fluid-model equivalent
+// of weighted connection balancing.
+func (s *Switch) VIPLoadShare(vip VIP) (rips []RIP, mbps []float64, err error) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	var total float64
+	for _, re := range e.rips {
+		total += re.weight
+	}
+	for _, re := range e.rips {
+		rips = append(rips, re.rip)
+		share := 0.0
+		if total > 0 {
+			share = e.loadMbps * re.weight / total
+		}
+		mbps = append(mbps, share)
+	}
+	return rips, mbps, nil
+}
+
+// ExportVIP captures vip's full configuration (app, RIP group, weights,
+// fluid load) for transfer to another switch.
+func (s *Switch) ExportVIP(vip VIP) (app cluster.AppID, rips []RIP, weights []float64, loadMbps float64, err error) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return 0, nil, nil, 0, fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	for _, re := range e.rips {
+		rips = append(rips, re.rip)
+		weights = append(weights, re.weight)
+	}
+	return e.app, rips, weights, e.loadMbps, nil
+}
+
+// CheckInvariants validates internal consistency and limit compliance.
+func (s *Switch) CheckInvariants() error {
+	if len(s.vips) > s.Limits.MaxVIPs {
+		return fmt.Errorf("switch %d: %d VIPs > limit %d", s.ID, len(s.vips), s.Limits.MaxVIPs)
+	}
+	if s.totalRIPs > s.Limits.MaxRIPs {
+		return fmt.Errorf("switch %d: %d RIPs > limit %d", s.ID, s.totalRIPs, s.Limits.MaxRIPs)
+	}
+	if len(s.conns) > s.Limits.MaxConns {
+		return fmt.Errorf("switch %d: %d conns > limit %d", s.ID, len(s.conns), s.Limits.MaxConns)
+	}
+	if len(s.vipOrder) != len(s.vips) {
+		return fmt.Errorf("switch %d: vipOrder len %d != vips len %d", s.ID, len(s.vipOrder), len(s.vips))
+	}
+	nRIPs := 0
+	perVIP := make(map[VIP]int)
+	perRIP := make(map[VIP]map[RIP]int)
+	for id, c := range s.conns {
+		e, ok := s.vips[c.vip]
+		if !ok {
+			return fmt.Errorf("switch %d: conn %d references unknown VIP %s", s.ID, id, c.vip)
+		}
+		if _, ok := e.ripIndex[c.rip]; !ok {
+			return fmt.Errorf("switch %d: conn %d references unknown RIP %s", s.ID, id, c.rip)
+		}
+		perVIP[c.vip]++
+		if perRIP[c.vip] == nil {
+			perRIP[c.vip] = make(map[RIP]int)
+		}
+		perRIP[c.vip][c.rip]++
+	}
+	for vip, e := range s.vips {
+		nRIPs += len(e.rips)
+		if len(e.rips) != len(e.ripIndex) {
+			return fmt.Errorf("switch %d: VIP %s rips/index mismatch", s.ID, vip)
+		}
+		if e.conns != perVIP[vip] {
+			return fmt.Errorf("switch %d: VIP %s conns %d != tracked %d", s.ID, vip, e.conns, perVIP[vip])
+		}
+		for _, re := range e.rips {
+			if re.weight <= 0 {
+				return fmt.Errorf("switch %d: VIP %s RIP %s non-positive weight", s.ID, vip, re.rip)
+			}
+			if re.conns != perRIP[vip][re.rip] {
+				return fmt.Errorf("switch %d: VIP %s RIP %s conns %d != tracked %d",
+					s.ID, vip, re.rip, re.conns, perRIP[vip][re.rip])
+			}
+		}
+	}
+	if nRIPs != s.totalRIPs {
+		return fmt.Errorf("switch %d: totalRIPs %d != sum %d", s.ID, s.totalRIPs, nRIPs)
+	}
+	return nil
+}
+
+// SortVIPsByLoad returns the switch's VIPs sorted by descending fluid
+// load, breaking ties by VIP string for determinism.
+func (s *Switch) SortVIPsByLoad() []VIP {
+	vips := s.VIPs()
+	sort.Slice(vips, func(i, j int) bool {
+		li, lj := s.VIPLoad(vips[i]), s.VIPLoad(vips[j])
+		if li != lj {
+			return li > lj
+		}
+		return vips[i] < vips[j]
+	})
+	return vips
+}

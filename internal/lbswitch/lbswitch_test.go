@@ -1,0 +1,395 @@
+package lbswitch
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallLimits() Limits {
+	return Limits{MaxVIPs: 4, MaxRIPs: 8, ThroughputMbps: 100, MaxConns: 10, MaxPPS: 1000}
+}
+
+func TestCatalystCSMParameters(t *testing.T) {
+	l := CatalystCSM()
+	if l.MaxVIPs != 4000 || l.MaxRIPs != 16000 || l.ThroughputMbps != 4000 ||
+		l.MaxConns != 1_000_000 || l.MaxPPS != 1_250_000 {
+		t.Errorf("CatalystCSM = %+v does not match the paper's parameters", l)
+	}
+}
+
+func TestLimitsScaled(t *testing.T) {
+	l := CatalystCSM().Scaled(10)
+	if l.MaxVIPs != 400 || l.MaxRIPs != 1600 || l.ThroughputMbps != 400 {
+		t.Errorf("Scaled(10) = %+v", l)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Scaled(0) did not panic")
+		}
+	}()
+	CatalystCSM().Scaled(0)
+}
+
+func TestAddVIPAndLimits(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	for i := 0; i < 4; i++ {
+		if err := s.AddVIP(VIP(rune('a'+i)), 1); err != nil {
+			t.Fatalf("AddVIP %d: %v", i, err)
+		}
+	}
+	if err := s.AddVIP("z", 1); !errors.Is(err, ErrVIPLimit) {
+		t.Errorf("5th AddVIP err = %v, want ErrVIPLimit", err)
+	}
+	if err := s.AddVIP("a", 1); !errors.Is(err, ErrDupVIP) {
+		t.Errorf("dup AddVIP err = %v, want ErrDupVIP", err)
+	}
+	if s.NumVIPs() != 4 {
+		t.Errorf("NumVIPs = %d", s.NumVIPs())
+	}
+	if app, ok := s.AppOf("a"); !ok || app != 1 {
+		t.Errorf("AppOf = %v,%v", app, ok)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRIPLimitsSharedAcrossVIPs(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	s.AddVIP("a", 1)
+	s.AddVIP("b", 2)
+	for i := 0; i < 8; i++ {
+		vip := VIP("a")
+		if i%2 == 1 {
+			vip = "b"
+		}
+		if err := s.AddRIP(vip, RIP(rune('0'+i)), 1); err != nil {
+			t.Fatalf("AddRIP %d: %v", i, err)
+		}
+	}
+	if err := s.AddRIP("a", "x", 1); !errors.Is(err, ErrRIPLimit) {
+		t.Errorf("9th AddRIP err = %v, want ErrRIPLimit (limit is per switch)", err)
+	}
+	if s.NumRIPs() != 8 {
+		t.Errorf("NumRIPs = %d", s.NumRIPs())
+	}
+}
+
+func TestAddRIPErrors(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	s.AddVIP("a", 1)
+	if err := s.AddRIP("missing", "r", 1); !errors.Is(err, ErrNoSuchVIP) {
+		t.Errorf("err = %v", err)
+	}
+	if err := s.AddRIP("a", "r", 0); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("zero weight err = %v", err)
+	}
+	s.AddRIP("a", "r", 1)
+	if err := s.AddRIP("a", "r", 2); !errors.Is(err, ErrDupRIP) {
+		t.Errorf("dup err = %v", err)
+	}
+}
+
+func TestWeightedPickDistribution(t *testing.T) {
+	s := NewSwitch(0, Limits{MaxVIPs: 1, MaxRIPs: 4, ThroughputMbps: 1, MaxConns: 1, MaxPPS: 1})
+	s.AddVIP("v", 1)
+	s.AddRIP("v", "r1", 1)
+	s.AddRIP("v", "r3", 3)
+	rng := rand.New(rand.NewSource(11))
+	counts := map[RIP]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		rip, err := s.PickRIP("v", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[rip]++
+	}
+	frac := float64(counts["r3"]) / n
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("r3 fraction = %v, want ≈0.75", frac)
+	}
+}
+
+func TestPickRIPNoRIPs(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	s.AddVIP("v", 1)
+	if _, err := s.PickRIP("v", rand.New(rand.NewSource(1))); !errors.Is(err, ErrNoRIPs) {
+		t.Errorf("err = %v, want ErrNoRIPs", err)
+	}
+	if _, err := s.PickRIP("w", rand.New(rand.NewSource(1))); !errors.Is(err, ErrNoSuchVIP) {
+		t.Errorf("err = %v, want ErrNoSuchVIP", err)
+	}
+}
+
+func TestConnLifecycleAndAffinity(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	s.AddVIP("v", 1)
+	s.AddRIP("v", "r1", 1)
+	s.AddRIP("v", "r2", 1)
+	rng := rand.New(rand.NewSource(3))
+	var ids []ConnID
+	for i := 0; i < 10; i++ {
+		id, rip, err := s.OpenConn("v", rng)
+		if err != nil {
+			t.Fatalf("OpenConn %d: %v", i, err)
+		}
+		if rip != "r1" && rip != "r2" {
+			t.Fatalf("unexpected rip %s", rip)
+		}
+		ids = append(ids, id)
+	}
+	if s.NumConns() != 10 || s.VIPConns("v") != 10 {
+		t.Errorf("conns = %d/%d", s.NumConns(), s.VIPConns("v"))
+	}
+	// Limit reached.
+	if _, _, err := s.OpenConn("v", rng); !errors.Is(err, ErrConnLimit) {
+		t.Errorf("11th conn err = %v, want ErrConnLimit", err)
+	}
+	rips, counts := s.RIPConns("v")
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 || len(rips) != 2 {
+		t.Errorf("RIPConns = %v %v", rips, counts)
+	}
+	for _, id := range ids {
+		if !s.CloseConn(id) {
+			t.Errorf("CloseConn(%d) = false", id)
+		}
+	}
+	if s.CloseConn(ids[0]) {
+		t.Error("double close returned true")
+	}
+	if s.NumConns() != 0 || s.VIPConns("v") != 0 {
+		t.Errorf("conns after close = %d/%d", s.NumConns(), s.VIPConns("v"))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveVIPBlockedByConns(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	s.AddVIP("v", 1)
+	s.AddRIP("v", "r", 1)
+	rng := rand.New(rand.NewSource(4))
+	s.OpenConn("v", rng)
+	if _, err := s.RemoveVIP("v", false); !errors.Is(err, ErrActiveConns) {
+		t.Errorf("err = %v, want ErrActiveConns", err)
+	}
+	broken, err := s.RemoveVIP("v", true)
+	if err != nil || broken != 1 {
+		t.Errorf("forced remove = %d,%v", broken, err)
+	}
+	if s.NumVIPs() != 0 || s.NumRIPs() != 0 || s.NumConns() != 0 {
+		t.Error("state not cleaned after forced remove")
+	}
+	if _, err := s.RemoveVIP("v", false); !errors.Is(err, ErrNoSuchVIP) {
+		t.Errorf("remove missing err = %v", err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveRIPBreaksItsConns(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	s.AddVIP("v", 1)
+	s.AddRIP("v", "r1", 1)
+	s.AddRIP("v", "r2", 1)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 8; i++ {
+		s.OpenConn("v", rng)
+	}
+	_, counts := s.RIPConns("v")
+	broken, err := s.RemoveRIP("v", "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken != counts[0] {
+		t.Errorf("broken = %d, want %d", broken, counts[0])
+	}
+	if s.VIPConns("v") != 8-counts[0] {
+		t.Errorf("VIP conns = %d, want %d", s.VIPConns("v"), 8-counts[0])
+	}
+	if s.NumRIPs() != 1 {
+		t.Errorf("NumRIPs = %d", s.NumRIPs())
+	}
+	if _, err := s.RemoveRIP("v", "r1"); !errors.Is(err, ErrNoSuchRIP) {
+		t.Errorf("remove missing rip err = %v", err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetWeightAndTotal(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	s.AddVIP("v", 1)
+	s.AddRIP("v", "r1", 1)
+	s.AddRIP("v", "r2", 2)
+	if err := s.SetWeight("v", "r1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if tw, _ := s.TotalWeight("v"); tw != 7 {
+		t.Errorf("TotalWeight = %v, want 7", tw)
+	}
+	rips, ws, _ := s.Weights("v")
+	if len(rips) != 2 || ws[0] != 5 || ws[1] != 2 {
+		t.Errorf("Weights = %v %v", rips, ws)
+	}
+	if err := s.SetWeight("v", "r1", -1); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("negative weight err = %v", err)
+	}
+	if err := s.SetWeight("v", "missing", 1); !errors.Is(err, ErrNoSuchRIP) {
+		t.Errorf("missing rip err = %v", err)
+	}
+	if err := s.SetWeight("w", "r1", 1); !errors.Is(err, ErrNoSuchVIP) {
+		t.Errorf("missing vip err = %v", err)
+	}
+}
+
+func TestFluidLoadAndUtilization(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	s.AddVIP("a", 1)
+	s.AddVIP("b", 2)
+	s.SetVIPLoad("a", 30)
+	s.SetVIPLoad("b", 50)
+	if got := s.ThroughputMbps(); got != 80 {
+		t.Errorf("ThroughputMbps = %v", got)
+	}
+	if got := s.Utilization(); got != 0.8 {
+		t.Errorf("Utilization = %v", got)
+	}
+	if err := s.SetVIPLoad("a", -1); err == nil {
+		t.Error("negative load accepted")
+	}
+	if err := s.SetVIPLoad("zz", 1); !errors.Is(err, ErrNoSuchVIP) {
+		t.Errorf("missing vip err = %v", err)
+	}
+	if got := s.VIPLoad("a"); got != 30 {
+		t.Errorf("VIPLoad = %v", got)
+	}
+	if got := s.VIPLoad("zz"); got != 0 {
+		t.Errorf("missing VIPLoad = %v", got)
+	}
+}
+
+func TestVIPLoadShare(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	s.AddVIP("v", 1)
+	s.AddRIP("v", "r1", 1)
+	s.AddRIP("v", "r3", 3)
+	s.SetVIPLoad("v", 100)
+	rips, mbps, err := s.VIPLoadShare("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rips[0] != "r1" || mbps[0] != 25 || mbps[1] != 75 {
+		t.Errorf("share = %v %v", rips, mbps)
+	}
+}
+
+func TestPPSModel(t *testing.T) {
+	s := NewSwitch(0, CatalystCSM())
+	s.AddVIP("v", 1)
+	s.SetVIPLoad("v", 4000) // full 4 Gbps
+	if got := s.PPS(); got != 1_000_000 {
+		t.Errorf("PPS at line rate = %v, want 1M", got)
+	}
+	// 4 Gbps → 1M pps = 80% of the 1.25M limit: throughput binds first,
+	// matching the datasheet relationship the paper relies on.
+	if got := s.PPSUtilization(); got != 0.8 {
+		t.Errorf("PPSUtilization = %v, want 0.8", got)
+	}
+	if got := s.BottleneckUtilization(); got != 1.0 {
+		t.Errorf("BottleneckUtilization = %v, want 1.0 (throughput-bound)", got)
+	}
+	// With a pps-constrained switch, pps binds.
+	tiny := NewSwitch(1, Limits{MaxVIPs: 1, MaxRIPs: 1, ThroughputMbps: 4000, MaxConns: 1, MaxPPS: 100_000})
+	tiny.AddVIP("v", 1)
+	tiny.SetVIPLoad("v", 2000)
+	if got := tiny.BottleneckUtilization(); got != 5.0 {
+		t.Errorf("pps-bound BottleneckUtilization = %v, want 5.0", got)
+	}
+	if got := (&Switch{}).PPSUtilization(); got != 0 {
+		t.Errorf("zero-limit PPSUtilization = %v", got)
+	}
+}
+
+func TestSortVIPsByLoad(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	s.AddVIP("a", 1)
+	s.AddVIP("b", 1)
+	s.AddVIP("c", 1)
+	s.SetVIPLoad("a", 10)
+	s.SetVIPLoad("b", 30)
+	s.SetVIPLoad("c", 10)
+	got := s.SortVIPsByLoad()
+	if got[0] != "b" || got[1] != "a" || got[2] != "c" {
+		t.Errorf("SortVIPsByLoad = %v", got)
+	}
+}
+
+func TestReconfigCounting(t *testing.T) {
+	s := NewSwitch(0, smallLimits())
+	s.AddVIP("v", 1)         // 1
+	s.AddRIP("v", "r", 1)    // 2
+	s.SetWeight("v", "r", 2) // 3
+	s.RemoveRIP("v", "r")    // 4
+	s.RemoveVIP("v", false)  // 5
+	if s.Reconfigs != 5 {
+		t.Errorf("Reconfigs = %d, want 5", s.Reconfigs)
+	}
+}
+
+// Property: under random open/close/add/remove sequences the switch never
+// violates its limits or internal consistency.
+func TestPropertySwitchInvariants(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSwitch(0, smallLimits())
+		vips := []VIP{"a", "b", "c", "d", "e"} // one more than MaxVIPs
+		rips := []RIP{"r1", "r2", "r3"}
+		var conns []ConnID
+		for _, op := range ops {
+			vip := vips[rng.Intn(len(vips))]
+			rip := rips[rng.Intn(len(rips))]
+			switch op % 7 {
+			case 0:
+				s.AddVIP(vip, 1)
+			case 1:
+				s.AddRIP(vip, rip, 1+rng.Float64())
+			case 2:
+				if id, _, err := s.OpenConn(vip, rng); err == nil {
+					conns = append(conns, id)
+				}
+			case 3:
+				if len(conns) > 0 {
+					i := rng.Intn(len(conns))
+					s.CloseConn(conns[i])
+					conns = append(conns[:i], conns[i+1:]...)
+				}
+			case 4:
+				s.RemoveRIP(vip, rip)
+			case 5:
+				s.RemoveVIP(vip, rng.Intn(2) == 0)
+			case 6:
+				s.SetWeight(vip, rip, 0.5+rng.Float64())
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package multidc_test
+
+import (
+	"fmt"
+
+	"megadc/internal/cluster"
+	"megadc/internal/core"
+	"megadc/internal/multidc"
+	"megadc/internal/sim"
+)
+
+// A two-DC federation steering a surge off the smaller data center.
+func Example() {
+	fed := multidc.New(sim.New(1))
+	cfg := core.DefaultConfig()
+	fed.AddDC("big", core.SmallTopology(), cfg)
+	smallTopo := core.SmallTopology()
+	smallTopo.Pods = 2
+	smallTopo.ServersPerPod = 4
+	small, _ := fed.AddDC("small", smallTopo, cfg)
+
+	app, err := fed.OnboardApp("global", cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100},
+		4, core.Demand{CPU: 110, Mbps: 400})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("small DC hot at 50%% share: %v\n", fed.Utilization(small) > 0.75)
+	for i := 0; i < 12; i++ {
+		fed.Step()
+	}
+	shares := fed.Shares(app)
+	fmt.Printf("after steering: small share < 0.5: %v, small cooled: %v\n",
+		shares["small"] < 0.5, fed.Utilization(small) <= 0.75)
+	// Output:
+	// small DC hot at 50% share: true
+	// after steering: small share < 0.5: true, small cooled: true
+}

@@ -1,0 +1,76 @@
+package placement
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelPlace solves independent placement problems concurrently with
+// a bounded worker pool — the execution model of the paper's hierarchy,
+// where every pod manager computes its local placement independently.
+// Each problem gets its own Controller (the solver carries per-run
+// state); results are positionally aligned with probs. workers ≤ 0 uses
+// GOMAXPROCS.
+func ParallelPlace(probs []*Problem, workers int) []*Placement {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(probs) {
+		workers = len(probs)
+	}
+	out := make([]*Placement, len(probs))
+	if len(probs) == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i, p := range probs {
+			out[i] = (&Controller{}).Place(p)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = (&Controller{}).Place(probs[i])
+			}
+		}()
+	}
+	for i := range probs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// SplitIntoPods partitions a problem into pods of podSize machines with
+// applications dealt round-robin — the decomposition the hierarchical
+// experiments use. The sub-problems are independent and safe to solve
+// in parallel.
+func SplitIntoPods(prob *Problem, podSize int) []*Problem {
+	if podSize <= 0 || prob.NumMachines() == 0 {
+		return nil
+	}
+	nPods := (prob.NumMachines() + podSize - 1) / podSize
+	subs := make([]*Problem, 0, nPods)
+	for pod := 0; pod < nPods; pod++ {
+		mLo := pod * podSize
+		mHi := mLo + podSize
+		if mHi > prob.NumMachines() {
+			mHi = prob.NumMachines()
+		}
+		sub := &Problem{}
+		sub.MachCPU = append(sub.MachCPU, prob.MachCPU[mLo:mHi]...)
+		sub.MachMem = append(sub.MachMem, prob.MachMem[mLo:mHi]...)
+		for a := pod; a < prob.NumApps(); a += nPods {
+			sub.AppDemand = append(sub.AppDemand, prob.AppDemand[a])
+			sub.AppMem = append(sub.AppMem, prob.AppMem[a])
+		}
+		subs = append(subs, sub)
+	}
+	return subs
+}

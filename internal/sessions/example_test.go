@@ -1,0 +1,43 @@
+package sessions_test
+
+import (
+	"fmt"
+
+	"megadc/internal/cluster"
+	"megadc/internal/core"
+	"megadc/internal/sessions"
+	"megadc/internal/workload"
+)
+
+// Discrete sessions: clients resolve through the platform DNS, pin to a
+// VM for their lifetime, and their demand drains when they end.
+func Example() {
+	p, err := core.NewPlatform(core.SmallTopology(), core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	app, err := p.OnboardApp("chat", cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100},
+		4, core.Demand{})
+	if err != nil {
+		panic(err)
+	}
+	drv, err := sessions.NewDriver(p, sessions.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	drv.StopAt = 120 // two minutes of arrivals
+	if err := drv.AddApp(app.ID, workload.Constant(10)); err != nil {
+		panic(err)
+	}
+	p.Eng.RunUntil(60)
+	st := drv.Stats(app.ID)
+	fmt.Printf("mid-run: active sessions > 100: %v\n", st.Active > 100)
+
+	p.Eng.Run() // arrivals stop at 120 s; every session eventually ends
+	st = drv.Stats(app.ID)
+	fmt.Printf("drained: active=%d, completed+broken=started: %v\n",
+		st.Active, st.Completed+st.Broken == st.Started)
+	// Output:
+	// mid-run: active sessions > 100: true
+	// drained: active=0, completed+broken=started: true
+}

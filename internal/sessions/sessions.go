@@ -1,0 +1,188 @@
+// Package sessions drives a core.Platform with discrete client
+// sessions, closing the loop the fluid model abstracts: clients resolve
+// applications through the platform's authoritative DNS (with TTL-bound
+// caches and TTL violators), each session opens a tracked connection on
+// the resolved VIP's home switch — pinned to one RIP/VM for its lifetime
+// (TCP affinity) — and contributes CPU and bandwidth demand to that VM
+// until it ends. Sessions interact with the control knobs exactly as the
+// paper describes: a draining VIP keeps receiving straggler sessions
+// from stale caches, and a forced VIP transfer breaks the sessions still
+// bound to the old switch.
+package sessions
+
+import (
+	"fmt"
+	"math"
+
+	"megadc/internal/cluster"
+	"megadc/internal/core"
+	"megadc/internal/dnsctl"
+	"megadc/internal/lbswitch"
+	"megadc/internal/workload"
+)
+
+// Config parameterizes the client side of one application's sessions.
+type Config struct {
+	// Population is the number of sampled clients (resolver caches).
+	Population int
+	// ViolatorFraction of clients ignore the DNS TTL.
+	ViolatorFraction float64
+	// ViolationHoldSec is how long violators keep stale entries.
+	ViolationHoldSec float64
+	// Template draws each session's duration and resource footprint.
+	Template workload.SessionTemplate
+}
+
+// DefaultConfig returns a reasonable client model: 1,000 sampled
+// clients, 10% TTL violators holding entries 10 minutes too long,
+// 30-second sessions of 2 Mbps and 0.02 cores.
+func DefaultConfig() Config {
+	return Config{
+		Population:       1000,
+		ViolatorFraction: 0.10,
+		ViolationHoldSec: 600,
+		Template:         workload.SessionTemplate{MeanDuration: 30, Mbps: 2, CPU: 0.02},
+	}
+}
+
+// Stats counts session outcomes for one driven application.
+type Stats struct {
+	Started    int64 // sessions admitted
+	Completed  int64 // ended naturally
+	Broken     int64 // connection lost to a forced reconfiguration
+	NoExposure int64 // DNS had no exposed VIP at arrival
+	Rejected   int64 // switch refused the connection (limits, no RIPs)
+	Active     int64 // currently running
+}
+
+type appDriver struct {
+	app     cluster.AppID
+	pop     *dnsctl.ClientPopulation
+	profile workload.Profile
+	stats   Stats
+}
+
+// Driver generates sessions for a set of applications on one platform.
+type Driver struct {
+	p    *core.Platform
+	cfg  Config
+	apps map[cluster.AppID]*appDriver
+
+	// StopAt ends arrival generation (0 = run for the whole simulation).
+	StopAt float64
+}
+
+// NewDriver returns a driver for the platform with the given client
+// model.
+func NewDriver(p *core.Platform, cfg Config) (*Driver, error) {
+	if cfg.Population <= 0 {
+		return nil, fmt.Errorf("sessions: population %d", cfg.Population)
+	}
+	if cfg.Template.MeanDuration <= 0 {
+		return nil, fmt.Errorf("sessions: mean duration %v", cfg.Template.MeanDuration)
+	}
+	return &Driver{p: p, cfg: cfg, apps: make(map[cluster.AppID]*appDriver)}, nil
+}
+
+// AddApp starts generating sessions for app following the arrival-rate
+// profile (sessions per second).
+func (d *Driver) AddApp(app cluster.AppID, profile workload.Profile) error {
+	if _, dup := d.apps[app]; dup {
+		return fmt.Errorf("sessions: app %d already driven", app)
+	}
+	pop, err := dnsctl.NewClientPopulation(d.p.DNS, app, d.cfg.Population,
+		d.cfg.ViolatorFraction, d.cfg.ViolationHoldSec, d.p.Rand())
+	if err != nil {
+		return err
+	}
+	ad := &appDriver{app: app, pop: pop, profile: profile}
+	d.apps[app] = ad
+	d.scheduleNext(ad)
+	return nil
+}
+
+// Stats returns the outcome counters for app.
+func (d *Driver) Stats(app cluster.AppID) Stats {
+	if ad, ok := d.apps[app]; ok {
+		return ad.stats
+	}
+	return Stats{}
+}
+
+// TotalStats sums the counters across all driven applications.
+func (d *Driver) TotalStats() Stats {
+	var t Stats
+	for _, ad := range d.apps {
+		t.Started += ad.stats.Started
+		t.Completed += ad.stats.Completed
+		t.Broken += ad.stats.Broken
+		t.NoExposure += ad.stats.NoExposure
+		t.Rejected += ad.stats.Rejected
+		t.Active += ad.stats.Active
+	}
+	return t
+}
+
+func (d *Driver) scheduleNext(ad *appDriver) {
+	next := workload.NextArrival(ad.profile, d.p.Eng.Now(), d.p.Rand())
+	if math.IsInf(next, 1) {
+		return // rate dropped to zero; generation for this app ends
+	}
+	if d.StopAt > 0 && next > d.StopAt {
+		return
+	}
+	d.p.Eng.At(next, func() {
+		d.arrive(ad)
+		d.scheduleNext(ad)
+	})
+}
+
+// arrive handles one session arrival: resolve → connect → hold → close.
+func (d *Driver) arrive(ad *appDriver) {
+	now := d.p.Eng.Now()
+	vipStr, err := ad.pop.Arrive(now, d.p.Rand())
+	if err != nil {
+		ad.stats.NoExposure++
+		return
+	}
+	vip := lbswitch.VIP(vipStr)
+	home, ok := d.p.Fabric.HomeOf(vip)
+	if !ok {
+		ad.stats.NoExposure++
+		return
+	}
+	sw := d.p.Fabric.Switch(home)
+	connID, rip, err := sw.OpenConn(vip, d.p.Rand())
+	if err != nil {
+		ad.stats.Rejected++
+		return
+	}
+	vmID, ok := d.p.VMForRIP(rip)
+	if !ok {
+		sw.CloseConn(connID)
+		ad.stats.Rejected++
+		return
+	}
+	s := d.cfg.Template.Draw(d.p.Rand())
+	res := cluster.Resources{CPU: s.CPU, NetMbps: s.Mbps}
+	d.p.SessionOpened(vip, vmID, res)
+	ad.stats.Started++
+	ad.stats.Active++
+
+	d.p.Eng.After(s.Duration, func() {
+		ad.stats.Active--
+		// The VIP may have been transferred meanwhile: close on its
+		// *current* home. A forced transfer already dropped the
+		// connection, in which case CloseConn reports false.
+		closed := false
+		if h, ok := d.p.Fabric.HomeOf(vip); ok {
+			closed = d.p.Fabric.Switch(h).CloseConn(connID)
+		}
+		if closed {
+			ad.stats.Completed++
+		} else {
+			ad.stats.Broken++
+		}
+		d.p.SessionClosed(vip, vmID, res)
+	})
+}

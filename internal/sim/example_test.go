@@ -1,0 +1,40 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"megadc/internal/sim"
+)
+
+// A minimal simulation: two events and a periodic tick.
+func Example() {
+	eng := sim.New(1)
+	eng.At(10, func() { fmt.Println("t=10: VM deployed") })
+	eng.After(25, func() { fmt.Println("t=25: demand spike") })
+	ticks := 0
+	eng.Every(5, 20, func() bool {
+		ticks++
+		fmt.Printf("t=%v: control loop tick %d\n", eng.Now(), ticks)
+		return ticks < 2
+	})
+	eng.Run()
+	// Output:
+	// t=5: control loop tick 1
+	// t=10: VM deployed
+	// t=25: demand spike
+	// t=25: control loop tick 2
+}
+
+func ExampleEngine_RunUntil() {
+	eng := sim.New(1)
+	for _, t := range []float64{1, 2, 3} {
+		t := t
+		eng.At(t, func() { fmt.Printf("event at %v\n", t) })
+	}
+	eng.RunUntil(2)
+	fmt.Printf("clock: %v, pending: %d\n", eng.Now(), eng.Pending())
+	// Output:
+	// event at 1
+	// event at 2
+	// clock: 2, pending: 1
+}

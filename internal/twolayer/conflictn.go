@@ -1,0 +1,178 @@
+package twolayer
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConflictScenarioN generalizes the 2×2 policy-conflict model to an
+// arbitrary set of routes. A route is one (access link, server pod)
+// pairing realized by one VIP: traffic steered to that VIP uses that
+// link and is served by that pod. In the single-layer architecture the
+// per-route split is the only control, coupling link and pod loads; the
+// two-layer architecture chooses link shares and pod shares
+// independently.
+type ConflictScenarioN struct {
+	TrafficMbps float64
+	LinkCap     []float64
+	PodCap      []float64
+	// Routes[j] = (link index, pod index) of route j.
+	Routes [][2]int
+}
+
+// Validate checks the scenario.
+func (s ConflictScenarioN) Validate() error {
+	if s.TrafficMbps <= 0 {
+		return fmt.Errorf("twolayer: non-positive traffic")
+	}
+	if len(s.LinkCap) == 0 || len(s.PodCap) == 0 || len(s.Routes) == 0 {
+		return fmt.Errorf("twolayer: empty scenario")
+	}
+	for _, c := range append(append([]float64(nil), s.LinkCap...), s.PodCap...) {
+		if c <= 0 {
+			return fmt.Errorf("twolayer: non-positive capacity")
+		}
+	}
+	for _, r := range s.Routes {
+		if r[0] < 0 || r[0] >= len(s.LinkCap) || r[1] < 0 || r[1] >= len(s.PodCap) {
+			return fmt.Errorf("twolayer: route %v out of range", r)
+		}
+	}
+	return nil
+}
+
+// ConflictResultN reports one architecture's best operating point.
+type ConflictResultN struct {
+	Arch        string
+	MaxLinkUtil float64
+	MaxPodUtil  float64
+	Objective   float64
+	Shares      []float64 // per-route (one-layer) traffic shares
+}
+
+// SolveTwoLayerN returns the decoupled optimum: each dimension is
+// balanced independently by splitting traffic proportional to capacity,
+// which is optimal for minimizing the maximum utilization. It requires
+// every link and every pod to be reachable by some route (otherwise its
+// capacity cannot be used and the proportional bound is unattainable) —
+// scenarios built from full VIP sets satisfy this.
+func SolveTwoLayerN(s ConflictScenarioN) (ConflictResultN, error) {
+	if err := s.Validate(); err != nil {
+		return ConflictResultN{}, err
+	}
+	linkReach := make([]bool, len(s.LinkCap))
+	podReach := make([]bool, len(s.PodCap))
+	for _, r := range s.Routes {
+		linkReach[r[0]] = true
+		podReach[r[1]] = true
+	}
+	var linkTot, podTot float64
+	for i, c := range s.LinkCap {
+		if !linkReach[i] {
+			return ConflictResultN{}, fmt.Errorf("twolayer: link %d unreachable", i)
+		}
+		linkTot += c
+	}
+	for i, c := range s.PodCap {
+		if !podReach[i] {
+			return ConflictResultN{}, fmt.Errorf("twolayer: pod %d unreachable", i)
+		}
+		podTot += c
+	}
+	res := ConflictResultN{
+		Arch:        "two-layer",
+		MaxLinkUtil: s.TrafficMbps / linkTot,
+		MaxPodUtil:  s.TrafficMbps / podTot,
+	}
+	res.Objective = math.Max(res.MaxLinkUtil, res.MaxPodUtil)
+	return res, nil
+}
+
+// SolveOneLayerN minimizes max(link util, pod util) over per-route
+// shares by projected coordinate descent: repeatedly shift share from
+// the route whose bottleneck (its link or pod) is most loaded to the
+// route whose bottleneck is least loaded. The objective is convex in the
+// shares (max of linear functions), so this converges to the optimum up
+// to the step resolution.
+func SolveOneLayerN(s ConflictScenarioN) (ConflictResultN, error) {
+	if err := s.Validate(); err != nil {
+		return ConflictResultN{}, err
+	}
+	n := len(s.Routes)
+	shares := make([]float64, n)
+	for j := range shares {
+		shares[j] = 1 / float64(n)
+	}
+	linkLoad := make([]float64, len(s.LinkCap))
+	podLoad := make([]float64, len(s.PodCap))
+	recompute := func() {
+		for i := range linkLoad {
+			linkLoad[i] = 0
+		}
+		for i := range podLoad {
+			podLoad[i] = 0
+		}
+		for j, r := range s.Routes {
+			t := shares[j] * s.TrafficMbps
+			linkLoad[r[0]] += t
+			podLoad[r[1]] += t
+		}
+	}
+	bottleneck := func(j int) float64 {
+		r := s.Routes[j]
+		return math.Max(linkLoad[r[0]]/s.LinkCap[r[0]], podLoad[r[1]]/s.PodCap[r[1]])
+	}
+	step := 1.0 / float64(n)
+	for iter := 0; iter < 20000; iter++ {
+		recompute()
+		worst, best := 0, 0
+		for j := 1; j < n; j++ {
+			if bottleneck(j) > bottleneck(worst) {
+				worst = j
+			}
+			// The best receiver must have share-independent headroom:
+			// compare bottlenecks as if given a tiny extra share.
+			if bottleneck(j) < bottleneck(best) {
+				best = j
+			}
+		}
+		if worst == best || bottleneck(worst)-bottleneck(best) < 1e-9 {
+			break
+		}
+		d := math.Min(step, shares[worst])
+		shares[worst] -= d
+		shares[best] += d
+		step *= 0.995 // anneal the step so the split can converge finely
+		if step < 1e-9 {
+			break
+		}
+	}
+	recompute()
+	res := ConflictResultN{Arch: "one-layer", Shares: shares}
+	for i := range linkLoad {
+		if u := linkLoad[i] / s.LinkCap[i]; u > res.MaxLinkUtil {
+			res.MaxLinkUtil = u
+		}
+	}
+	for i := range podLoad {
+		if u := podLoad[i] / s.PodCap[i]; u > res.MaxPodUtil {
+			res.MaxPodUtil = u
+		}
+	}
+	res.Objective = math.Max(res.MaxLinkUtil, res.MaxPodUtil)
+	return res, nil
+}
+
+// CrossScenario builds the adversarial N×N instance generalizing the
+// paper's conflict: N links, N pods, route j = (link j, pod j), so one
+// share vector must balance both dimensions simultaneously.
+func CrossScenario(traffic float64, linkCap, podCap []float64) (ConflictScenarioN, error) {
+	if len(linkCap) != len(podCap) {
+		return ConflictScenarioN{}, fmt.Errorf("twolayer: need equal link and pod counts")
+	}
+	s := ConflictScenarioN{TrafficMbps: traffic, LinkCap: linkCap, PodCap: podCap}
+	for j := range linkCap {
+		s.Routes = append(s.Routes, [2]int{j, j})
+	}
+	return s, nil
+}

@@ -1,0 +1,194 @@
+package twolayer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConflictNValidation(t *testing.T) {
+	bad := ConflictScenarioN{TrafficMbps: 0, LinkCap: []float64{1}, PodCap: []float64{1}, Routes: [][2]int{{0, 0}}}
+	if _, err := SolveOneLayerN(bad); err == nil {
+		t.Error("zero traffic accepted")
+	}
+	bad = ConflictScenarioN{TrafficMbps: 1, LinkCap: []float64{1}, PodCap: []float64{1}, Routes: [][2]int{{0, 5}}}
+	if _, err := SolveTwoLayerN(bad); err == nil {
+		t.Error("out-of-range route accepted")
+	}
+	bad = ConflictScenarioN{TrafficMbps: 1, LinkCap: []float64{1, 1}, PodCap: []float64{1}, Routes: [][2]int{{0, 0}}}
+	if _, err := SolveTwoLayerN(bad); err == nil {
+		t.Error("unreachable link accepted")
+	}
+	if _, err := CrossScenario(1, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched CrossScenario accepted")
+	}
+}
+
+func TestConflictNMatches2x2Analytic(t *testing.T) {
+	// Same scenario as the analytic E13 instance.
+	sc2 := ConflictScenario{TrafficMbps: 1000, LinkCap: [2]float64{600, 600}, PodCap: [2]float64{250, 1000}}
+	one2, err := SolveOneLayer(sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two2, err := SolveTwoLayer(sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scN, err := CrossScenario(1000, []float64{600, 600}, []float64{250, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneN, err := SolveOneLayerN(scN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoN, err := SolveTwoLayerN(scN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(oneN.Objective-one2.Objective) > 0.01 {
+		t.Errorf("one-layer N objective %v vs analytic %v", oneN.Objective, one2.Objective)
+	}
+	if math.Abs(twoN.Objective-two2.Objective) > 1e-9 {
+		t.Errorf("two-layer N objective %v vs analytic %v", twoN.Objective, two2.Objective)
+	}
+}
+
+func TestConflictNSymmetricNoGap(t *testing.T) {
+	sc, err := CrossScenario(1200, []float64{500, 500, 500, 500}, []float64{400, 400, 400, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := SolveOneLayerN(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := SolveTwoLayerN(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one.Objective-two.Objective) > 0.01 {
+		t.Errorf("symmetric gap: one %v two %v", one.Objective, two.Objective)
+	}
+	// Shares converge to uniform.
+	for _, s := range one.Shares {
+		if math.Abs(s-0.25) > 0.02 {
+			t.Errorf("shares not uniform: %v", one.Shares)
+		}
+	}
+}
+
+func TestConflictNAsymmetricGap(t *testing.T) {
+	// 4 routes; pod capacities wildly skewed against the links.
+	sc, err := CrossScenario(2000, []float64{700, 700, 700, 700}, []float64{100, 300, 900, 2700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := SolveOneLayerN(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := SolveTwoLayerN(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Objective <= two.Objective+0.01 {
+		t.Errorf("no gap in adversarial N scenario: one %v two %v", one.Objective, two.Objective)
+	}
+}
+
+// TestTwoLayerOptimumAchievableOnMechanics cross-validates the analytic
+// model against the actual switch mechanics: configuring the Arch with
+// the solver's optimal splits reproduces the predicted m-VIP loads.
+func TestTwoLayerOptimumAchievableOnMechanics(t *testing.T) {
+	sc := ConflictScenario{TrafficMbps: 1000, LinkCap: [2]float64{600, 600}, PodCap: [2]float64{250, 1000}}
+	two, err := SolveTwoLayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(2, 2, testLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, mvips, err := a.OnboardApp(1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DNS splits the traffic over external VIPs per the link split; the
+	// DD layer splits each external VIP's traffic over m-VIPs per the
+	// pod split.
+	a.SetExternalLoad(ext[0], sc.TrafficMbps*two.Split)
+	a.SetExternalLoad(ext[1], sc.TrafficMbps*(1-two.Split))
+	if err := a.SetMVIPWeights(1, []float64{two.PodSplit, 1 - two.PodSplit}); err != nil {
+		t.Fatal(err)
+	}
+	// m-VIP loads must match the pod split the solver predicted.
+	for i, m := range mvips {
+		home, _ := a.LB.HomeOf(m)
+		got := a.LB.Switch(home).VIPLoad(m)
+		want := sc.TrafficMbps * two.PodSplit
+		if i == 1 {
+			want = sc.TrafficMbps * (1 - two.PodSplit)
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("m-VIP %d load = %v, solver predicted %v", i, got, want)
+		}
+	}
+	// Pod utilizations realize the solver's objective.
+	for i, m := range mvips {
+		home, _ := a.LB.HomeOf(m)
+		util := a.LB.Switch(home).VIPLoad(m) / sc.PodCap[i]
+		if util > two.MaxPodUtil+1e-6 {
+			t.Errorf("pod %d util %v exceeds predicted max %v", i, util, two.MaxPodUtil)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on random cross scenarios, two-layer ≤ one-layer, the
+// one-layer shares are a distribution, and both objectives are at least
+// the information-theoretic bound traffic/min(Σlink, Σpod).
+func TestPropertyConflictN(t *testing.T) {
+	f := func(caps [8]uint16, tr uint16) bool {
+		link := make([]float64, 4)
+		pod := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			link[i] = float64(caps[i]%900) + 100
+			pod[i] = float64(caps[i+4]%900) + 100
+		}
+		traffic := float64(tr%3000) + 100
+		sc, err := CrossScenario(traffic, link, pod)
+		if err != nil {
+			return false
+		}
+		one, err1 := SolveOneLayerN(sc)
+		two, err2 := SolveTwoLayerN(sc)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		var sum float64
+		for _, s := range one.Shares {
+			if s < -1e-9 {
+				return false
+			}
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return false
+		}
+		var lt, pt float64
+		for i := 0; i < 4; i++ {
+			lt += link[i]
+			pt += pod[i]
+		}
+		bound := traffic / math.Min(lt, pt)
+		return two.Objective <= one.Objective+1e-6 && two.Objective >= bound-1e-9 && one.Objective >= bound-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Error(err)
+	}
+}

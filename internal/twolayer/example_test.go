@@ -1,0 +1,25 @@
+package twolayer_test
+
+import (
+	"fmt"
+
+	"megadc/internal/twolayer"
+)
+
+// The Section V-B policy conflict: one DNS split cannot balance links
+// and pods at once; the two-layer architecture decouples them.
+func Example() {
+	sc := twolayer.ConflictScenario{
+		TrafficMbps: 1000,
+		LinkCap:     [2]float64{600, 600},  // links want a 50/50 split
+		PodCap:      [2]float64{250, 1000}, // pods want 20/80
+	}
+	one, _ := twolayer.SolveOneLayer(sc)
+	two, _ := twolayer.SolveTwoLayer(sc)
+	fmt.Printf("one-layer compromise: objective %.2f (overloaded)\n", one.Objective)
+	fmt.Printf("two-layer decoupled:  objective %.2f (links %.2f, pods %.2f)\n",
+		two.Objective, two.MaxLinkUtil, two.MaxPodUtil)
+	// Output:
+	// one-layer compromise: objective 1.18 (overloaded)
+	// two-layer decoupled:  objective 0.83 (links 0.83, pods 0.80)
+}

@@ -1,0 +1,229 @@
+package viprip
+
+import (
+	"fmt"
+	"sort"
+
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+)
+
+// Hierarchy implements the paper's Section V-A fallback for when global
+// VIP allocation itself becomes a bottleneck: "divide LB switches into
+// logical pods, each managed by its own LB switch pod manager. The
+// global manager would allocate addresses to LB switch pods ... and also
+// redistribute the switches among the switch pods to balance their size
+// and hence the work of the switch pod managers."
+//
+// The hierarchy makes each allocation a two-level decision: O(pods) to
+// pick a switch pod (by aggregate pressure), then O(pod size) inside it
+// — instead of scanning every switch. Scans counts switch examinations
+// so experiments can report the work saved.
+type Hierarchy struct {
+	fabric  *lbswitch.Fabric
+	vipPool *IPPool
+	policy  Policy
+
+	pods  [][]lbswitch.SwitchID
+	podOf map[lbswitch.SwitchID]int
+
+	// Scans counts switches examined across all allocations;
+	// Rebalances counts switch moves between switch pods.
+	Scans      int64
+	Rebalances int64
+}
+
+// NewHierarchy partitions the fabric's switches into nPods switch pods
+// (round-robin) under the given intra-pod selection policy.
+func NewHierarchy(fabric *lbswitch.Fabric, vipPool *IPPool, nPods int, policy Policy) (*Hierarchy, error) {
+	if nPods <= 0 {
+		return nil, fmt.Errorf("viprip: need at least one switch pod")
+	}
+	if fabric.NumSwitches() < nPods {
+		return nil, fmt.Errorf("viprip: %d pods for %d switches", nPods, fabric.NumSwitches())
+	}
+	h := &Hierarchy{
+		fabric:  fabric,
+		vipPool: vipPool,
+		policy:  policy,
+		pods:    make([][]lbswitch.SwitchID, nPods),
+		podOf:   make(map[lbswitch.SwitchID]int),
+	}
+	for i, sw := range fabric.Switches() {
+		pod := i % nPods
+		h.pods[pod] = append(h.pods[pod], sw.ID)
+		h.podOf[sw.ID] = pod
+	}
+	return h, nil
+}
+
+// NumPods returns the number of switch pods.
+func (h *Hierarchy) NumPods() int { return len(h.pods) }
+
+// PodSizes returns the switch count of each pod.
+func (h *Hierarchy) PodSizes() []int {
+	out := make([]int, len(h.pods))
+	for i, p := range h.pods {
+		out[i] = len(p)
+	}
+	return out
+}
+
+// PodOf returns the switch pod a switch belongs to.
+func (h *Hierarchy) PodOf(sw lbswitch.SwitchID) (int, bool) {
+	p, ok := h.podOf[sw]
+	return p, ok
+}
+
+// podPressure is a switch pod's aggregate allocation pressure: the mean
+// of its switches' blend scores.
+func (h *Hierarchy) podPressure(pod int) float64 {
+	if len(h.pods[pod]) == 0 {
+		return 1e18
+	}
+	var sum float64
+	for _, id := range h.pods[pod] {
+		sw := h.fabric.Switch(id)
+		s := vipPressure(sw)
+		if u := sw.Utilization(); u > s {
+			s = u
+		}
+		sum += s
+	}
+	return sum / float64(len(h.pods[pod]))
+}
+
+// AddVIP allocates a VIP two-level: least-pressured switch pod first,
+// then the policy inside that pod. Only the chosen pod's switches are
+// scanned.
+func (h *Hierarchy) AddVIP(app cluster.AppID) (lbswitch.VIP, lbswitch.SwitchID, error) {
+	// Level 1: pick the pod (O(pods), not counted as switch scans —
+	// pressures are maintained by the pod managers in a real system).
+	best := -1
+	var bestP float64
+	for pod := range h.pods {
+		if !h.podHasRoom(pod) {
+			continue
+		}
+		p := h.podPressure(pod)
+		if best < 0 || p < bestP {
+			best, bestP = pod, p
+		}
+	}
+	if best < 0 {
+		return "", 0, ErrNoSwitch
+	}
+	// Level 2: policy scan inside the pod.
+	sw := h.pickWithin(best)
+	if sw == nil {
+		return "", 0, ErrNoSwitch
+	}
+	addr, err := h.vipPool.Alloc()
+	if err != nil {
+		return "", 0, err
+	}
+	vip := lbswitch.VIP(addr)
+	if err := h.fabric.PlaceVIP(vip, app, sw.ID); err != nil {
+		h.vipPool.Free(addr)
+		return "", 0, err
+	}
+	return vip, sw.ID, nil
+}
+
+func (h *Hierarchy) podHasRoom(pod int) bool {
+	for _, id := range h.pods[pod] {
+		sw := h.fabric.Switch(id)
+		if sw.NumVIPs() < sw.Limits.MaxVIPs {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *Hierarchy) pickWithin(pod int) *lbswitch.Switch {
+	var best *lbswitch.Switch
+	bestScore := 0.0
+	for _, id := range h.pods[pod] {
+		h.Scans++
+		sw := h.fabric.Switch(id)
+		if sw.NumVIPs() >= sw.Limits.MaxVIPs {
+			continue
+		}
+		var score float64
+		switch h.policy {
+		case LeastVIPs:
+			score = vipPressure(sw)
+		case LeastLoad:
+			score = sw.Utilization()
+		case Blend:
+			score = vipPressure(sw)
+			if u := sw.Utilization(); u > score {
+				score = u
+			}
+		case FirstFitPolicy:
+			return sw
+		}
+		if best == nil || score < bestScore {
+			best, bestScore = sw, score
+		}
+	}
+	return best
+}
+
+// Rebalance performs the paper's switch redistribution: while some pod
+// has at least two more switches than another, the least-pressured
+// switch of the biggest pod moves to the smallest pod. It returns the
+// number of moves.
+func (h *Hierarchy) Rebalance() int {
+	moves := 0
+	for {
+		big, small := -1, -1
+		for pod := range h.pods {
+			if big < 0 || len(h.pods[pod]) > len(h.pods[big]) {
+				big = pod
+			}
+			if small < 0 || len(h.pods[pod]) < len(h.pods[small]) {
+				small = pod
+			}
+		}
+		if big < 0 || len(h.pods[big])-len(h.pods[small]) < 2 {
+			return moves
+		}
+		// Move the least-loaded switch (its VIPs move with it — switch
+		// pod membership is management state, not data-plane state).
+		idx := 0
+		for i, id := range h.pods[big] {
+			if h.fabric.Switch(id).Utilization() < h.fabric.Switch(h.pods[big][idx]).Utilization() {
+				idx = i
+			}
+		}
+		sw := h.pods[big][idx]
+		h.pods[big] = append(h.pods[big][:idx], h.pods[big][idx+1:]...)
+		h.pods[small] = append(h.pods[small], sw)
+		sort.Slice(h.pods[small], func(i, j int) bool { return h.pods[small][i] < h.pods[small][j] })
+		h.podOf[sw] = small
+		h.Rebalances++
+		moves++
+	}
+}
+
+// CheckInvariants verifies the pod partition: every switch in exactly
+// one pod, the index consistent.
+func (h *Hierarchy) CheckInvariants() error {
+	seen := make(map[lbswitch.SwitchID]int)
+	for pod, ids := range h.pods {
+		for _, id := range ids {
+			if prev, dup := seen[id]; dup {
+				return fmt.Errorf("viprip: switch %d in pods %d and %d", id, prev, pod)
+			}
+			seen[id] = pod
+			if h.podOf[id] != pod {
+				return fmt.Errorf("viprip: switch %d podOf=%d but listed in %d", id, h.podOf[id], pod)
+			}
+		}
+	}
+	if len(seen) != h.fabric.NumSwitches() {
+		return fmt.Errorf("viprip: %d switches partitioned, fabric has %d", len(seen), h.fabric.NumSwitches())
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package viprip
+
+import (
+	"testing"
+
+	"megadc/internal/lbswitch"
+)
+
+func newHierFabric(t *testing.T, nSwitches int) (*lbswitch.Fabric, *IPPool) {
+	t.Helper()
+	fab := lbswitch.NewFabric()
+	for i := 0; i < nSwitches; i++ {
+		fab.AddSwitch(lbswitch.Limits{MaxVIPs: 8, MaxRIPs: 32, ThroughputMbps: 1000, MaxConns: 100, MaxPPS: 1000})
+	}
+	vp, err := NewIPPool("100.64.0.0", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fab, vp
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	fab, vp := newHierFabric(t, 4)
+	if _, err := NewHierarchy(fab, vp, 0, Blend); err == nil {
+		t.Error("zero pods accepted")
+	}
+	if _, err := NewHierarchy(fab, vp, 5, Blend); err == nil {
+		t.Error("more pods than switches accepted")
+	}
+	h, err := NewHierarchy(fab, vp, 2, Blend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumPods() != 2 {
+		t.Errorf("NumPods = %d", h.NumPods())
+	}
+	sizes := h.PodSizes()
+	if sizes[0] != 2 || sizes[1] != 2 {
+		t.Errorf("PodSizes = %v", sizes)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyAllocatesAndBalances(t *testing.T) {
+	fab, vp := newHierFabric(t, 8)
+	h, err := NewHierarchy(fab, vp, 4, LeastVIPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[lbswitch.SwitchID]int)
+	for i := 0; i < 32; i++ {
+		_, sw, err := h.AddVIP(1)
+		if err != nil {
+			t.Fatalf("AddVIP %d: %v", i, err)
+		}
+		counts[sw]++
+	}
+	// 32 VIPs over 8 switches → 4 each (pods and least-vips both even).
+	for id, n := range counts {
+		if n != 4 {
+			t.Errorf("switch %d got %d VIPs (counts %v)", id, n, counts)
+		}
+	}
+	if err := fab.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyScansFewerSwitches(t *testing.T) {
+	// Flat scan would touch nSwitches per allocation; the hierarchy only
+	// the chosen pod's size.
+	fab, vp := newHierFabric(t, 16)
+	h, err := NewHierarchy(fab, vp, 4, Blend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, _, err := h.AddVIP(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flatScans := int64(n * 16)
+	if h.Scans >= flatScans {
+		t.Errorf("hierarchy scanned %d, flat would scan %d", h.Scans, flatScans)
+	}
+	if h.Scans != int64(n*4) {
+		t.Errorf("scans = %d, want %d (pod size per allocation)", h.Scans, n*4)
+	}
+}
+
+func TestHierarchyExhaustion(t *testing.T) {
+	fab, vp := newHierFabric(t, 2)
+	h, err := NewHierarchy(fab, vp, 2, LeastVIPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ { // 2 switches × 8 VIPs
+		if _, _, err := h.AddVIP(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := h.AddVIP(1); err != ErrNoSwitch {
+		t.Errorf("err = %v, want ErrNoSwitch", err)
+	}
+}
+
+func TestHierarchyRebalance(t *testing.T) {
+	fab, vp := newHierFabric(t, 9)
+	h, err := NewHierarchy(fab, vp, 3, Blend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skew the partition by hand: move everything into pod 0's list.
+	var all []lbswitch.SwitchID
+	for pod := range h.pods {
+		all = append(all, h.pods[pod]...)
+	}
+	h.pods[0] = all
+	h.pods[1] = nil
+	h.pods[2] = nil
+	for _, id := range all {
+		h.podOf[id] = 0
+	}
+	moves := h.Rebalance()
+	if moves == 0 {
+		t.Fatal("no rebalance moves")
+	}
+	sizes := h.PodSizes()
+	max, min := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+		if s < min {
+			min = s
+		}
+	}
+	if max-min >= 2 {
+		t.Errorf("pods still skewed: %v", sizes)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if h.Rebalances != int64(moves) {
+		t.Errorf("Rebalances = %d, moves = %d", h.Rebalances, moves)
+	}
+	// A balanced partition rebalances no further.
+	if h.Rebalance() != 0 {
+		t.Error("second Rebalance moved switches")
+	}
+}
+
+func TestHierarchyPodOf(t *testing.T) {
+	fab, vp := newHierFabric(t, 4)
+	h, _ := NewHierarchy(fab, vp, 2, Blend)
+	if pod, ok := h.PodOf(0); !ok || pod != 0 {
+		t.Errorf("PodOf(0) = %d,%v", pod, ok)
+	}
+	if _, ok := h.PodOf(99); ok {
+		t.Error("PodOf(99) found")
+	}
+}

@@ -1,0 +1,93 @@
+// Package viprip implements the paper's VIP/RIP manager (Section III-C):
+// the global-manager component that mediates and serializes every
+// VIP/RIP (re)configuration request. All LB switches are a globally
+// shared resource; pod managers and the global manager submit requests,
+// and the manager processes them sequentially by priority — allocating
+// each new VIP on an underloaded switch and each new RIP on a switch
+// that already hosts one of the application's VIPs.
+package viprip
+
+import (
+	"errors"
+	"fmt"
+)
+
+// IPPool allocates unique IPv4 addresses from a base address. Freed
+// addresses are recycled LIFO. The paper's RIPs come from the private
+// 10/8 block; VIPs from the provider's public space.
+type IPPool struct {
+	base  uint32
+	size  uint32
+	next  uint32
+	freed []uint32
+	inUse map[uint32]bool
+}
+
+// ErrPoolExhausted is returned when no addresses remain.
+var ErrPoolExhausted = errors.New("viprip: IP pool exhausted")
+
+// NewIPPool returns a pool of size addresses starting at the dotted-quad
+// base (e.g. "10.0.0.0").
+func NewIPPool(base string, size uint32) (*IPPool, error) {
+	b, err := parseIPv4(base)
+	if err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		return nil, errors.New("viprip: pool size must be positive")
+	}
+	return &IPPool{base: b, size: size, inUse: make(map[uint32]bool)}, nil
+}
+
+// Alloc returns an unused address from the pool.
+func (p *IPPool) Alloc() (string, error) {
+	var addr uint32
+	if n := len(p.freed); n > 0 {
+		addr = p.freed[n-1]
+		p.freed = p.freed[:n-1]
+	} else {
+		if p.next >= p.size {
+			return "", ErrPoolExhausted
+		}
+		addr = p.base + p.next
+		p.next++
+	}
+	p.inUse[addr] = true
+	return formatIPv4(addr), nil
+}
+
+// Free returns an address to the pool. Freeing an address that is not
+// allocated is an error.
+func (p *IPPool) Free(ip string) error {
+	a, err := parseIPv4(ip)
+	if err != nil {
+		return err
+	}
+	if !p.inUse[a] {
+		return fmt.Errorf("viprip: %s not allocated from this pool", ip)
+	}
+	delete(p.inUse, a)
+	p.freed = append(p.freed, a)
+	return nil
+}
+
+// Allocated returns the number of addresses currently in use.
+func (p *IPPool) Allocated() int { return len(p.inUse) }
+
+// Capacity returns the pool size.
+func (p *IPPool) Capacity() uint32 { return p.size }
+
+func parseIPv4(s string) (uint32, error) {
+	var a, b, c, d uint32
+	if n, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); n != 4 || err != nil {
+		return 0, fmt.Errorf("viprip: bad IPv4 %q", s)
+	}
+	if a > 255 || b > 255 || c > 255 || d > 255 {
+		return 0, fmt.Errorf("viprip: bad IPv4 %q", s)
+	}
+	return a<<24 | b<<16 | c<<8 | d, nil
+}
+
+func formatIPv4(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", v>>24&255, v>>16&255, v>>8&255, v&255)
+}

@@ -1,0 +1,388 @@
+package viprip
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+)
+
+// Policy selects the switch for a new VIP. The paper leaves the policy
+// open ("identifies an underloaded switch, i.e., one with few already-
+// configured VIPs and a low data throughput"); the manager implements
+// the obvious candidates, ablated in experiment E12.
+type Policy int
+
+// Switch-selection policies.
+const (
+	// LeastVIPs picks the switch with the fewest configured VIPs.
+	LeastVIPs Policy = iota
+	// LeastLoad picks the switch with the lowest throughput utilization.
+	LeastLoad
+	// Blend picks the switch minimizing the max of VIP-count fraction
+	// and throughput utilization — the paper's "few already-configured
+	// VIPs AND a low data throughput" reading.
+	Blend
+	// FirstFitPolicy packs VIPs onto the lowest-numbered switch with
+	// room; used by the E1 packing experiment to realize the paper's
+	// minimum-switch-count arithmetic.
+	FirstFitPolicy
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LeastVIPs:
+		return "least-vips"
+	case LeastLoad:
+		return "least-load"
+	case Blend:
+		return "blend"
+	case FirstFitPolicy:
+		return "first-fit"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Priority orders requests in the serialized queue.
+type Priority int
+
+// Request priorities; higher values are processed first.
+const (
+	PriorityLow Priority = iota
+	PriorityNormal
+	PriorityHigh
+)
+
+// Errors returned by the manager.
+var (
+	// ErrNoSwitch means no switch can accept the requested configuration.
+	ErrNoSwitch = errors.New("viprip: no switch with spare capacity")
+	// ErrNoVIPForApp means a RIP request arrived for an app with no VIPs.
+	ErrNoVIPForApp = errors.New("viprip: application has no VIPs configured")
+)
+
+// Manager is the serialized VIP/RIP configuration authority.
+type Manager struct {
+	fabric  *lbswitch.Fabric
+	vipPool *IPPool
+	ripPool *IPPool
+	policy  Policy
+
+	queue     []*Request
+	seq       int64
+	Processed int64
+}
+
+// Request is one queued (re)configuration request. Submit requests with
+// Submit and drain with ProcessAll; Result and Err are filled when the
+// request is processed.
+type Request struct {
+	Op       Op
+	App      cluster.AppID
+	Priority Priority
+	VIP      lbswitch.VIP // DelVIP: which VIP; AddRIP: optional preferred VIP
+	RIP      lbswitch.RIP // AddRIP/DelRIP
+	Weight   float64      // AddRIP
+
+	seq    int64
+	Result Result
+	Err    error
+	Done   bool
+}
+
+// Op is the request operation type.
+type Op int
+
+// Request operations.
+const (
+	OpAddVIP Op = iota
+	OpDelVIP
+	OpAddRIP
+	OpDelRIP
+)
+
+// Result carries the outcome of a processed request.
+type Result struct {
+	VIP    lbswitch.VIP
+	Switch lbswitch.SwitchID
+}
+
+// NewManager creates a manager over the fabric with the given IP pools
+// and switch-selection policy.
+func NewManager(fabric *lbswitch.Fabric, vipPool, ripPool *IPPool, policy Policy) *Manager {
+	return &Manager{fabric: fabric, vipPool: vipPool, ripPool: ripPool, policy: policy}
+}
+
+// Fabric returns the managed switch fabric.
+func (m *Manager) Fabric() *lbswitch.Fabric { return m.fabric }
+
+// Policy returns the active switch-selection policy.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// SetPolicy changes the switch-selection policy.
+func (m *Manager) SetPolicy(p Policy) { m.policy = p }
+
+// AllocRIP hands out a fresh RIP address for a new VM instance.
+func (m *Manager) AllocRIP() (lbswitch.RIP, error) {
+	s, err := m.ripPool.Alloc()
+	return lbswitch.RIP(s), err
+}
+
+// FreeRIP returns a RIP address to the pool.
+func (m *Manager) FreeRIP(rip lbswitch.RIP) error { return m.ripPool.Free(string(rip)) }
+
+// Submit enqueues a request for serialized processing.
+func (m *Manager) Submit(r *Request) {
+	r.seq = m.seq
+	m.seq++
+	m.queue = append(m.queue, r)
+}
+
+// Pending returns the number of queued, unprocessed requests.
+func (m *Manager) Pending() int { return len(m.queue) }
+
+// ProcessAll drains the queue, highest priority first (FIFO within a
+// priority), applying each request. It returns the processed requests in
+// execution order.
+func (m *Manager) ProcessAll() []*Request {
+	sort.SliceStable(m.queue, func(i, j int) bool {
+		if m.queue[i].Priority != m.queue[j].Priority {
+			return m.queue[i].Priority > m.queue[j].Priority
+		}
+		return m.queue[i].seq < m.queue[j].seq
+	})
+	out := m.queue
+	m.queue = nil
+	for _, r := range out {
+		m.process(r)
+	}
+	return out
+}
+
+func (m *Manager) process(r *Request) {
+	switch r.Op {
+	case OpAddVIP:
+		r.Result.VIP, r.Result.Switch, r.Err = m.AddVIP(r.App)
+	case OpDelVIP:
+		r.Err = m.DelVIP(r.VIP)
+	case OpAddRIP:
+		r.Result.VIP, r.Result.Switch, r.Err = m.AddRIP(r.App, r.RIP, r.Weight, r.VIP)
+	case OpDelRIP:
+		r.Err = m.DelRIP(r.App, r.RIP)
+	default:
+		r.Err = fmt.Errorf("viprip: unknown op %d", r.Op)
+	}
+	r.Done = true
+	m.Processed++
+}
+
+// AddVIP allocates an unused address, selects an underloaded switch per
+// the policy, and configures the VIP there. It returns the new VIP and
+// its home switch.
+func (m *Manager) AddVIP(app cluster.AppID) (lbswitch.VIP, lbswitch.SwitchID, error) {
+	sw := m.pickSwitchForVIP()
+	if sw == nil {
+		return "", 0, ErrNoSwitch
+	}
+	addr, err := m.vipPool.Alloc()
+	if err != nil {
+		return "", 0, err
+	}
+	vip := lbswitch.VIP(addr)
+	if err := m.fabric.PlaceVIP(vip, app, sw.ID); err != nil {
+		m.vipPool.Free(addr)
+		return "", 0, err
+	}
+	return vip, sw.ID, nil
+}
+
+// DelVIP removes a VIP (handled "in a straightforward way" per the
+// paper) and returns its address to the pool. Active connections are
+// broken; deletion is the caller's decision.
+func (m *Manager) DelVIP(vip lbswitch.VIP) error {
+	if err := m.fabric.DropVIP(vip, true); err != nil {
+		return err
+	}
+	return m.vipPool.Free(string(vip))
+}
+
+// AddRIP configures rip with the given weight on a switch hosting one of
+// app's VIPs — per the paper, "the manager considers the switches that
+// host one of the VIPs of the corresponding application [and] selects
+// the most appropriate switch with spare RIP capacity". If preferred is
+// non-empty, that VIP is used (needed when a pod manager asks for a RIP
+// under a specific VIP); otherwise the VIP on the least-utilized
+// eligible switch is chosen.
+func (m *Manager) AddRIP(app cluster.AppID, rip lbswitch.RIP, weight float64, preferred lbswitch.VIP) (lbswitch.VIP, lbswitch.SwitchID, error) {
+	if preferred != "" {
+		home, ok := m.fabric.HomeOf(preferred)
+		if !ok {
+			return "", 0, fmt.Errorf("%w: %s", lbswitch.ErrVIPUnknown, preferred)
+		}
+		sw := m.fabric.Switch(home)
+		if err := sw.AddRIP(preferred, rip, weight); err != nil {
+			return "", 0, err
+		}
+		return preferred, home, nil
+	}
+	vips := m.fabric.VIPsOfApp(app)
+	if len(vips) == 0 {
+		return "", 0, fmt.Errorf("%w: app %d", ErrNoVIPForApp, app)
+	}
+	// Choose the VIP whose switch has spare RIP capacity and the lowest
+	// combined pressure (RIP-count fraction vs throughput utilization),
+	// breaking near-ties toward the VIP with the fewest RIPs so an
+	// application's instances spread across its VIPs.
+	best := -1
+	bestScore := 0.0
+	bestGroup := 0
+	for i, vip := range vips {
+		home, _ := m.fabric.HomeOf(vip)
+		sw := m.fabric.Switch(home)
+		if sw.NumRIPs() >= sw.Limits.MaxRIPs {
+			continue
+		}
+		score := ripPressure(sw)
+		group := 0
+		if rs, _, err := sw.Weights(vip); err == nil {
+			group = len(rs)
+		}
+		better := best < 0 ||
+			score < bestScore-1e-9 ||
+			(score < bestScore+1e-9 && group < bestGroup)
+		if better {
+			best, bestScore, bestGroup = i, score, group
+		}
+	}
+	if best < 0 {
+		return "", 0, fmt.Errorf("%w: app %d (all switches at RIP limit)", ErrNoSwitch, app)
+	}
+	vip := vips[best]
+	home, _ := m.fabric.HomeOf(vip)
+	if err := m.fabric.Switch(home).AddRIP(vip, rip, weight); err != nil {
+		return "", 0, err
+	}
+	return vip, home, nil
+}
+
+// DelRIP removes rip from every VIP of app that carries it.
+func (m *Manager) DelRIP(app cluster.AppID, rip lbswitch.RIP) error {
+	removed := false
+	for _, vip := range m.fabric.VIPsOfApp(app) {
+		home, _ := m.fabric.HomeOf(vip)
+		sw := m.fabric.Switch(home)
+		if _, err := sw.RemoveRIP(vip, rip); err == nil {
+			removed = true
+		}
+	}
+	if !removed {
+		return fmt.Errorf("%w: %s for app %d", lbswitch.ErrNoSuchRIP, rip, app)
+	}
+	return nil
+}
+
+// AdjustWeights applies a weight vector to a VIP's RIPs, preserving a
+// total-weight budget: the paper's inter-pod RIP-weight-adjustment knob
+// requires "that the total weight of the RIPs ... remains the same so
+// the load on other pods is not affected". The weights slice must be
+// parallel to the VIP's current RIP order and sum to the current total
+// (within tolerance).
+func (m *Manager) AdjustWeights(vip lbswitch.VIP, weights []float64) error {
+	home, ok := m.fabric.HomeOf(vip)
+	if !ok {
+		return fmt.Errorf("%w: %s", lbswitch.ErrVIPUnknown, vip)
+	}
+	sw := m.fabric.Switch(home)
+	rips, cur, err := sw.Weights(vip)
+	if err != nil {
+		return err
+	}
+	if len(weights) != len(rips) {
+		return fmt.Errorf("viprip: %d weights for %d RIPs", len(weights), len(rips))
+	}
+	var curTotal, newTotal float64
+	for i := range cur {
+		curTotal += cur[i]
+		newTotal += weights[i]
+	}
+	diff := newTotal - curTotal
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-6*(1+curTotal) {
+		return fmt.Errorf("viprip: weight total changed %v -> %v; must be preserved", curTotal, newTotal)
+	}
+	for i, rip := range rips {
+		if err := sw.SetWeight(vip, rip, weights[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) pickSwitchForVIP() *lbswitch.Switch {
+	var best *lbswitch.Switch
+	bestScore := 0.0
+	for _, sw := range m.fabric.Switches() {
+		if sw.NumVIPs() >= sw.Limits.MaxVIPs {
+			continue
+		}
+		var score float64
+		switch m.policy {
+		case LeastVIPs:
+			score = vipPressure(sw)
+		case LeastLoad:
+			score = sw.Utilization()
+		case Blend:
+			score = vipPressure(sw)
+			if u := sw.Utilization(); u > score {
+				score = u
+			}
+		case FirstFitPolicy:
+			return sw // lowest ID with room; Switches() is in ID order
+		}
+		if best == nil || score < bestScore {
+			best, bestScore = sw, score
+		}
+	}
+	return best
+}
+
+func vipPressure(sw *lbswitch.Switch) float64 {
+	if sw.Limits.MaxVIPs == 0 {
+		return 1
+	}
+	return float64(sw.NumVIPs()) / float64(sw.Limits.MaxVIPs)
+}
+
+func ripPressure(sw *lbswitch.Switch) float64 {
+	p := 0.0
+	if sw.Limits.MaxRIPs > 0 {
+		p = float64(sw.NumRIPs()) / float64(sw.Limits.MaxRIPs)
+	}
+	if u := sw.Utilization(); u > p {
+		p = u
+	}
+	return p
+}
+
+// MinSwitchCount returns the paper's Section V-A arithmetic: the minimum
+// number of LB switches needed for nApps applications with vipsPerApp
+// VIPs and ripsPerApp RIPs each, given per-switch limits:
+// max(ceil(nApps·vipsPerApp / MaxVIPs), ceil(nApps·ripsPerApp / MaxRIPs)).
+func MinSwitchCount(nApps, vipsPerApp, ripsPerApp int, limits lbswitch.Limits) int {
+	ceilDiv := func(a, b int) int {
+		if b <= 0 {
+			return 0
+		}
+		return (a + b - 1) / b
+	}
+	v := ceilDiv(nApps*vipsPerApp, limits.MaxVIPs)
+	r := ceilDiv(nApps*ripsPerApp, limits.MaxRIPs)
+	if r > v {
+		return r
+	}
+	return v
+}

@@ -1,0 +1,416 @@
+package viprip
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"megadc/internal/lbswitch"
+)
+
+func TestIPPoolAllocFree(t *testing.T) {
+	p, err := NewIPPool("10.0.0.0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	c, _ := p.Alloc()
+	if a != "10.0.0.0" || b != "10.0.0.1" || c != "10.0.0.2" {
+		t.Errorf("allocs = %s %s %s", a, b, c)
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrPoolExhausted) {
+		t.Errorf("4th alloc err = %v", err)
+	}
+	if err := p.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(b); err == nil {
+		t.Error("double free accepted")
+	}
+	d, _ := p.Alloc()
+	if d != b {
+		t.Errorf("recycled = %s, want %s", d, b)
+	}
+	if p.Allocated() != 3 || p.Capacity() != 3 {
+		t.Errorf("Allocated/Capacity = %d/%d", p.Allocated(), p.Capacity())
+	}
+}
+
+func TestIPPoolCrossOctet(t *testing.T) {
+	p, _ := NewIPPool("10.0.0.254", 4)
+	var got []string
+	for i := 0; i < 4; i++ {
+		s, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, s)
+	}
+	want := []string{"10.0.0.254", "10.0.0.255", "10.0.1.0", "10.0.1.1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("alloc %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIPPoolValidation(t *testing.T) {
+	if _, err := NewIPPool("not-an-ip", 5); err == nil {
+		t.Error("bad base accepted")
+	}
+	if _, err := NewIPPool("300.0.0.1", 5); err == nil {
+		t.Error("octet > 255 accepted")
+	}
+	if _, err := NewIPPool("10.0.0.0", 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	p, _ := NewIPPool("10.0.0.0", 5)
+	if err := p.Free("junk"); err == nil {
+		t.Error("freeing junk accepted")
+	}
+	if err := p.Free("10.0.0.4"); err == nil {
+		t.Error("freeing never-allocated accepted")
+	}
+}
+
+// Property: the pool never hands out the same address twice while it is
+// in use.
+func TestPropertyIPPoolUnique(t *testing.T) {
+	f := func(ops []bool, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := NewIPPool("192.168.0.0", 32)
+		if err != nil {
+			return false
+		}
+		live := make(map[string]bool)
+		var addrs []string
+		for _, alloc := range ops {
+			if alloc {
+				a, err := p.Alloc()
+				if errors.Is(err, ErrPoolExhausted) {
+					continue
+				}
+				if err != nil || live[a] {
+					return false
+				}
+				live[a] = true
+				addrs = append(addrs, a)
+			} else if len(addrs) > 0 {
+				i := rng.Intn(len(addrs))
+				if err := p.Free(addrs[i]); err != nil {
+					return false
+				}
+				delete(live, addrs[i])
+				addrs = append(addrs[:i], addrs[i+1:]...)
+			}
+		}
+		return p.Allocated() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newTestManager(t *testing.T, nSwitches int, policy Policy) *Manager {
+	t.Helper()
+	fab := lbswitch.NewFabric()
+	for i := 0; i < nSwitches; i++ {
+		fab.AddSwitch(lbswitch.Limits{MaxVIPs: 4, MaxRIPs: 8, ThroughputMbps: 100, MaxConns: 100, MaxPPS: 1000})
+	}
+	vp, err := NewIPPool("198.51.100.0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewIPPool("10.0.0.0", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(fab, vp, rp, policy)
+}
+
+func TestAddVIPLeastVIPs(t *testing.T) {
+	m := newTestManager(t, 3, LeastVIPs)
+	homes := make(map[lbswitch.SwitchID]int)
+	for i := 0; i < 6; i++ {
+		_, sw, err := m.AddVIP(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		homes[sw]++
+	}
+	// Least-VIPs policy spreads 6 VIPs as 2/2/2.
+	for id, n := range homes {
+		if n != 2 {
+			t.Errorf("switch %d got %d VIPs, want 2 (homes=%v)", id, n, homes)
+		}
+	}
+	if err := m.Fabric().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddVIPLeastLoad(t *testing.T) {
+	m := newTestManager(t, 2, LeastLoad)
+	v0, sw0, err := m.AddVIP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load up switch sw0; the next VIP must land elsewhere.
+	m.Fabric().Switch(sw0).SetVIPLoad(v0, 90)
+	_, sw1, err := m.AddVIP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw1 == sw0 {
+		t.Error("least-load placed VIP on the loaded switch")
+	}
+}
+
+func TestAddVIPExhaustion(t *testing.T) {
+	m := newTestManager(t, 1, LeastVIPs)
+	for i := 0; i < 4; i++ {
+		if _, _, err := m.AddVIP(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := m.AddVIP(1); !errors.Is(err, ErrNoSwitch) {
+		t.Errorf("err = %v, want ErrNoSwitch", err)
+	}
+}
+
+func TestDelVIPRecyclesAddress(t *testing.T) {
+	m := newTestManager(t, 1, LeastVIPs)
+	vip, _, err := m.AddVIP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DelVIP(vip); err != nil {
+		t.Fatal(err)
+	}
+	vip2, _, err := m.AddVIP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vip2 != vip {
+		t.Errorf("address not recycled: %s vs %s", vip2, vip)
+	}
+	if err := m.DelVIP("203.0.113.9"); err == nil {
+		t.Error("deleting unknown VIP accepted")
+	}
+}
+
+func TestAddRIPPrefersLeastPressuredVIPSwitch(t *testing.T) {
+	m := newTestManager(t, 2, LeastVIPs)
+	v1, s1, _ := m.AddVIP(1)
+	v2, s2, _ := m.AddVIP(1)
+	if s1 == s2 {
+		t.Fatal("test setup expects VIPs on distinct switches")
+	}
+	// Pressure switch s1 with load.
+	m.Fabric().Switch(s1).SetVIPLoad(v1, 90)
+	rip, _ := m.AllocRIP()
+	vip, sw, err := m.AddRIP(1, rip, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw != s2 || vip != v2 {
+		t.Errorf("RIP went to switch %d VIP %s; want unloaded switch %d VIP %s", sw, vip, s2, v2)
+	}
+}
+
+func TestAddRIPPreferredVIP(t *testing.T) {
+	m := newTestManager(t, 2, LeastVIPs)
+	v1, s1, _ := m.AddVIP(1)
+	m.AddVIP(1)
+	rip, _ := m.AllocRIP()
+	vip, sw, err := m.AddRIP(1, rip, 2, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vip != v1 || sw != s1 {
+		t.Errorf("preferred ignored: %s on %d", vip, sw)
+	}
+	if _, _, err := m.AddRIP(1, rip, 1, "203.0.113.77"); err == nil {
+		t.Error("unknown preferred VIP accepted")
+	}
+}
+
+func TestAddRIPNoVIPs(t *testing.T) {
+	m := newTestManager(t, 1, LeastVIPs)
+	rip, _ := m.AllocRIP()
+	if _, _, err := m.AddRIP(5, rip, 1, ""); !errors.Is(err, ErrNoVIPForApp) {
+		t.Errorf("err = %v, want ErrNoVIPForApp", err)
+	}
+}
+
+func TestDelRIP(t *testing.T) {
+	m := newTestManager(t, 1, LeastVIPs)
+	m.AddVIP(1)
+	rip, _ := m.AllocRIP()
+	if _, _, err := m.AddRIP(1, rip, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DelRIP(1, rip); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DelRIP(1, rip); err == nil {
+		t.Error("double DelRIP accepted")
+	}
+	if err := m.FreeRIP(rip); err != nil {
+		t.Errorf("FreeRIP: %v", err)
+	}
+}
+
+func TestAdjustWeightsPreservesTotal(t *testing.T) {
+	m := newTestManager(t, 1, LeastVIPs)
+	vip, sw, _ := m.AddVIP(1)
+	r1, _ := m.AllocRIP()
+	r2, _ := m.AllocRIP()
+	m.AddRIP(1, r1, 1, vip)
+	m.AddRIP(1, r2, 3, vip)
+	// Valid: total stays 4.
+	if err := m.AdjustWeights(vip, []float64{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, ws, _ := m.Fabric().Switch(sw).Weights(vip)
+	if ws[0] != 2 || ws[1] != 2 {
+		t.Errorf("weights = %v", ws)
+	}
+	// Invalid: total changes.
+	if err := m.AdjustWeights(vip, []float64{3, 2}); err == nil {
+		t.Error("total-changing adjustment accepted")
+	}
+	// Invalid: wrong arity.
+	if err := m.AdjustWeights(vip, []float64{4}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := m.AdjustWeights("203.0.113.88", []float64{1}); err == nil {
+		t.Error("unknown VIP accepted")
+	}
+}
+
+func TestQueuePriorityOrder(t *testing.T) {
+	m := newTestManager(t, 3, LeastVIPs)
+	low := &Request{Op: OpAddVIP, App: 1, Priority: PriorityLow}
+	high := &Request{Op: OpAddVIP, App: 2, Priority: PriorityHigh}
+	norm := &Request{Op: OpAddVIP, App: 3, Priority: PriorityNormal}
+	m.Submit(low)
+	m.Submit(high)
+	m.Submit(norm)
+	if m.Pending() != 3 {
+		t.Errorf("Pending = %d", m.Pending())
+	}
+	done := m.ProcessAll()
+	if len(done) != 3 || done[0] != high || done[1] != norm || done[2] != low {
+		t.Errorf("execution order wrong: %v", []*Request{done[0], done[1], done[2]})
+	}
+	for _, r := range done {
+		if !r.Done || r.Err != nil {
+			t.Errorf("request %+v not done cleanly", r)
+		}
+		if r.Result.VIP == "" {
+			t.Error("no VIP in result")
+		}
+	}
+	if m.Pending() != 0 || m.Processed != 3 {
+		t.Errorf("Pending/Processed = %d/%d", m.Pending(), m.Processed)
+	}
+}
+
+func TestQueueFIFOWithinPriority(t *testing.T) {
+	m := newTestManager(t, 3, LeastVIPs)
+	var reqs []*Request
+	for i := 0; i < 5; i++ {
+		r := &Request{Op: OpAddVIP, App: 1, Priority: PriorityNormal}
+		reqs = append(reqs, r)
+		m.Submit(r)
+	}
+	done := m.ProcessAll()
+	for i := range reqs {
+		if done[i] != reqs[i] {
+			t.Fatalf("FIFO violated at %d", i)
+		}
+	}
+}
+
+func TestQueueOps(t *testing.T) {
+	m := newTestManager(t, 1, LeastVIPs)
+	add := &Request{Op: OpAddVIP, App: 1}
+	m.Submit(add)
+	m.ProcessAll()
+	rip, _ := m.AllocRIP()
+	addRIP := &Request{Op: OpAddRIP, App: 1, RIP: rip, Weight: 1}
+	m.Submit(addRIP)
+	delRIP := &Request{Op: OpDelRIP, App: 1, RIP: rip}
+	m.Submit(delRIP)
+	delVIP := &Request{Op: OpDelVIP, VIP: add.Result.VIP}
+	m.Submit(delVIP)
+	for _, r := range m.ProcessAll() {
+		if r.Err != nil {
+			t.Errorf("op %d err: %v", r.Op, r.Err)
+		}
+	}
+	bad := &Request{Op: Op(99)}
+	m.Submit(bad)
+	m.ProcessAll()
+	if bad.Err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestMinSwitchCountPaperNumbers(t *testing.T) {
+	limits := lbswitch.CatalystCSM()
+	// Section III-B: 300K apps × 2 VIPs / 4000 = 150 switches.
+	if got := MinSwitchCount(300_000, 2, 0, limits); got != 150 {
+		t.Errorf("2-VIP count = %d, want 150", got)
+	}
+	// Section V-A: max(300K·3/4000, 300K·20/16000) = max(225, 375) = 375.
+	if got := MinSwitchCount(300_000, 3, 20, limits); got != 375 {
+		t.Errorf("3-VIP/20-RIP count = %d, want 375", got)
+	}
+	if got := MinSwitchCount(10, 1, 1, lbswitch.Limits{}); got != 0 {
+		t.Errorf("zero limits count = %d", got)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for p, want := range map[Policy]string{
+		LeastVIPs: "least-vips", LeastLoad: "least-load",
+		Blend: "blend", FirstFitPolicy: "first-fit", Policy(9): "Policy(9)",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", int(p), p.String())
+		}
+	}
+}
+
+// Property: however many AddVIP/AddRIP requests are submitted, no switch
+// ever exceeds its limits, under every policy.
+func TestPropertyManagerRespectsLimits(t *testing.T) {
+	f := func(nVIPs, nRIPs uint8, policyRaw uint8) bool {
+		policy := Policy(policyRaw % 4)
+		fab := lbswitch.NewFabric()
+		for i := 0; i < 3; i++ {
+			fab.AddSwitch(lbswitch.Limits{MaxVIPs: 3, MaxRIPs: 6, ThroughputMbps: 100, MaxConns: 10, MaxPPS: 100})
+		}
+		vp, _ := NewIPPool("198.51.100.0", 256)
+		rp, _ := NewIPPool("10.0.0.0", 256)
+		m := NewManager(fab, vp, rp, policy)
+		for i := 0; i < int(nVIPs%24); i++ {
+			m.AddVIP(1)
+		}
+		for i := 0; i < int(nRIPs%40); i++ {
+			rip, err := m.AllocRIP()
+			if err != nil {
+				break
+			}
+			m.AddRIP(1, rip, 1, "")
+		}
+		return fab.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(14))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+package workload_test
+
+import (
+	"fmt"
+	"strings"
+
+	"megadc/internal/workload"
+)
+
+// Zipf popularity and a flash-crowd profile — the demand shapes that
+// motivate elastic resource management.
+func Example() {
+	w := workload.ZipfWeights(5, 1.0)
+	fmt.Printf("head app share: %.2f (rank 1 vs rank 5: %.1fx)\n", w[0], w[0]/w[4])
+
+	f := workload.FlashCrowd{Base: 10, Peak: 100, Start: 60, Ramp: 30, Hold: 120}
+	fmt.Printf("rate before/at-peak/after: %.0f %.0f %.0f\n",
+		f.RateAt(0), f.RateAt(120), f.RateAt(600))
+	// Output:
+	// head app share: 0.44 (rank 1 vs rank 5: 5.0x)
+	// rate before/at-peak/after: 10 100 10
+}
+
+// A recorded demand trace drives a Profile via linear interpolation.
+func ExampleParseTrace() {
+	tr, err := workload.ParseTrace(strings.NewReader(`
+# time rate
+0    5
+300  50
+600  5
+`))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rate at 150 s: %.1f sessions/s\n", tr.RateAt(150))
+	fmt.Printf("peak: %.0f\n", tr.MaxRate())
+	// Output:
+	// rate at 150 s: 27.5 sessions/s
+	// peak: 50
+}

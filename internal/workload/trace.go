@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Trace is a piecewise-linear rate profile defined by (time, rate)
+// breakpoints — the bridge between recorded demand traces and the
+// Profile interface. Before the first breakpoint the rate is the first
+// rate; after the last it is the last rate; between breakpoints it is
+// linearly interpolated.
+type Trace struct {
+	ts    []float64
+	rates []float64
+	max   float64
+}
+
+// NewTrace builds a trace from breakpoints. Times must be strictly
+// increasing and rates non-negative.
+func NewTrace(times, rates []float64) (*Trace, error) {
+	if len(times) == 0 || len(times) != len(rates) {
+		return nil, fmt.Errorf("workload: trace needs matching non-empty times and rates")
+	}
+	tr := &Trace{}
+	for i := range times {
+		if i > 0 && times[i] <= times[i-1] {
+			return nil, fmt.Errorf("workload: trace times not increasing at %d", i)
+		}
+		if rates[i] < 0 {
+			return nil, fmt.Errorf("workload: negative rate %v", rates[i])
+		}
+		tr.ts = append(tr.ts, times[i])
+		tr.rates = append(tr.rates, rates[i])
+		if rates[i] > tr.max {
+			tr.max = rates[i]
+		}
+	}
+	return tr, nil
+}
+
+// ParseTrace reads a trace from text: one "time rate" pair per line
+// (whitespace-separated); blank lines and lines starting with '#' are
+// skipped.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	var times, rates []float64
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: trace line %d: want 'time rate', got %q", line, text)
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		times = append(times, t)
+		rates = append(rates, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewTrace(times, rates)
+}
+
+// RateAt implements Profile by linear interpolation.
+func (tr *Trace) RateAt(t float64) float64 {
+	n := len(tr.ts)
+	if t <= tr.ts[0] {
+		return tr.rates[0]
+	}
+	if t >= tr.ts[n-1] {
+		return tr.rates[n-1]
+	}
+	i := sort.SearchFloat64s(tr.ts, t)
+	// tr.ts[i-1] < t ≤ tr.ts[i]
+	lo, hi := i-1, i
+	frac := (t - tr.ts[lo]) / (tr.ts[hi] - tr.ts[lo])
+	return tr.rates[lo] + frac*(tr.rates[hi]-tr.rates[lo])
+}
+
+// MaxRate implements Profile.
+func (tr *Trace) MaxRate() float64 { return tr.max }
+
+// Len returns the number of breakpoints.
+func (tr *Trace) Len() int { return len(tr.ts) }
+
+// WriteTo serializes the trace in the ParseTrace format.
+func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for i := range tr.ts {
+		n, err := fmt.Fprintf(w, "%g %g\n", tr.ts[i], tr.rates[i])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

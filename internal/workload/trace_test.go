@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+func TestTraceInterpolation(t *testing.T) {
+	tr, err := NewTrace([]float64{0, 10, 20}, []float64{1, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{-5, 1},  // before the first point
+		{0, 1},   // first point
+		{5, 2},   // midpoint of the ramp
+		{10, 3},  // breakpoint
+		{15, 3},  // flat segment
+		{20, 3},  // last point
+		{100, 3}, // after the last point
+	}
+	for _, c := range cases {
+		if got := tr.RateAt(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RateAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if tr.MaxRate() != 3 {
+		t.Errorf("MaxRate = %v", tr.MaxRate())
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := NewTrace(nil, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewTrace([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewTrace([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+	if _, err := NewTrace([]float64{0}, []float64{-1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	src := `
+# a demand trace
+0 1.5
+60 10
+
+120 2.5
+`
+	tr, err := ParseTrace(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.RateAt(30); math.Abs(got-5.75) > 1e-12 {
+		t.Errorf("RateAt(30) = %v, want 5.75", got)
+	}
+	var b strings.Builder
+	if _, err := tr.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ParseTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 15, 60, 90, 120} {
+		if math.Abs(tr.RateAt(x)-tr2.RateAt(x)) > 1e-12 {
+			t.Errorf("round-trip mismatch at %v", x)
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for _, src := range []string{"abc 1", "1 xyz", "1 2 3", "justone"} {
+		if _, err := ParseTrace(strings.NewReader(src)); err == nil {
+			t.Errorf("bad line %q accepted", src)
+		}
+	}
+	if _, err := ParseTrace(strings.NewReader("# only comments\n")); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestTraceDrivesArrivals(t *testing.T) {
+	// A trace that ramps 0 → 50/s over [0,100] then back down: NextArrival
+	// via thinning should produce far more arrivals in the busy middle.
+	tr, err := NewTrace([]float64{0, 100, 200}, []float64{0, 50, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newTestRand()
+	early, mid := 0, 0
+	tt := 0.0
+	for {
+		tt = NextArrival(tr, tt, rng)
+		if tt > 200 {
+			break
+		}
+		if tt < 50 {
+			early++
+		} else if tt >= 75 && tt < 125 {
+			mid++
+		}
+	}
+	if mid <= early*2 {
+		t.Errorf("mid=%d not ≫ early=%d; thinning not tracking the trace", mid, early)
+	}
+}
