@@ -1,5 +1,5 @@
 // Command mdcexp regenerates the reproduction's experiment tables:
-// E1–E13 (the paper's quantitative claims and proposed evaluations; see
+// E1–E14 (the paper's quantitative claims and proposed evaluations; see
 // DESIGN.md §4) plus the extension experiments X1–X4 (energy, multi-DC,
 // sessions, failures). Each experiment prints the same rows
 // EXPERIMENTS.md records.
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		id     = flag.String("e", "all", "experiment id (e1..e13, x1..x4) or 'all'")
+		id     = flag.String("e", "all", "experiment id (e1..e14, x1..x4) or 'all'")
 		full   = flag.Bool("full", false, "run the larger configurations")
 		seed   = flag.Int64("seed", 1, "deterministic seed")
 		list   = flag.Bool("list", false, "list experiments and exit")

@@ -13,6 +13,8 @@
 //	megadcsim -knobs C,D               # enable only some knobs (A..F; empty = all)
 //	megadcsim -print-topology          # Figure 1 structural dump
 //	megadcsim -fail server,switch,link # inject failures mid-run
+//	megadcsim -churn                   # continuous MTBF/MTTR fault churn with repair
+//	megadcsim -churn -churn-flap       # add link flapping to the churn
 //	megadcsim -sessions                # drive discrete sessions instead of fluid demand
 //	megadcsim -energy                  # attach the consolidation knob and report energy
 package main
@@ -26,6 +28,7 @@ import (
 	"megadc/internal/cluster"
 	"megadc/internal/core"
 	"megadc/internal/energy"
+	"megadc/internal/faults"
 	"megadc/internal/metrics"
 	"megadc/internal/sessions"
 	"megadc/internal/workload"
@@ -33,22 +36,27 @@ import (
 
 func main() {
 	var (
-		pods      = flag.Int("pods", 4, "number of logical pods")
-		servers   = flag.Int("servers", 8, "servers per pod")
-		switches  = flag.Int("switches", 4, "LB switches")
-		swPods    = flag.Int("switchpods", 0, "partition switches into this many §V-A switch pods (0 = flat)")
-		isps      = flag.Int("isps", 2, "ISPs (one access router each)")
-		links     = flag.Int("links", 2, "access links per ISP")
-		apps      = flag.Int("apps", 16, "applications to onboard")
-		duration  = flag.Float64("duration", 3600, "simulated seconds")
-		flash     = flag.Int("flash", -1, "app index to hit with a 10× flash crowd (-1: none)")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
-		knobs     = flag.String("knobs", "", "comma-separated knob letters A..F (empty = all)")
-		printTopo = flag.Bool("print-topology", false, "validate and print the Figure 1 topology, then exit")
-		failures  = flag.String("fail", "", "comma-separated failures to inject mid-run: server, switch, link")
-		useSess   = flag.Bool("sessions", false, "drive discrete client sessions instead of fluid demand")
-		useEnergy = flag.Bool("energy", false, "attach the consolidation knob and report energy")
-		traceFile = flag.String("trace", "", "drive the most popular app's demand from a trace file (lines: 'time rate-multiplier')")
+		pods        = flag.Int("pods", 4, "number of logical pods")
+		servers     = flag.Int("servers", 8, "servers per pod")
+		switches    = flag.Int("switches", 4, "LB switches")
+		swPods      = flag.Int("switchpods", 0, "partition switches into this many §V-A switch pods (0 = flat)")
+		isps        = flag.Int("isps", 2, "ISPs (one access router each)")
+		links       = flag.Int("links", 2, "access links per ISP")
+		apps        = flag.Int("apps", 16, "applications to onboard")
+		duration    = flag.Float64("duration", 3600, "simulated seconds")
+		flash       = flag.Int("flash", -1, "app index to hit with a 10× flash crowd (-1: none)")
+		seed        = flag.Int64("seed", 1, "deterministic seed")
+		knobs       = flag.String("knobs", "", "comma-separated knob letters A..F (empty = all)")
+		printTopo   = flag.Bool("print-topology", false, "validate and print the Figure 1 topology, then exit")
+		failures    = flag.String("fail", "", "comma-separated failures to inject mid-run: server, switch, link")
+		churn       = flag.Bool("churn", false, "continuous MTBF/MTTR fault injection with detection delay and repair")
+		churnMTBF   = flag.Float64("churn-server-mtbf", 2000, "mean time between server failures (s); switch/link MTBFs scale from it")
+		churnMTTR   = flag.Float64("churn-mttr", 180, "mean time to repair a failed server (s)")
+		churnDetect = flag.Float64("churn-detect", 15, "delay between a fault and the control plane detecting it (s)")
+		churnFlap   = flag.Bool("churn-flap", false, "add link flapping episodes to the churn")
+		useSess     = flag.Bool("sessions", false, "drive discrete client sessions instead of fluid demand")
+		useEnergy   = flag.Bool("energy", false, "attach the consolidation knob and report energy")
+		traceFile   = flag.String("trace", "", "drive the most popular app's demand from a trace file (lines: 'time rate-multiplier')")
 	)
 	flag.Parse()
 
@@ -152,6 +160,21 @@ func main() {
 	if *failures != "" {
 		scheduleFailures(p, *failures, *duration)
 	}
+	var inj *faults.Injector
+	var mon *faults.Monitor
+	if *churn {
+		fc := faults.DefaultConfig()
+		fc.Server = faults.Class{MTBF: *churnMTBF, MTTR: *churnMTTR, DetectDelay: *churnDetect}
+		fc.Switch = faults.Class{MTBF: 4 * *churnMTBF, MTTR: 2 * *churnMTTR, DetectDelay: *churnDetect}
+		fc.Link = faults.Class{MTBF: 3 * *churnMTBF, MTTR: 1.5 * *churnMTTR, DetectDelay: *churnDetect / 2}
+		if *churnFlap {
+			fc.Flap = faults.FlapConfig{MTBF: 3 * *churnMTBF, Cycles: 3, Down: 2, Up: 8}
+		}
+		inj = faults.New(p, fc)
+		mon = faults.NewMonitor(p, 0.95, 10)
+		inj.Start(*duration)
+		mon.Start(*duration)
+	}
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
@@ -200,6 +223,17 @@ func main() {
 		fmt.Printf("energy: %.1f kWh (avg %.0f W); %d servers off, %d power cycles\n",
 			meter.EnergyWh(*duration)/1000, meter.AverageWatts(*duration),
 			cons.PoweredOff(), cons.PowerOffs+cons.PowerOns)
+	}
+	if mon != nil {
+		mon.Finish()
+		av := mon.Avail
+		ttr := av.AllRecoveries()
+		fmt.Printf("churn: %d faults (%d server, %d switch, %d link, %d flap cycles), %d detected, %d repaired, %d skipped\n",
+			inj.Faults(), inj.ServerFaults, inj.SwitchFaults, inj.LinkFaults, inj.FlapCycles,
+			inj.Detections, inj.Repairs, inj.Skipped)
+		fmt.Printf("availability: mean uptime %.4f, %d outages, %.0f s total downtime, %.0f core·s unserved, TTR p50=%.0fs p95=%.0fs\n",
+			av.MeanUptime(*duration), av.TotalOutages(), av.TotalDowntime(), av.TotalUnserved(),
+			ttr.Quantile(0.5), ttr.Quantile(0.95))
 	}
 	if err := p.CheckInvariants(); err != nil {
 		fmt.Fprintln(os.Stderr, "megadcsim: INVARIANT VIOLATION:", err)

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"megadc/internal/health"
 )
 
 // Identifier types. Distinct types prevent accidentally mixing ID spaces.
@@ -52,9 +54,18 @@ type Server struct {
 	Pod      PodID
 	Capacity Resources
 
+	// Health tracks the failure/repair lifecycle. It is orthogonal to
+	// energy state: a consolidator-powered-off server is Healthy with
+	// zero capacity, while a failed server keeps its capacity until the
+	// failure is detected.
+	Health health.State
+
 	used Resources
 	vms  map[VMID]*VM
 }
+
+// Serving reports whether the server is healthy enough to host work.
+func (s *Server) Serving() bool { return s.Health.Serving() }
 
 // Used returns the sum of slices of VMs currently placed on the server.
 func (s *Server) Used() Resources { return s.used }

@@ -11,11 +11,12 @@ import (
 )
 
 // TestPropertyChaos runs random event sequences — demand changes,
-// deploys, removals, exposure flips, VIP transfers, and component
-// failures — against a platform with all control loops running, and
-// checks that every invariant holds after every event and that the
-// platform never panics. This is the repository's failure-injection
-// umbrella test.
+// deploys, removals, exposure flips, VIP transfers, component
+// failures, repairs, delayed detections, and link flaps — against a
+// platform with all control loops running, and checks that every
+// invariant holds after every event, that the platform never panics,
+// and that the invariants still hold after everything is repaired.
+// This is the repository's failure-injection umbrella test.
 func TestPropertyChaos(t *testing.T) {
 	f := func(ops []uint8, seed int64) bool {
 		topo := SmallTopology()
@@ -40,7 +41,7 @@ func TestPropertyChaos(t *testing.T) {
 		for _, op := range ops {
 			p.Eng.RunFor(15)
 			app := apps[rng.Intn(len(apps))]
-			switch op % 9 {
+			switch op % 12 {
 			case 0: // demand spike
 				p.SetAppDemand(app, Demand{CPU: rng.Float64() * 30, Mbps: rng.Float64() * 400})
 			case 1: // demand drop
@@ -67,50 +68,120 @@ func TestPropertyChaos(t *testing.T) {
 					p.Fabric.TransferVIP(vips[rng.Intn(len(vips))], dst, true)
 					p.Propagate()
 				}
-			case 6: // server failure (spare the last server of a pod)
+			case 6: // server failure (spare the last serving server)
 				ids := p.Cluster.ServerIDs()
+				serving := 0
+				for _, id := range ids {
+					if p.Cluster.Server(id).Serving() {
+						serving++
+					}
+				}
 				victim := ids[rng.Intn(len(ids))]
-				srv := p.Cluster.Server(victim)
-				if srv != nil && !srv.Capacity.IsZero() {
+				if srv := p.Cluster.Server(victim); srv != nil && srv.Serving() && serving > 2 {
 					p.FailServer(victim)
 				}
-			case 7: // switch failure (keep at least two alive)
+			case 7: // switch failure (keep at least two serving)
 				alive := 0
 				for _, sw := range p.Fabric.Switches() {
-					if sw.Limits.MaxVIPs > 0 {
+					if sw.Serving() {
 						alive++
 					}
 				}
 				if alive > 2 {
 					id := lbswitch.SwitchID(rng.Intn(topo.Switches))
-					if p.Fabric.Switch(id).Limits.MaxVIPs > 0 {
+					if p.Fabric.Switch(id).Serving() {
 						p.FailSwitch(id)
 					}
 				}
-			case 8: // link failure (keep at least two alive)
+			case 8: // link failure (keep at least two serving)
 				alive := 0
 				for _, l := range p.Net.Links() {
-					if l.CapacityMbps > 1 {
+					if l.Serving() {
 						alive++
 					}
 				}
 				if alive > 2 {
 					id := netmodel.LinkID(rng.Intn(topo.ISPs * topo.LinksPerISP))
-					if p.Net.Link(id).CapacityMbps > 1 {
+					if p.Net.Link(id).Serving() {
 						p.FailLink(id)
+					}
+				}
+			case 9: // repair everything that has failed
+				for _, id := range p.Cluster.ServerIDs() {
+					if !p.Cluster.Server(id).Serving() {
+						p.RepairServer(id)
+					}
+				}
+				for _, sw := range p.Fabric.Switches() {
+					if !sw.Serving() {
+						p.RepairSwitch(sw.ID)
+					}
+				}
+				for _, l := range p.Net.Links() {
+					if !l.Serving() {
+						p.RepairLink(l.ID)
+					}
+				}
+			case 10: // silent server fault with delayed detection
+				ids := p.Cluster.ServerIDs()
+				serving := 0
+				for _, id := range ids {
+					if p.Cluster.Server(id).Serving() {
+						serving++
+					}
+				}
+				victim := ids[rng.Intn(len(ids))]
+				if srv := p.Cluster.Server(victim); srv != nil && srv.Serving() && serving > 2 {
+					p.FaultServer(victim)
+					p.Eng.After(10, func() { p.DetectServer(victim) })
+				}
+			case 11: // link flap: down then back up before detection
+				alive := 0
+				for _, l := range p.Net.Links() {
+					if l.Serving() {
+						alive++
+					}
+				}
+				if alive > 2 {
+					id := netmodel.LinkID(rng.Intn(topo.ISPs * topo.LinksPerISP))
+					if p.Net.Link(id).Serving() {
+						p.FaultLink(id)
+						p.Eng.After(5, func() { p.RepairLink(id) })
 					}
 				}
 			}
 			if err := p.CheckInvariants(); err != nil {
-				t.Logf("invariant after op %d: %v", op%9, err)
+				t.Logf("invariant after op %d: %v", op%12, err)
 				return false
 			}
 		}
-		// Let the loops settle and re-check.
+		// Repair every outstanding failure, let the loops settle, and
+		// check that the platform converges back to a healthy state.
+		for _, id := range p.Cluster.ServerIDs() {
+			if !p.Cluster.Server(id).Serving() {
+				p.RepairServer(id)
+			}
+		}
+		for _, sw := range p.Fabric.Switches() {
+			if !sw.Serving() {
+				p.RepairSwitch(sw.ID)
+			}
+		}
+		for _, l := range p.Net.Links() {
+			if !l.Serving() {
+				p.RepairLink(l.ID)
+			}
+		}
 		p.Eng.RunFor(600)
 		if err := p.CheckInvariants(); err != nil {
 			t.Logf("invariant after settling: %v", err)
 			return false
+		}
+		for _, id := range p.Cluster.ServerIDs() {
+			if !p.Cluster.Server(id).Serving() {
+				t.Logf("server %d not serving after repair-all", id)
+				return false
+			}
 		}
 		return true
 	}

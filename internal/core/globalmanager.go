@@ -143,7 +143,8 @@ func (g *GlobalManager) shiftExposureOffLink(vipStr string, hot netmodel.LinkID)
 		}
 		cold := true
 		for _, l := range g.p.Net.ActiveLinks(v) {
-			if g.p.Net.Link(l).Utilization() > cfg.LinkOverloadUtil {
+			lk := g.p.Net.Link(l)
+			if !lk.Serving() || lk.Utilization() > cfg.LinkOverloadUtil {
 				cold = false
 				break
 			}
@@ -219,7 +220,7 @@ func (g *GlobalManager) costAwareExposure() {
 			}
 			for _, l := range g.p.Net.ActiveLinks(v) {
 				link := g.p.Net.Link(l)
-				if link.CostPerMbps < hot.CostPerMbps && link.Utilization() < cfg.CostShiftCeiling {
+				if link.Serving() && link.CostPerMbps < hot.CostPerMbps && link.Utilization() < cfg.CostShiftCeiling {
 					cheapIdx = i
 				}
 			}
@@ -248,10 +249,10 @@ func (g *GlobalManager) costAwareExposure() {
 // every unused VIP on one link would overload it the moment they are
 // re-exposed).
 func (g *GlobalManager) recycleUnusedVIPs() {
-	// Healthy links sorted by utilization; targets = the lighter half.
+	// Serving links sorted by utilization; targets = the lighter half.
 	var healthy []netmodel.LinkID
 	for _, l := range g.p.Net.Links() {
-		if l.CapacityMbps > 1 {
+		if l.Serving() {
 			healthy = append(healthy, l.ID)
 		}
 	}
@@ -310,7 +311,7 @@ func (g *GlobalManager) recycleUnusedVIPs() {
 func (g *GlobalManager) balanceSwitches() {
 	cfg := &g.p.Cfg
 	for _, sw := range g.p.Fabric.Switches() {
-		if sw.Utilization() <= cfg.SwitchOverloadUtil {
+		if !sw.Serving() || sw.Utilization() <= cfg.SwitchOverloadUtil {
 			continue
 		}
 		excess := sw.ThroughputMbps() - cfg.SwitchOverloadUtil*sw.Limits.ThroughputMbps
@@ -341,7 +342,7 @@ func (g *GlobalManager) pickTransferTarget(from *lbswitch.Switch, vip lbswitch.V
 	cfg := &g.p.Cfg
 	var best *lbswitch.Switch
 	for _, sw := range g.p.Fabric.Switches() {
-		if sw.ID == from.ID {
+		if sw.ID == from.ID || !sw.Serving() {
 			continue
 		}
 		if sw.NumVIPs() >= sw.Limits.MaxVIPs || sw.NumRIPs()+len(rips) > sw.Limits.MaxRIPs {
@@ -435,6 +436,9 @@ func (g *GlobalManager) interPodWeights() {
 		podUtil[id] = g.p.pods[id].Utilization()
 	}
 	for _, sw := range g.p.Fabric.Switches() {
+		if !sw.Serving() {
+			continue
+		}
 		for _, vip := range sw.VIPs() {
 			rips, weights, err := sw.Weights(vip)
 			if err != nil || len(rips) < 2 {
@@ -618,6 +622,9 @@ func (g *GlobalManager) pickServerToVacate(donor cluster.PodID) (cluster.ServerI
 			continue
 		}
 		srv := g.p.Cluster.Server(sid)
+		if !srv.Serving() {
+			continue
+		}
 		if best == cluster.ServerID(-1) || srv.NumVMs() < bestVMs {
 			best, bestVMs = sid, srv.NumVMs()
 		}
@@ -670,7 +677,7 @@ func (g *GlobalManager) rehomeTarget(pod cluster.PodID, exclude cluster.ServerID
 			continue
 		}
 		s := g.p.Cluster.Server(sid)
-		if !s.Used().Add(slice).Fits(s.Capacity) {
+		if !s.Serving() || !s.Used().Add(slice).Fits(s.Capacity) {
 			continue
 		}
 		if best == cluster.ServerID(-1) || s.Free().CPU > bestFree {
@@ -702,9 +709,16 @@ func (g *GlobalManager) guardElephantPods() {
 			best := srvIDs[0]
 			bestVMs := -1
 			for _, sid := range srvIDs {
-				if n := g.p.Cluster.Server(sid).NumVMs(); n > bestVMs {
+				srv := g.p.Cluster.Server(sid)
+				if !srv.Serving() {
+					continue
+				}
+				if n := srv.NumVMs(); n > bestVMs {
 					best, bestVMs = sid, n
 				}
+			}
+			if bestVMs < 0 {
+				break
 			}
 			target := g.elephantTarget(podID, bestVMs)
 			if target == cluster.NoPod {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"megadc/internal/cluster"
 	"megadc/internal/dnsctl"
@@ -111,6 +112,13 @@ type Platform struct {
 	// discrete sessions contribute demand on top of the fluid model.
 	sessVM  map[cluster.VMID]cluster.Resources
 	sessVIP map[lbswitch.VIP]float64
+
+	// Pre-failure snapshots, taken at fault time and consumed by the
+	// Repair* paths so components come back with their exact original
+	// capacity (see failures.go).
+	srvSnap  map[cluster.ServerID]cluster.Resources
+	swSnap   map[lbswitch.SwitchID]lbswitch.Limits
+	linkSnap map[netmodel.LinkID]float64
 }
 
 // NewPlatform builds a platform from a topology and config. Control
@@ -149,6 +157,9 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 		suppressed: make(map[lbswitch.VIP]bool),
 		sessVM:     make(map[cluster.VMID]cluster.Resources),
 		sessVIP:    make(map[lbswitch.VIP]float64),
+		srvSnap:    make(map[cluster.ServerID]cluster.Resources),
+		swSnap:     make(map[lbswitch.SwitchID]lbswitch.Limits),
+		linkSnap:   make(map[netmodel.LinkID]float64),
 	}
 
 	// Access network: each ISP gets one AR; each AR gets LinksPerISP
@@ -285,10 +296,18 @@ func (p *Platform) pickAdvertLink() netmodel.LinkID {
 	bestU := 0.0
 	for i := 0; i < len(links); i++ {
 		idx := (p.linkRR + i) % len(links)
+		if !links[idx].Serving() {
+			continue
+		}
 		u := links[idx].Utilization()
 		if best < 0 || u < bestU-1e-12 {
 			best, bestU = idx, u
 		}
+	}
+	if best < 0 {
+		// Every link is down; advertise round-robin anyway so the VIP
+		// has a route once a link repairs.
+		best = p.linkRR % len(links)
 	}
 	p.linkRR = (best + 1) % len(links)
 	return links[best].ID
@@ -427,7 +446,7 @@ func (p *Platform) emptiestServer(pod cluster.PodID, slice cluster.Resources) *c
 	var best *cluster.Server
 	for _, id := range pd.ServerIDs() {
 		s := p.Cluster.Server(id)
-		if !s.Used().Add(slice).Fits(s.Capacity) {
+		if !s.Serving() || !s.Used().Add(slice).Fits(s.Capacity) {
 			continue
 		}
 		if best == nil || s.Free().CPU > best.Free().CPU {
@@ -465,14 +484,29 @@ func (p *Platform) Propagate() {
 			vm.Demand = cluster.Resources{}
 		}
 	}
+	// Iterate in sorted order everywhere below: link loads are float
+	// accumulators (redistribute adds/subtracts per-VIP shares), so the
+	// operation order must be reproducible or utilizations drift by
+	// ULPs between runs of the same seed and flip threshold decisions.
+	activeVIPs := make([]lbswitch.VIP, 0, len(p.activeVIPs))
 	for vip := range p.activeVIPs {
+		activeVIPs = append(activeVIPs, vip)
+	}
+	sort.Slice(activeVIPs, func(i, j int) bool { return activeVIPs[i] < activeVIPs[j] })
+	for _, vip := range activeVIPs {
 		p.Net.SetVIPTraffic(string(vip), 0)
 		if home, ok := p.Fabric.HomeOf(vip); ok {
 			p.Fabric.Switch(home).SetVIPLoad(vip, 0)
 		}
 		delete(p.activeVIPs, vip)
 	}
-	for app, demand := range p.appDemand {
+	demandApps := make([]cluster.AppID, 0, len(p.appDemand))
+	for app := range p.appDemand {
+		demandApps = append(demandApps, app)
+	}
+	sort.Slice(demandApps, func(i, j int) bool { return demandApps[i] < demandApps[j] })
+	for _, app := range demandApps {
+		demand := p.appDemand[app]
 		vips, shares, err := p.DNS.ExpectedShares(app)
 		if err != nil {
 			continue // app has no DNS record: demand is unroutable
@@ -491,7 +525,23 @@ func (p *Platform) Propagate() {
 				continue
 			}
 			sw := p.Fabric.Switch(home)
+			// Black-holing: an undetected link failure drops the share
+			// of the VIP's traffic routed over the dead link, and an
+			// undetected switch failure drops the whole VIP. The
+			// clients still send the demand (SetVIPTraffic above keeps
+			// the full value — the packets do cross the access links),
+			// it just never reaches a VM, which is exactly the gap the
+			// availability accounting measures.
+			reach := p.vipReachability(vipStr)
+			if !sw.Serving() {
+				reach = 0
+			}
+			vipMbps *= reach
+			vipCPU *= reach
 			sw.SetVIPLoad(vip, vipMbps)
+			if reach == 0 {
+				continue
+			}
 			rips, mbpsShares, err := sw.VIPLoadShare(vip)
 			if err != nil {
 				continue
@@ -526,7 +576,13 @@ func (p *Platform) Propagate() {
 	}
 	// Session overlay: discrete sessions (internal/sessions) contribute
 	// their demand on top of the fluid model, pinned to their VMs.
-	for vip, mbps := range p.sessVIP {
+	sessVIPs := make([]lbswitch.VIP, 0, len(p.sessVIP))
+	for vip := range p.sessVIP {
+		sessVIPs = append(sessVIPs, vip)
+	}
+	sort.Slice(sessVIPs, func(i, j int) bool { return sessVIPs[i] < sessVIPs[j] })
+	for _, vip := range sessVIPs {
+		mbps := p.sessVIP[vip]
 		if mbps <= 0 {
 			continue
 		}
@@ -634,6 +690,9 @@ func (p *Platform) appServedDemand(app cluster.AppID) (served, demand float64) {
 	for _, vmID := range a.VMIDs() {
 		vm := p.Cluster.VM(vmID)
 		vmDemand += vm.Demand.CPU
+		if srv := p.Cluster.Server(vm.Server); srv != nil && !srv.Serving() {
+			continue // black-holed: a failed server's VMs serve nothing
+		}
 		served += vm.Served().CPU
 	}
 	demand = p.appDemand[app].CPU
@@ -644,6 +703,31 @@ func (p *Platform) appServedDemand(app cluster.AppID) (served, demand float64) {
 		served = demand
 	}
 	return served, demand
+}
+
+// AppServedDemand returns (served CPU, demanded CPU) for app — the raw
+// quantities behind AppSatisfaction, exported so availability monitors
+// can integrate unserved demand over time.
+func (p *Platform) AppServedDemand(app cluster.AppID) (served, demand float64) {
+	return p.appServedDemand(app)
+}
+
+// vipReachability returns the fraction of a VIP's advertised routes
+// that terminate on serving links. Every VIP is advertised at
+// onboarding, so zero active routes means the VIP was withdrawn (or its
+// routes all died): unreachable until re-advertised.
+func (p *Platform) vipReachability(vipStr string) float64 {
+	active := p.Net.ActiveLinks(vipStr)
+	if len(active) == 0 {
+		return 0
+	}
+	n := 0
+	for _, id := range active {
+		if l := p.Net.Link(id); l != nil && l.Serving() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(active))
 }
 
 // AppSatisfaction returns served/demanded CPU for app (1 when it has no

@@ -218,8 +218,9 @@ func (pm *PodManager) defragment() {
 	for _, sid := range pd.ServerIDs() {
 		srv := pm.p.Cluster.Server(sid)
 		// A grow-blocked VM: overloaded past the deadband with no free
-		// CPU left on the server.
-		if srv.Free().CPU > 1e-6 {
+		// CPU left on the server. Non-serving servers are left alone —
+		// detection, not defragmentation, handles their VMs.
+		if !srv.Serving() || srv.Free().CPU > 1e-6 {
 			continue
 		}
 		blocked := false
@@ -279,7 +280,7 @@ func (pm *PodManager) migrationTarget(from cluster.ServerID, slice cluster.Resou
 			continue
 		}
 		s := pm.p.Cluster.Server(sid)
-		if !s.Used().Add(slice).Fits(s.Capacity) {
+		if !s.Serving() || !s.Used().Add(slice).Fits(s.Capacity) {
 			continue
 		}
 		if best == cluster.ServerID(-1) || s.Free().CPU > bestFree {
@@ -297,6 +298,9 @@ func (pm *PodManager) migrationTarget(from cluster.ServerID, slice cluster.Resou
 // paper requires.
 func (pm *PodManager) adjustIntraPodWeights() {
 	for _, sw := range pm.p.Fabric.Switches() {
+		if !sw.Serving() {
+			continue
+		}
 		for _, vip := range sw.VIPs() {
 			pm.adjustVIP(sw, vip)
 		}

@@ -1,6 +1,6 @@
 // Package exp implements the reproduction's experiment suite. The paper
 // is a position paper with no evaluation tables, so the experiments
-// E1–E13 regenerate its quantitative claims and its explicitly proposed
+// E1–E14 regenerate its quantitative claims and its explicitly proposed
 // (but deferred) evaluations — see DESIGN.md §4 for the per-experiment
 // index and EXPERIMENTS.md for paper-vs-measured records. Each RunEx
 // function returns both a machine-readable result and the printable
@@ -48,6 +48,7 @@ func All() []Experiment {
 		{"e11", "Two-LB-layer decoupling and cost", func(o Options) (*metrics.Table, error) { t, _, err := RunE11(o); return t, err }},
 		{"e12", "VIP allocation space and policies", func(o Options) (*metrics.Table, error) { t, _, err := RunE12(o); return t, err }},
 		{"e13", "Policy conflict demonstration", func(o Options) (*metrics.Table, error) { t, _, err := RunE13(o); return t, err }},
+		{"e14", "Availability vs failure rate (MTBF/MTTR churn)", func(o Options) (*metrics.Table, error) { t, _, err := RunE14(o); return t, err }},
 		{"x1", "Extension: energy consolidation (paper §VI direction)", func(o Options) (*metrics.Table, error) { t, _, err := RunX1(o); return t, err }},
 		{"x2", "Extension: multi-DC federation (paper §III-A remark)", func(o Options) (*metrics.Table, error) { t, _, err := RunX2(o); return t, err }},
 		{"x3", "Extension: discrete sessions under the drain protocol", func(o Options) (*metrics.Table, error) { t, _, err := RunX3(o); return t, err }},

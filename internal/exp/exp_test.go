@@ -9,8 +9,8 @@ func opts() Options { return Options{Seed: 1} }
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registry has %d experiments, want 17 (e1..e13, x1..x4)", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18 (e1..e14, x1..x4)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -467,6 +467,68 @@ func TestX4FailureRecovery(t *testing.T) {
 		if r.SatisfactionEnd < 0.95 {
 			t.Errorf("%s failure: final satisfaction %v", r.Failure, r.SatisfactionEnd)
 		}
+	}
+}
+
+func TestE14AvailabilityDegradesWithFailureRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	_, res, err := RunE14(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	rare, frequent := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if rare.ServerMTBF <= frequent.ServerMTBF {
+		t.Fatalf("sweep not ordered rare→frequent: %+v", res.Rows)
+	}
+	// More faults at shorter MTBF, and availability strictly worse.
+	if frequent.Faults <= rare.Faults {
+		t.Errorf("faults not increasing with failure rate: %d ≤ %d", frequent.Faults, rare.Faults)
+	}
+	if frequent.Availability >= rare.Availability {
+		t.Errorf("availability %v at MTBF %v ≥ %v at MTBF %v",
+			frequent.Availability, frequent.ServerMTBF, rare.Availability, rare.ServerMTBF)
+	}
+	// Replication + repair keeps even the churniest point well above
+	// a blackout, and the calm point close to fully available.
+	if rare.Availability < 0.95 {
+		t.Errorf("availability %v at the rarest failure rate, want ≥ 0.95", rare.Availability)
+	}
+	if frequent.Availability < 0.5 {
+		t.Errorf("availability %v collapsed at MTBF %v", frequent.Availability, frequent.ServerMTBF)
+	}
+	for _, r := range res.Rows {
+		if r.Repairs == 0 {
+			t.Errorf("MTBF %v: no repairs recorded", r.ServerMTBF)
+		}
+		if r.TTRp95+1e-9 < r.TTRp50 {
+			t.Errorf("MTBF %v: TTR p95 %v < p50 %v", r.ServerMTBF, r.TTRp95, r.TTRp50)
+		}
+	}
+}
+
+// TestE14Deterministic is the acceptance criterion for the fault
+// injector: the same seed must reproduce the experiment table
+// byte-for-byte.
+func TestE14Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	tb1, _, err := RunE14(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, _, err := RunE14(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb1.String() != tb2.String() {
+		t.Fatalf("same seed produced different E14 tables:\n--- first ---\n%s\n--- second ---\n%s",
+			tb1.String(), tb2.String())
 	}
 }
 

@@ -1,0 +1,329 @@
+// Package faults injects rate-driven component churn into a
+// core.Platform: servers, LB switches, and access links fail with
+// exponentially distributed times-to-failure (MTBF), are noticed by the
+// control plane after a configurable detection delay, and come back
+// after an exponentially distributed repair time (MTTR) with their
+// exact pre-failure capacity restored. Links additionally support
+// *flapping* — short repeated down/up cycles that may clear before the
+// control plane ever detects them, black-holing traffic with zero route
+// churn.
+//
+// All randomness is drawn from the platform engine's seeded RNG inside
+// event callbacks, so a run is bit-for-bit reproducible for a given
+// seed and configuration.
+package faults
+
+import (
+	"megadc/internal/cluster"
+	"megadc/internal/core"
+	"megadc/internal/lbswitch"
+	"megadc/internal/netmodel"
+	"megadc/internal/sim"
+)
+
+// Class configures one component class's failure behavior. A class with
+// MTBF <= 0 never fails.
+type Class struct {
+	// MTBF is the mean time between failures (per component, seconds of
+	// simulated time). Each component's time-to-failure is drawn
+	// Exponential(MTBF).
+	MTBF float64
+	// MTTR is the mean time to repair, measured from detection. Each
+	// repair time is drawn Exponential(MTTR).
+	MTTR float64
+	// DetectDelay is the fixed lag between a fault occurring and the
+	// control plane detecting it (health-check interval plus reaction
+	// time). During the window the component black-holes its work while
+	// monitoring still looks normal.
+	DetectDelay float64
+}
+
+func (c Class) enabled() bool { return c.MTBF > 0 }
+
+// FlapConfig configures link flapping: episodes of Cycles short
+// down/up cycles. A flap whose Down time is shorter than the link
+// class's DetectDelay clears before the control plane reacts — pure
+// black-holed traffic, no route updates.
+type FlapConfig struct {
+	// MTBF is the mean time between flap episodes per link; <= 0
+	// disables flapping.
+	MTBF float64
+	// Cycles is how many down/up cycles one episode contains.
+	Cycles int
+	// Down and Up are the fixed lengths of each cycle's outage and
+	// quiet phases.
+	Down, Up float64
+}
+
+func (f FlapConfig) enabled() bool { return f.MTBF > 0 && f.Cycles > 0 && f.Down > 0 }
+
+// Config configures an Injector.
+type Config struct {
+	Server Class
+	Switch Class
+	Link   Class
+	Flap   FlapConfig
+
+	// MinHealthyServers/Switches/Links are per-class serving floors: a
+	// fault that would leave fewer serving components than the floor is
+	// skipped (and the component's next failure rescheduled), so churn
+	// cannot black out the whole platform.
+	MinHealthyServers  int
+	MinHealthySwitches int
+	MinHealthyLinks    int
+}
+
+// DefaultConfig returns moderate churn: servers fail most often,
+// switches and links rarely, no flapping.
+func DefaultConfig() Config {
+	return Config{
+		Server:             Class{MTBF: 2000, MTTR: 180, DetectDelay: 15},
+		Switch:             Class{MTBF: 8000, MTTR: 300, DetectDelay: 10},
+		Link:               Class{MTBF: 6000, MTTR: 240, DetectDelay: 5},
+		Flap:               FlapConfig{MTBF: 0, Cycles: 3, Down: 2, Up: 8},
+		MinHealthyServers:  2,
+		MinHealthySwitches: 1,
+		MinHealthyLinks:    1,
+	}
+}
+
+// Injector drives fault/detect/repair lifecycles on a platform's
+// components. Create with New, then Start; counters are plain fields
+// read after (or during) the run.
+type Injector struct {
+	p      *core.Platform
+	cfg    Config
+	stopAt float64
+
+	// Counters. Faults are counted per class; FlapCycles counts each
+	// down/up cycle of every flap episode separately.
+	ServerFaults int64
+	SwitchFaults int64
+	LinkFaults   int64
+	FlapEpisodes int64
+	FlapCycles   int64
+	Detections   int64
+	Repairs      int64
+	// Skipped counts faults suppressed by the min-healthy floors.
+	Skipped int64
+}
+
+// New returns an injector for p. Nothing is scheduled until Start.
+func New(p *core.Platform, cfg Config) *Injector {
+	return &Injector{p: p, cfg: cfg}
+}
+
+// Start schedules the first failure of every component. Faults stop
+// firing at stopAt (so a run can end with a repair-only tail), but
+// in-flight detections and repairs complete normally.
+func (in *Injector) Start(stopAt float64) {
+	in.stopAt = stopAt
+	if in.cfg.Server.enabled() {
+		for _, id := range in.p.Cluster.ServerIDs() {
+			id := id
+			in.p.Eng.After(in.exp(in.cfg.Server.MTBF), func() { in.faultServer(id) })
+		}
+	}
+	if in.cfg.Switch.enabled() {
+		for _, sw := range in.p.Fabric.Switches() {
+			id := sw.ID
+			in.p.Eng.After(in.exp(in.cfg.Switch.MTBF), func() { in.faultSwitch(id) })
+		}
+	}
+	if in.cfg.Link.enabled() {
+		for _, l := range in.p.Net.Links() {
+			id := l.ID
+			in.p.Eng.After(in.exp(in.cfg.Link.MTBF), func() { in.faultLink(id) })
+		}
+	}
+	if in.cfg.Flap.enabled() {
+		for _, l := range in.p.Net.Links() {
+			id := l.ID
+			in.p.Eng.After(in.exp(in.cfg.Flap.MTBF), func() { in.flapLink(id, in.cfg.Flap.Cycles) })
+		}
+	}
+}
+
+// Faults returns the total faults injected across all classes,
+// counting each flap cycle as one fault.
+func (in *Injector) Faults() int64 {
+	return in.ServerFaults + in.SwitchFaults + in.LinkFaults + in.FlapCycles
+}
+
+// exp draws Exponential(mean) from the platform's seeded RNG.
+func (in *Injector) exp(mean float64) float64 {
+	return in.p.Eng.Rand().ExpFloat64() * mean
+}
+
+func (in *Injector) servingServers() int {
+	n := 0
+	for _, id := range in.p.Cluster.ServerIDs() {
+		if s := in.p.Cluster.Server(id); s != nil && s.Serving() {
+			n++
+		}
+	}
+	return n
+}
+
+func (in *Injector) servingSwitches() int {
+	n := 0
+	for _, sw := range in.p.Fabric.Switches() {
+		if sw.Serving() {
+			n++
+		}
+	}
+	return n
+}
+
+func (in *Injector) servingLinks() int {
+	n := 0
+	for _, l := range in.p.Net.Links() {
+		if l.Serving() {
+			n++
+		}
+	}
+	return n
+}
+
+func (in *Injector) faultServer(id cluster.ServerID) {
+	if in.p.Eng.Now() >= in.stopAt {
+		return
+	}
+	cl := in.cfg.Server
+	reschedule := func() { in.p.Eng.After(in.exp(cl.MTBF), func() { in.faultServer(id) }) }
+	srv := in.p.Cluster.Server(id)
+	if srv == nil {
+		return
+	}
+	if !srv.Serving() || in.servingServers() <= in.cfg.MinHealthyServers {
+		in.Skipped++
+		reschedule()
+		return
+	}
+	if err := in.p.FaultServer(id); err != nil {
+		return
+	}
+	in.ServerFaults++
+	in.p.Eng.After(cl.DetectDelay, func() {
+		if _, err := in.p.DetectServer(id); err == nil {
+			in.Detections++
+		}
+	})
+	in.p.Eng.After(cl.DetectDelay+in.exp(cl.MTTR), func() {
+		if err := in.p.RepairServer(id); err == nil {
+			in.Repairs++
+		}
+		reschedule()
+	})
+}
+
+func (in *Injector) faultSwitch(id lbswitch.SwitchID) {
+	if in.p.Eng.Now() >= in.stopAt {
+		return
+	}
+	cl := in.cfg.Switch
+	reschedule := func() { in.p.Eng.After(in.exp(cl.MTBF), func() { in.faultSwitch(id) }) }
+	sw := in.p.Fabric.Switch(id)
+	if sw == nil {
+		return
+	}
+	if !sw.Serving() || in.servingSwitches() <= in.cfg.MinHealthySwitches {
+		in.Skipped++
+		reschedule()
+		return
+	}
+	if err := in.p.FaultSwitch(id); err != nil {
+		return
+	}
+	in.SwitchFaults++
+	in.p.Eng.After(cl.DetectDelay, func() {
+		if _, _, err := in.p.DetectSwitch(id); err == nil {
+			in.Detections++
+		}
+	})
+	in.p.Eng.After(cl.DetectDelay+in.exp(cl.MTTR), func() {
+		if err := in.p.RepairSwitch(id); err == nil {
+			in.Repairs++
+		}
+		reschedule()
+	})
+}
+
+func (in *Injector) faultLink(id netmodel.LinkID) {
+	if in.p.Eng.Now() >= in.stopAt {
+		return
+	}
+	cl := in.cfg.Link
+	reschedule := func() { in.p.Eng.After(in.exp(cl.MTBF), func() { in.faultLink(id) }) }
+	l := in.p.Net.Link(id)
+	if l == nil {
+		return
+	}
+	if !l.Serving() || in.servingLinks() <= in.cfg.MinHealthyLinks {
+		in.Skipped++
+		reschedule()
+		return
+	}
+	if err := in.p.FaultLink(id); err != nil {
+		return
+	}
+	in.LinkFaults++
+	in.p.Eng.After(cl.DetectDelay, func() {
+		if _, err := in.p.DetectLink(id); err == nil {
+			in.Detections++
+		}
+	})
+	in.p.Eng.After(cl.DetectDelay+in.exp(cl.MTTR), func() {
+		if err := in.p.RepairLink(id); err == nil {
+			in.Repairs++
+		}
+		reschedule()
+	})
+}
+
+// flapLink runs one flap episode: cyclesLeft down/up cycles. Each cycle
+// faults the link, schedules the normal detection, and repairs after
+// the fixed Down time — cancelling the detection if the fault cleared
+// first (a fast flap the control plane never saw).
+func (in *Injector) flapLink(id netmodel.LinkID, cyclesLeft int) {
+	if in.p.Eng.Now() >= in.stopAt {
+		return
+	}
+	reschedule := func() {
+		in.p.Eng.After(in.exp(in.cfg.Flap.MTBF), func() { in.flapLink(id, in.cfg.Flap.Cycles) })
+	}
+	l := in.p.Net.Link(id)
+	if l == nil {
+		return
+	}
+	if !l.Serving() || in.servingLinks() <= in.cfg.MinHealthyLinks {
+		in.Skipped++
+		reschedule()
+		return
+	}
+	if err := in.p.FaultLink(id); err != nil {
+		return
+	}
+	in.FlapCycles++
+	var det *sim.Event
+	det = in.p.Eng.After(in.cfg.Link.DetectDelay, func() {
+		if _, err := in.p.DetectLink(id); err == nil {
+			in.Detections++
+		}
+	})
+	in.p.Eng.After(in.cfg.Flap.Down, func() {
+		// The link came back on its own; make sure the control plane
+		// does not react to a fault that already cleared. Cancel is a
+		// no-op if the detection already fired (slow flap).
+		in.p.Eng.Cancel(det)
+		if err := in.p.RepairLink(id); err == nil {
+			in.Repairs++
+		}
+		if cyclesLeft > 1 {
+			in.p.Eng.After(in.cfg.Flap.Up, func() { in.flapLink(id, cyclesLeft-1) })
+		} else {
+			in.FlapEpisodes++
+			reschedule()
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package faults
+
+import (
+	"fmt"
+
+	"megadc/internal/core"
+	"megadc/internal/metrics"
+)
+
+// Monitor samples every application's served and offered CPU demand at
+// a fixed interval into a metrics.Availability tracker, turning the
+// black-holed demand the injector causes into downtime seconds,
+// unserved-demand integrals, and time-to-recover percentiles.
+type Monitor struct {
+	p        *core.Platform
+	interval float64
+
+	// Avail is the tracker fed by the samples; read it after Finish.
+	Avail *metrics.Availability
+}
+
+// NewMonitor returns a monitor that marks an app down when it serves
+// less than threshold (e.g. 0.95) of its demand, sampling every
+// interval seconds.
+func NewMonitor(p *core.Platform, threshold, interval float64) *Monitor {
+	return &Monitor{p: p, interval: interval, Avail: metrics.NewAvailability(threshold)}
+}
+
+// Start begins sampling at the current simulated time and stops after
+// stopAt (forever when stopAt <= 0).
+func (m *Monitor) Start(stopAt float64) {
+	m.p.Eng.Every(m.p.Eng.Now(), m.interval, func() bool {
+		m.sample()
+		return stopAt <= 0 || m.p.Eng.Now() < stopAt
+	})
+}
+
+// Finish closes the availability integrals at the current simulated
+// time. Call once after the run.
+func (m *Monitor) Finish() {
+	m.sample()
+	m.Avail.Finalize(m.p.Eng.Now())
+}
+
+func (m *Monitor) sample() {
+	t := m.p.Eng.Now()
+	for _, app := range m.p.Cluster.AppIDs() {
+		served, demand := m.p.AppServedDemand(app)
+		m.Avail.Observe(fmt.Sprintf("app-%d", app), t, served, demand)
+	}
+}

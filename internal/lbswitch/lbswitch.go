@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"megadc/internal/cluster"
+	"megadc/internal/health"
 )
 
 // VIP is a virtual IP address (externally routable).
@@ -110,6 +111,10 @@ type Switch struct {
 	ID     SwitchID
 	Limits Limits
 
+	// Health tracks the failure/repair lifecycle; non-serving switches
+	// black-hole the traffic of every VIP still homed on them.
+	Health health.State
+
 	vips      map[VIP]*vipEntry
 	vipOrder  []VIP // insertion order for deterministic iteration
 	totalRIPs int
@@ -122,6 +127,10 @@ type Switch struct {
 	// the managers, but the count is an experiment output.
 	Reconfigs int64
 }
+
+// Serving reports whether the switch is healthy enough to forward
+// traffic and accept VIP placements.
+func (s *Switch) Serving() bool { return s.Health.Serving() }
 
 // NewSwitch returns a switch with the given limits.
 func NewSwitch(id SwitchID, limits Limits) *Switch {

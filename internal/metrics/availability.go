@@ -1,0 +1,205 @@
+package metrics
+
+import "sort"
+
+// Availability tracks service availability per key (typically one key
+// per application) from periodic served/demand observations. Like
+// Gauge, the value is treated as piecewise-constant: the state recorded
+// at one observation holds until the next. An outage is open while
+// served/demand sits below the configured threshold; each outage's
+// duration feeds a time-to-recover sample, and the shortfall
+// (demand − served) is integrated over time whether or not the
+// threshold is crossed.
+type Availability struct {
+	// Threshold is the satisfaction ratio below which the key counts as
+	// down (e.g. 0.95: an app serving less than 95% of demand is out).
+	Threshold float64
+
+	keys map[string]*availState
+}
+
+type availState struct {
+	started      bool
+	lastT        float64
+	lastUnserved float64 // demand − served at the last observation
+	inOutage     bool
+	outageStart  float64
+	downtime     float64
+	unserved     float64
+	outages      int
+	recoveries   Sample
+}
+
+// NewAvailability returns a tracker with the given outage threshold.
+func NewAvailability(threshold float64) *Availability {
+	return &Availability{Threshold: threshold, keys: make(map[string]*availState)}
+}
+
+// Observe records that at time t the key served `served` units of
+// `demand` offered units. Time must not go backwards per key.
+func (a *Availability) Observe(key string, t, served, demand float64) {
+	st := a.keys[key]
+	if st == nil {
+		st = &availState{}
+		a.keys[key] = st
+	}
+	if st.started {
+		dt := t - st.lastT
+		if dt < 0 {
+			panic("metrics: Availability.Observe time went backwards")
+		}
+		st.unserved += st.lastUnserved * dt
+		if st.inOutage {
+			st.downtime += dt
+		}
+	}
+	st.started = true
+	sat := 1.0
+	if demand > 0 {
+		sat = served / demand
+	}
+	down := demand > 0 && sat < a.Threshold
+	switch {
+	case down && !st.inOutage:
+		st.inOutage = true
+		st.outageStart = t
+		st.outages++
+	case !down && st.inOutage:
+		st.inOutage = false
+		st.recoveries.Observe(t - st.outageStart)
+	}
+	st.lastT = t
+	st.lastUnserved = demand - served
+	if st.lastUnserved < 0 {
+		st.lastUnserved = 0
+	}
+}
+
+// Finalize closes the integrals at time t (the end of the run). Outages
+// still open at t contribute downtime but no time-to-recover sample —
+// the service never recovered within the run.
+func (a *Availability) Finalize(t float64) {
+	for _, st := range a.keys {
+		if !st.started || t <= st.lastT {
+			continue
+		}
+		dt := t - st.lastT
+		st.unserved += st.lastUnserved * dt
+		if st.inOutage {
+			st.downtime += dt
+		}
+		st.lastT = t
+	}
+}
+
+// Keys returns the observed keys, sorted.
+func (a *Availability) Keys() []string {
+	out := make([]string, 0, len(a.keys))
+	for k := range a.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Downtime returns key's accumulated outage seconds.
+func (a *Availability) Downtime(key string) float64 {
+	if st := a.keys[key]; st != nil {
+		return st.downtime
+	}
+	return 0
+}
+
+// Unserved returns key's integral of unserved demand (demand units ×
+// seconds).
+func (a *Availability) Unserved(key string) float64 {
+	if st := a.keys[key]; st != nil {
+		return st.unserved
+	}
+	return 0
+}
+
+// Outages returns how many outage episodes key entered.
+func (a *Availability) Outages(key string) int {
+	if st := a.keys[key]; st != nil {
+		return st.outages
+	}
+	return 0
+}
+
+// Recoveries returns key's time-to-recover sample (one observation per
+// closed outage).
+func (a *Availability) Recoveries(key string) *Sample {
+	if st := a.keys[key]; st != nil {
+		return &st.recoveries
+	}
+	return &Sample{}
+}
+
+// Uptime returns the fraction of a window of `window` seconds that key
+// was not in an outage (1 when the key was never observed).
+func (a *Availability) Uptime(key string, window float64) float64 {
+	if window <= 0 {
+		return 1
+	}
+	u := 1 - a.Downtime(key)/window
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// MeanUptime averages Uptime over all keys (1 when nothing was
+// observed).
+func (a *Availability) MeanUptime(window float64) float64 {
+	if len(a.keys) == 0 {
+		return 1
+	}
+	// Sum in sorted-key order: float addition is order-sensitive, and
+	// the aggregate must be reproducible across runs of the same seed.
+	var sum float64
+	for _, k := range a.Keys() {
+		sum += a.Uptime(k, window)
+	}
+	return sum / float64(len(a.keys))
+}
+
+// TotalDowntime sums downtime seconds over all keys.
+func (a *Availability) TotalDowntime() float64 {
+	var sum float64
+	for _, k := range a.Keys() {
+		sum += a.keys[k].downtime
+	}
+	return sum
+}
+
+// TotalUnserved sums the unserved-demand integral over all keys.
+func (a *Availability) TotalUnserved() float64 {
+	var sum float64
+	for _, k := range a.Keys() {
+		sum += a.keys[k].unserved
+	}
+	return sum
+}
+
+// TotalOutages sums outage episodes over all keys.
+func (a *Availability) TotalOutages() int {
+	n := 0
+	for _, st := range a.keys {
+		n += st.outages
+	}
+	return n
+}
+
+// AllRecoveries merges every key's time-to-recover observations into
+// one sample for fleet-wide percentiles.
+func (a *Availability) AllRecoveries() *Sample {
+	var s Sample
+	for _, key := range a.Keys() {
+		st := a.keys[key]
+		for _, v := range st.recoveries.Values() {
+			s.Observe(v)
+		}
+	}
+	return &s
+}

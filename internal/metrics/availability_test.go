@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestAvailabilityOutageLifecycle walks one key through
+// up → down → down → up and checks downtime, the unserved integral,
+// the outage count, and the time-to-recover sample.
+func TestAvailabilityOutageLifecycle(t *testing.T) {
+	a := NewAvailability(0.95)
+
+	a.Observe("app", 0, 100, 100)  // healthy
+	a.Observe("app", 10, 50, 100)  // outage starts at t=10
+	a.Observe("app", 20, 60, 100)  // still down
+	a.Observe("app", 30, 100, 100) // recovered at t=30
+
+	// Piecewise-constant: the state at an observation holds until the
+	// next one. Down during [10,30): 20s of downtime.
+	if d := a.Downtime("app"); !almost(d, 20) {
+		t.Errorf("downtime = %v, want 20", d)
+	}
+	// Unserved integral: 0·10 + 50·10 + 40·10 = 900.
+	if u := a.Unserved("app"); !almost(u, 900) {
+		t.Errorf("unserved = %v, want 900", u)
+	}
+	if n := a.Outages("app"); n != 1 {
+		t.Errorf("outages = %d, want 1", n)
+	}
+	r := a.Recoveries("app")
+	if r.N() != 1 || !almost(r.Max(), 20) {
+		t.Errorf("recoveries N=%d max=%v, want one 20s recovery", r.N(), r.Max())
+	}
+	if up := a.Uptime("app", 100); !almost(up, 0.8) {
+		t.Errorf("uptime = %v, want 0.8", up)
+	}
+}
+
+// TestAvailabilityThreshold: serving exactly at or above the threshold
+// is up; zero demand is always up.
+func TestAvailabilityThreshold(t *testing.T) {
+	a := NewAvailability(0.95)
+	a.Observe("app", 0, 95, 100) // exactly 0.95: not below threshold
+	a.Observe("app", 10, 0, 0)   // zero demand: up by definition
+	a.Observe("app", 20, 94.9, 100)
+	a.Observe("app", 30, 95, 100)
+	if n := a.Outages("app"); n != 1 {
+		t.Errorf("outages = %d, want exactly the sub-threshold sample", n)
+	}
+	if d := a.Downtime("app"); !almost(d, 10) {
+		t.Errorf("downtime = %v, want 10", d)
+	}
+}
+
+// TestAvailabilityFinalize: an outage still open at the end of the run
+// contributes downtime but no time-to-recover observation.
+func TestAvailabilityFinalize(t *testing.T) {
+	a := NewAvailability(0.95)
+	a.Observe("app", 0, 100, 100)
+	a.Observe("app", 50, 10, 100) // outage opens, never closes
+	a.Finalize(80)
+
+	if d := a.Downtime("app"); !almost(d, 30) {
+		t.Errorf("downtime = %v, want 30 (open outage runs to Finalize)", d)
+	}
+	if u := a.Unserved("app"); !almost(u, 90*30) {
+		t.Errorf("unserved = %v, want 2700", u)
+	}
+	if a.Recoveries("app").N() != 0 {
+		t.Error("open outage must not produce a recovery sample")
+	}
+	if n := a.Outages("app"); n != 1 {
+		t.Errorf("outages = %d, want 1", n)
+	}
+}
+
+// TestAvailabilityAggregates: totals and merged recoveries across keys.
+func TestAvailabilityAggregates(t *testing.T) {
+	a := NewAvailability(0.95)
+	for _, key := range []string{"a", "b"} {
+		a.Observe(key, 0, 100, 100)
+		a.Observe(key, 10, 0, 100)
+	}
+	a.Observe("a", 20, 100, 100) // a recovers (10s), b stays down
+	a.Finalize(40)
+
+	if d := a.TotalDowntime(); !almost(d, 10+30) {
+		t.Errorf("total downtime = %v, want 40", d)
+	}
+	if u := a.TotalUnserved(); !almost(u, 100*10+100*30) {
+		t.Errorf("total unserved = %v, want 4000", u)
+	}
+	if n := a.TotalOutages(); n != 2 {
+		t.Errorf("total outages = %d, want 2", n)
+	}
+	if r := a.AllRecoveries(); r.N() != 1 || !almost(r.Max(), 10) {
+		t.Errorf("merged recoveries N=%d max=%v, want one 10s recovery", r.N(), r.Max())
+	}
+	if got := a.Keys(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Keys() = %v, want [a b]", got)
+	}
+	// Uptime over the 40s window: a 10/40 down, b 30/40 down.
+	if m := a.MeanUptime(40); !almost(m, (0.75+0.25)/2) {
+		t.Errorf("mean uptime = %v, want 0.5", m)
+	}
+}
+
+// TestAvailabilityTimeBackwardsPanics guards the integration invariant.
+func TestAvailabilityTimeBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe with time going backwards did not panic")
+		}
+	}()
+	a := NewAvailability(0.95)
+	a.Observe("app", 10, 1, 1)
+	a.Observe("app", 5, 1, 1)
+}

@@ -109,6 +109,11 @@ func (s *Sample) Observe(v float64) {
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
+// Values returns a copy of the observations in insertion order.
+func (s *Sample) Values() []float64 {
+	return append([]float64(nil), s.xs...)
+}
+
 // Sum returns the sum of all observations.
 func (s *Sample) Sum() float64 { return s.sum }
 

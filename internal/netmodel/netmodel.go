@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"megadc/internal/health"
 )
 
 // Identifier types for access-network elements.
@@ -52,8 +54,16 @@ type Link struct {
 	CapacityMbps float64
 	CostPerMbps  float64
 
+	// Health tracks the failure/repair lifecycle; traffic routed over a
+	// non-serving link is dropped until the route is withdrawn or the
+	// link repaired.
+	Health health.State
+
 	loadMbps float64
 }
+
+// Serving reports whether the link is healthy enough to carry traffic.
+func (l *Link) Serving() bool { return l.Health.Serving() }
 
 // LoadMbps returns the current offered load on the link.
 func (l *Link) LoadMbps() float64 { return l.loadMbps }
