@@ -262,7 +262,72 @@ func BenchmarkPlatformPropagate(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.Propagate()
+		// Propagate with nothing dirty is a near no-op under incremental
+		// propagation; force the full recompute to keep measuring it.
+		p.PropagateFull()
+	}
+}
+
+// benchPropagatePlatform builds a platform with nApps single-instance
+// apps carrying varied demand, fully propagated, for the Propagate
+// benchmarks below.
+func benchPropagatePlatform(b *testing.B, nApps int, cfg core.Config) (*core.Platform, []cluster.AppID) {
+	b.Helper()
+	p, err := core.NewPlatform(core.SmallTopology(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slice := cluster.Resources{CPU: 0.25, MemMB: 128, NetMbps: 10}
+	ids := make([]cluster.AppID, 0, nApps)
+	for i := 0; i < nApps; i++ {
+		a, err := p.OnboardApp("bench", slice, 1,
+			core.Demand{CPU: 0.5 + float64(i%7)*0.31, Mbps: 10 + float64(i%11)*3.7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, a.ID)
+	}
+	p.PropagateFull()
+	return p, ids
+}
+
+// BenchmarkPropagateSteady is the steady-state tick: one of 128 apps
+// (<1%) changes demand per iteration and Propagate recomputes only the
+// dirty app against its cached previous contribution. The acceptance
+// bar for incremental propagation is ≥5× fewer ns/op and allocs/op
+// than BenchmarkPropagateFull.
+func BenchmarkPropagateSteady(b *testing.B) {
+	p, ids := benchPropagatePlatform(b, 128, core.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app := ids[i%len(ids)]
+		p.SetAppDemand(app, core.Demand{CPU: 0.5 + float64(i%5)*0.1, Mbps: 10 + float64(i%3)})
+	}
+}
+
+// BenchmarkPropagateFull recomputes every app each iteration (the
+// pre-incremental behaviour), with the deterministic parallel fan-out
+// enabled at its default worker count.
+func BenchmarkPropagateFull(b *testing.B) {
+	p, _ := benchPropagatePlatform(b, 128, core.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PropagateFull()
+	}
+}
+
+// BenchmarkPropagateFullSequential pins the full recompute to one
+// worker, isolating the parallel fan-out's contribution.
+func BenchmarkPropagateFullSequential(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.PropagateWorkers = 1
+	p, _ := benchPropagatePlatform(b, 128, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PropagateFull()
 	}
 }
 

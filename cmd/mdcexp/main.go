@@ -12,6 +12,7 @@
 //	mdcexp -seed 7         # change the deterministic seed
 //	mdcexp -list           # list experiment ids and titles
 //	mdcexp -json           # machine-readable output (one JSON doc per experiment)
+//	mdcexp -cpuprofile cpu.pprof -e e2   # profile an experiment
 package main
 
 import (
@@ -22,18 +23,28 @@ import (
 	"time"
 
 	"megadc/internal/exp"
+	"megadc/internal/profiling"
 )
 
 func main() {
 	var (
-		id     = flag.String("e", "all", "experiment id (e1..e14, x1..x4) or 'all'")
-		full   = flag.Bool("full", false, "run the larger configurations")
-		seed   = flag.Int64("seed", 1, "deterministic seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		asJSON = flag.Bool("json", false, "emit each table as a JSON document")
-		asMD   = flag.Bool("md", false, "emit each table as GitHub-flavoured markdown")
+		id      = flag.String("e", "all", "experiment id (e1..e14, x1..x4) or 'all'")
+		full    = flag.Bool("full", false, "run the larger configurations")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		asJSON  = flag.Bool("json", false, "emit each table as a JSON document")
+		asMD    = flag.Bool("md", false, "emit each table as GitHub-flavoured markdown")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdcexp:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, e := range exp.All() {

@@ -30,6 +30,7 @@ import (
 	"megadc/internal/energy"
 	"megadc/internal/faults"
 	"megadc/internal/metrics"
+	"megadc/internal/profiling"
 	"megadc/internal/sessions"
 	"megadc/internal/workload"
 )
@@ -57,8 +58,17 @@ func main() {
 		useSess     = flag.Bool("sessions", false, "drive discrete client sessions instead of fluid demand")
 		useEnergy   = flag.Bool("energy", false, "attach the consolidation knob and report energy")
 		traceFile   = flag.String("trace", "", "drive the most popular app's demand from a trace file (lines: 'time rate-multiplier')")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "megadcsim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	topo := core.SmallTopology()
 	topo.Pods = *pods
@@ -237,6 +247,7 @@ func main() {
 	}
 	if err := p.CheckInvariants(); err != nil {
 		fmt.Fprintln(os.Stderr, "megadcsim: INVARIANT VIOLATION:", err)
+		stopProf() // the full run already happened; keep its profiles
 		os.Exit(1)
 	}
 	fmt.Println("invariants: ok")

@@ -3,7 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"megadc/internal/health"
 )
@@ -85,7 +85,7 @@ func (s *Server) VMIDs() []VMID {
 	for id := range s.vms {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -130,7 +130,7 @@ func (a *Application) VMIDs() []VMID {
 	for id := range a.vms {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -151,7 +151,7 @@ func (p *Pod) ServerIDs() []ServerID {
 	for id := range p.servers {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -242,7 +242,7 @@ func (c *Cluster) PodIDs() []PodID {
 	for id := range c.pods {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -252,7 +252,7 @@ func (c *Cluster) AppIDs() []AppID {
 	for id := range c.apps {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -262,7 +262,7 @@ func (c *Cluster) ServerIDs() []ServerID {
 	for id := range c.servers {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -272,7 +272,7 @@ func (c *Cluster) VMIDs() []VMID {
 	for id := range c.vms {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -404,14 +404,17 @@ func (c *Cluster) TransferServer(server ServerID, to PodID) error {
 }
 
 // PodUsed returns the summed used resources of the pod's servers.
+// Aggregation iterates in sorted ID order: float sums must not depend
+// on map iteration order, or identically seeded runs diverge at the
+// last bit.
 func (c *Cluster) PodUsed(pod PodID) Resources {
 	p := c.pods[pod]
 	if p == nil {
 		return Resources{}
 	}
 	var u Resources
-	for _, s := range p.servers {
-		u = u.Add(s.used)
+	for _, id := range p.ServerIDs() {
+		u = u.Add(p.servers[id].used)
 	}
 	return u
 }
@@ -423,8 +426,8 @@ func (c *Cluster) PodCapacity(pod PodID) Resources {
 		return Resources{}
 	}
 	var u Resources
-	for _, s := range p.servers {
-		u = u.Add(s.Capacity)
+	for _, id := range p.ServerIDs() {
+		u = u.Add(p.servers[id].Capacity)
 	}
 	return u
 }
@@ -441,9 +444,10 @@ func (c *Cluster) PodDemand(pod PodID) Resources {
 		return Resources{}
 	}
 	var d Resources
-	for _, s := range p.servers {
-		for _, v := range s.vms {
-			d = d.Add(v.Demand)
+	for _, sid := range p.ServerIDs() {
+		s := p.servers[sid]
+		for _, vid := range s.VMIDs() {
+			d = d.Add(s.vms[vid].Demand)
 		}
 	}
 	return d
@@ -475,7 +479,7 @@ func (c *Cluster) AppVMsInPod(app AppID, pod PodID) []VMID {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 

@@ -23,6 +23,9 @@ func TestPropertyChaos(t *testing.T) {
 		topo.Seed = seed
 		cfg := DefaultConfig()
 		cfg.VIPsPerApp = 2
+		// Cross-check every incremental Propagate against a full
+		// recompute: any bitwise divergence panics the run.
+		cfg.PropagateDebugCheck = true
 		p, err := NewPlatform(topo, cfg)
 		if err != nil {
 			return false

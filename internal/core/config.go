@@ -106,6 +106,25 @@ type Config struct {
 	// links." A VIP is unused when it has no DNS exposure and no
 	// traffic.
 	RecycleUnusedVIPs bool
+
+	// PropagateFullEvery forces a full demand recompute every Nth
+	// Propagate call as a safety net under incremental propagation.
+	// 0 uses the default (256); 1 makes every Propagate a full
+	// recompute; negative disables the periodic fallback entirely.
+	// Because incremental propagation is bit-exact against the full
+	// path, this setting changes cost, never results.
+	PropagateFullEvery int
+
+	// PropagateWorkers sets the worker count for the parallel full
+	// recompute fan-out (0 = GOMAXPROCS). Results are bit-for-bit
+	// identical for any worker count: workers only fill disjoint
+	// per-app buffers, which are applied sequentially in sorted order.
+	PropagateWorkers int
+
+	// PropagateDebugCheck cross-checks every incremental Propagate
+	// against a full recompute and panics on any bitwise state
+	// difference. Test-only: it makes every tick O(platform).
+	PropagateDebugCheck bool
 }
 
 // DefaultConfig returns the configuration used throughout the

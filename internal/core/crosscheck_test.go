@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+	"megadc/internal/netmodel"
+)
+
+// openSession records one open discrete session so the scenario can
+// close it later.
+type openSession struct {
+	vip lbswitch.VIP
+	vm  cluster.VMID
+	res cluster.Resources
+}
+
+// runPropagationScenario drives a fixed chaos-style event sequence —
+// demand swings, deploys, removals, exposure flips, forced VIP
+// transfers, fault/detect/repair cycles, link flaps, and discrete
+// session churn — against a platform built with cfg, and returns the
+// platform for state inspection. Everything is seeded, so two calls
+// with configs that differ only in propagation strategy must produce
+// bit-identical state.
+func runPropagationScenario(t *testing.T, cfg Config, nOps int) *Platform {
+	t.Helper()
+	topo := SmallTopology()
+	topo.Seed = 42
+	cfg.VIPsPerApp = 2
+	p, err := NewPlatform(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var apps []cluster.AppID
+	for i := 0; i < 4; i++ {
+		a, err := p.OnboardApp("xcheck", cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100},
+			3, Demand{CPU: 2, Mbps: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, a.ID)
+	}
+	p.Start()
+	var sessions []openSession
+	for i := 0; i < nOps; i++ {
+		p.Eng.RunFor(15)
+		app := apps[rng.Intn(len(apps))]
+		switch rng.Intn(14) {
+		case 0: // demand spike
+			p.SetAppDemand(app, Demand{CPU: rng.Float64() * 30, Mbps: rng.Float64() * 400})
+		case 1: // demand drop
+			p.SetAppDemand(app, Demand{CPU: rng.Float64(), Mbps: rng.Float64() * 10})
+		case 2: // manual deploy
+			pods := p.Cluster.PodIDs()
+			p.DeployInstance(app, pods[rng.Intn(len(pods))])
+		case 3: // manual removal (keep at least one instance)
+			if a := p.Cluster.App(app); a != nil && a.NumInstances() > 1 {
+				vms := a.VMIDs()
+				p.RemoveInstance(vms[rng.Intn(len(vms))])
+			}
+		case 4: // exposure flip
+			if vips := p.DNS.VIPs(app); len(vips) > 0 {
+				p.DNS.SetWeight(app, vips[rng.Intn(len(vips))], rng.Float64()*2)
+				p.Propagate()
+			}
+		case 5: // manual forced VIP transfer
+			if vips := p.Fabric.VIPsOfApp(app); len(vips) > 0 {
+				dst := lbswitch.SwitchID(rng.Intn(topo.Switches))
+				p.Fabric.TransferVIP(vips[rng.Intn(len(vips))], dst, true)
+				p.Propagate()
+			}
+		case 6: // silent switch fault, detected a little later
+			alive := 0
+			for _, sw := range p.Fabric.Switches() {
+				if sw.Serving() {
+					alive++
+				}
+			}
+			if alive > 2 {
+				id := lbswitch.SwitchID(rng.Intn(topo.Switches))
+				if p.Fabric.Switch(id).Serving() {
+					p.FaultSwitch(id)
+					p.Eng.After(10, func() { p.DetectSwitch(id) })
+				}
+			}
+		case 7: // link flap: fault then repair before detection
+			alive := 0
+			for _, l := range p.Net.Links() {
+				if l.Serving() {
+					alive++
+				}
+			}
+			if alive > 2 {
+				id := netmodel.LinkID(rng.Intn(topo.ISPs * topo.LinksPerISP))
+				if p.Net.Link(id).Serving() {
+					p.FaultLink(id)
+					p.Eng.After(5, func() { p.RepairLink(id) })
+				}
+			}
+		case 8: // server failure with immediate detection
+			ids := p.Cluster.ServerIDs()
+			serving := 0
+			for _, id := range ids {
+				if p.Cluster.Server(id).Serving() {
+					serving++
+				}
+			}
+			victim := ids[rng.Intn(len(ids))]
+			if srv := p.Cluster.Server(victim); srv != nil && srv.Serving() && serving > 2 {
+				p.FailServer(victim)
+			}
+		case 9: // repair everything that has failed
+			for _, id := range p.Cluster.ServerIDs() {
+				if !p.Cluster.Server(id).Serving() {
+					p.RepairServer(id)
+				}
+			}
+			for _, sw := range p.Fabric.Switches() {
+				if !sw.Serving() {
+					p.RepairSwitch(sw.ID)
+				}
+			}
+			for _, l := range p.Net.Links() {
+				if !l.Serving() {
+					p.RepairLink(l.ID)
+				}
+			}
+		case 10, 11: // open a discrete session on a random VIP/VM
+			vips := p.Fabric.VIPsOfApp(app)
+			a := p.Cluster.App(app)
+			if len(vips) > 0 && a != nil && a.NumInstances() > 0 {
+				vms := a.VMIDs()
+				s := openSession{
+					vip: vips[rng.Intn(len(vips))],
+					vm:  vms[rng.Intn(len(vms))],
+					res: cluster.Resources{CPU: rng.Float64(), NetMbps: rng.Float64() * 20},
+				}
+				p.SessionOpened(s.vip, s.vm, s.res)
+				sessions = append(sessions, s)
+			}
+		case 12, 13: // close the oldest open session
+			if len(sessions) > 0 {
+				s := sessions[0]
+				sessions = sessions[1:]
+				p.SessionClosed(s.vip, s.vm, s.res)
+			}
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("invariant after op %d: %v", i, err)
+		}
+	}
+	for _, s := range sessions {
+		p.SessionClosed(s.vip, s.vm, s.res)
+	}
+	p.Eng.RunFor(120)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("invariant after settling: %v", err)
+	}
+	return p
+}
+
+// TestIncrementalMatchesFullRecompute runs the same seeded scenario
+// twice — once under the default incremental propagation and once with
+// a full recompute forced on every Propagate call — and requires the
+// final link loads, per-VIP traffic, switch loads, and VM demands to be
+// bit-for-bit identical. Any drift in the incremental bookkeeping would
+// compound over the scenario's hundreds of Propagate calls and show up
+// here.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	const nOps = 150
+	inc := runPropagationScenario(t, DefaultConfig(), nOps)
+
+	fullCfg := DefaultConfig()
+	fullCfg.PropagateFullEvery = 1
+	full := runPropagationScenario(t, fullCfg, nOps)
+
+	if d := inc.captureState().diff(full.captureState()); d != "" {
+		t.Fatalf("incremental state diverged from full-recompute state: %s", d)
+	}
+	// The observables that drive control decisions, compared explicitly.
+	li, lf := inc.Net.LinkLoads(), full.Net.LinkLoads()
+	if len(li) != len(lf) {
+		t.Fatalf("link count %d != %d", len(li), len(lf))
+	}
+	for i := range li {
+		if li[i] != lf[i] {
+			t.Errorf("link %d load %v != %v", i, li[i], lf[i])
+		}
+	}
+	si, sf := inc.Fabric.Utilizations(), full.Fabric.Utilizations()
+	for i := range si {
+		if si[i] != sf[i] {
+			t.Errorf("switch %d utilization %v != %v", i, si[i], sf[i])
+		}
+	}
+	if a, b := inc.TotalSatisfaction(), full.TotalSatisfaction(); a != b {
+		t.Errorf("total satisfaction %v != %v", a, b)
+	}
+}
+
+// TestPropagateDebugCheck runs the scenario with the debug cross-check
+// enabled, which re-derives the full state after every incremental
+// Propagate and panics on any bitwise difference — a much finer sieve
+// than the end-state comparison above.
+func TestPropagateDebugCheck(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PropagateDebugCheck = true
+	cfg.PropagateFullEvery = -1 // pure incremental: maximize checked ticks
+	runPropagationScenario(t, cfg, 60)
+}
+
+// TestPropagateWorkerCountInvariance verifies the deterministic
+// parallel fan-out contract: a full recompute with 1, 2, and 8 workers
+// leaves bit-identical state. The platform carries enough demand apps
+// to clear parallelThreshold, so the multi-worker builds genuinely fan
+// out.
+func TestPropagateWorkerCountInvariance(t *testing.T) {
+	build := func(workers int) *Platform {
+		topo := SmallTopology()
+		cfg := DefaultConfig()
+		cfg.VIPsPerApp = 2
+		cfg.PropagateWorkers = workers
+		p, err := NewPlatform(topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2*parallelThreshold; i++ {
+			d := Demand{CPU: 0.5 + float64(i%7)*0.31, Mbps: 10 + float64(i%11)*3.7}
+			if _, err := p.OnboardApp("wk", cluster.Resources{CPU: 0.25, MemMB: 128, NetMbps: 10}, 1, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.PropagateFull()
+		return p
+	}
+	base := build(1)
+	for _, w := range []int{2, 8} {
+		p := build(w)
+		if d := base.captureState().diff(p.captureState()); d != "" {
+			t.Fatalf("workers=%d state diverged from workers=1: %s", w, d)
+		}
+	}
+}

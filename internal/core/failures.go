@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"megadc/internal/cluster"
 	"megadc/internal/health"
@@ -129,6 +129,11 @@ func (p *Platform) FaultSwitch(id lbswitch.SwitchID) error {
 	}
 	sw.Health = health.FailedUndetected
 	p.swSnap[id] = sw.Limits
+	// A health transition is invisible to the reconfiguration hooks, so
+	// mark every VIP homed on the switch dirty explicitly.
+	for _, vip := range sw.VIPs() {
+		p.markVIPDirty(vip)
+	}
 	p.Propagate()
 	return nil
 }
@@ -199,6 +204,10 @@ func (p *Platform) RepairSwitch(id lbswitch.SwitchID) error {
 	sw.Limits = snap
 	delete(p.swSnap, id)
 	sw.Health = health.Healthy
+	// VIPs still homed here (fault never detected) regain reachability.
+	for _, vip := range sw.VIPs() {
+		p.markVIPDirty(vip)
+	}
 	p.rehomeOrphanVIPs(sw)
 	p.Propagate()
 	return nil
@@ -225,7 +234,7 @@ func (p *Platform) rehomeOrphanVIPs(sw *lbswitch.Switch) (placed int) {
 					rips = append(rips, rip)
 				}
 			}
-			sort.Slice(rips, func(i, j int) bool { return rips[i] < rips[j] })
+			slices.Sort(rips)
 			for _, rip := range rips {
 				if err := sw.AddRIP(vip, rip, 1); err != nil {
 					break
@@ -285,6 +294,11 @@ func (p *Platform) FaultLink(id netmodel.LinkID) error {
 	}
 	link.Health = health.FailedUndetected
 	p.linkSnap[id] = link.CapacityMbps
+	// A health transition is invisible to the route-change hook, so mark
+	// every VIP advertised over the link dirty explicitly.
+	for _, vip := range p.Net.VIPsOnLink(id) {
+		p.markVIPDirty(lbswitch.VIP(vip))
+	}
 	p.Propagate()
 	return nil
 }
@@ -346,6 +360,11 @@ func (p *Platform) RepairLink(id netmodel.LinkID) error {
 	link.CapacityMbps = snap
 	delete(p.linkSnap, id)
 	link.Health = health.Healthy
+	// VIPs still routed over the link (fault never detected) regain
+	// their share of reachability.
+	for _, vip := range p.Net.VIPsOnLink(id) {
+		p.markVIPDirty(lbswitch.VIP(vip))
+	}
 	for _, app := range p.DNS.Apps() {
 		for _, vipStr := range p.DNS.VIPs(app) {
 			if len(p.Net.ActiveLinks(vipStr)) > 0 {

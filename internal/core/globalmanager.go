@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"errors"
-	"sort"
+	"slices"
 
 	"megadc/internal/cluster"
 	"megadc/internal/lbswitch"
@@ -97,12 +98,15 @@ func (g *GlobalManager) balanceAccessLinks() {
 		}
 		// Hottest VIPs on the link first.
 		vips := g.p.Net.VIPsOnLink(linkID)
-		sort.Slice(vips, func(i, j int) bool {
-			ti, tj := g.p.Net.VIPTraffic(vips[i]), g.p.Net.VIPTraffic(vips[j])
-			if ti != tj {
-				return ti > tj
+		slices.SortFunc(vips, func(a, b string) int {
+			ta, tb := g.p.Net.VIPTraffic(a), g.p.Net.VIPTraffic(b)
+			if ta != tb {
+				if ta > tb {
+					return -1
+				}
+				return 1
 			}
-			return vips[i] < vips[j]
+			return cmp.Compare(a, b)
 		})
 		for _, vipStr := range vips {
 			if excess <= 0 {
@@ -259,13 +263,16 @@ func (g *GlobalManager) recycleUnusedVIPs() {
 	if len(healthy) == 0 {
 		return
 	}
-	sort.Slice(healthy, func(i, j int) bool {
-		ui := g.p.Net.Link(healthy[i]).Utilization()
-		uj := g.p.Net.Link(healthy[j]).Utilization()
-		if ui != uj {
-			return ui < uj
+	slices.SortFunc(healthy, func(a, b netmodel.LinkID) int {
+		ua := g.p.Net.Link(a).Utilization()
+		ub := g.p.Net.Link(b).Utilization()
+		if ua != ub {
+			if ua < ub {
+				return -1
+			}
+			return 1
 		}
-		return healthy[i] < healthy[j]
+		return cmp.Compare(a, b)
 	})
 	targets := healthy[:(len(healthy)+1)/2]
 	isTarget := make(map[netmodel.LinkID]bool, len(targets))

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"megadc/internal/cluster"
 	"megadc/internal/dnsctl"
@@ -99,9 +99,32 @@ type Platform struct {
 	linkRR     int                           // round-robin cursor for VIP advertisement
 
 	// activeVIPs remembers which VIPs carried load after the last
-	// Propagate, so the next Propagate can clear loads of VIPs whose
-	// demand disappeared.
-	activeVIPs map[lbswitch.VIP]bool
+	// Propagate (with a sorted mirror), so a full recompute can clear
+	// loads of VIPs whose demand disappeared. It may temporarily hold
+	// VIPs whose load already dropped to zero — always a superset of the
+	// VIPs with nonzero state, which is what clearing correctness needs.
+	activeVIPs   map[lbswitch.VIP]bool
+	activeSorted []lbswitch.VIP
+
+	// Incremental propagation state (see propagate.go): dirty set with
+	// sorted scratch, sorted index of demand-carrying apps, VIP→owner
+	// index for resolving route changes to apps, per-app ledgers of
+	// applied contributions, cached DNS shares, and the fluid part of
+	// every observable (traffic, switch load, VM demand) so session
+	// updates can rewrite canonical fluid+session sums.
+	dirtyApps        map[cluster.AppID]struct{}
+	dirtyScratch     []cluster.AppID
+	demandAppsSorted []cluster.AppID
+	vipOwner         map[lbswitch.VIP]cluster.AppID
+	applied          map[cluster.AppID]*appApplied
+	shareCache       map[cluster.AppID]*sharesCache
+	fluidTraffic     map[lbswitch.VIP]float64
+	fluidSwLoad      map[lbswitch.VIP]float64
+	fluidVM          map[cluster.VMID]cluster.Resources
+	propagateTicks   int64
+	scratch          propScratch
+	workerScratch    []propScratch
+	activeScratch    []lbswitch.VIP
 
 	// suppressed marks VIPs whose DNS exposure is being managed by an
 	// in-flight control action (e.g. a knob-B drain); exposure
@@ -160,6 +183,14 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 		srvSnap:    make(map[cluster.ServerID]cluster.Resources),
 		swSnap:     make(map[lbswitch.SwitchID]lbswitch.Limits),
 		linkSnap:   make(map[netmodel.LinkID]float64),
+
+		dirtyApps:    make(map[cluster.AppID]struct{}),
+		vipOwner:     make(map[lbswitch.VIP]cluster.AppID),
+		applied:      make(map[cluster.AppID]*appApplied),
+		shareCache:   make(map[cluster.AppID]*sharesCache),
+		fluidTraffic: make(map[lbswitch.VIP]float64),
+		fluidSwLoad:  make(map[lbswitch.VIP]float64),
+		fluidVM:      make(map[cluster.VMID]cluster.Resources),
 	}
 
 	// Access network: each ISP gets one AR; each AR gets LinksPerISP
@@ -211,6 +242,15 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 		pm := newPodManager(p, pod.ID)
 		p.pods[pod.ID] = pm
 		p.podOrder = append(p.podOrder, pod.ID)
+	}
+
+	// Dirty-tracking hooks: every substrate mutation that can shift
+	// where demand lands marks the owning application for incremental
+	// repropagation (see propagate.go).
+	p.DNS.OnChange = p.markAppDirty
+	p.Net.OnRouteChange = func(vip netmodel.VIPAddr) { p.markVIPDirty(lbswitch.VIP(vip)) }
+	for _, sw := range p.Fabric.Switches() {
+		sw.OnReconfig = p.onSwitchReconfig
 	}
 
 	p.Global = newGlobalManager(p)
@@ -459,166 +499,44 @@ func (p *Platform) emptiestServer(pod cluster.PodID, slice cluster.Resources) *c
 // SetAppDemand sets an application's offered demand and repropagates.
 func (p *Platform) SetAppDemand(app cluster.AppID, d Demand) {
 	if d.CPU <= 0 && d.Mbps <= 0 {
-		delete(p.appDemand, app)
+		if _, had := p.appDemand[app]; had {
+			delete(p.appDemand, app)
+			p.demandAppsSorted = removeSorted(p.demandAppsSorted, app)
+		}
 	} else {
+		if _, had := p.appDemand[app]; !had {
+			p.demandAppsSorted = insertSorted(p.demandAppsSorted, app)
+		}
 		p.appDemand[app] = d
 	}
+	p.markAppDirty(app)
 	p.Propagate()
 }
 
 // AppDemand returns the current offered demand of app.
 func (p *Platform) AppDemand(app cluster.AppID) Demand { return p.appDemand[app] }
 
-// Propagate pushes application demand through the whole stack:
-// DNS exposure weights split each app's demand over its VIPs; each VIP's
-// bandwidth lands on its advertised access link and its home LB switch;
-// each VIP's demand splits over its RIPs by LB weight; and each RIP's
-// share becomes its VM's demand. Call after any change to demand,
-// exposure, placement, or weights. Managers call it automatically after
-// their actions.
-func (p *Platform) Propagate() {
-	// Reset VM demand and clear loads of previously active VIPs, so a
-	// VIP whose app lost its demand (or exposure) stops carrying load.
-	for vmID := range p.vmToRIP {
-		if vm := p.Cluster.VM(vmID); vm != nil {
-			vm.Demand = cluster.Resources{}
-		}
-	}
-	// Iterate in sorted order everywhere below: link loads are float
-	// accumulators (redistribute adds/subtracts per-VIP shares), so the
-	// operation order must be reproducible or utilizations drift by
-	// ULPs between runs of the same seed and flip threshold decisions.
-	activeVIPs := make([]lbswitch.VIP, 0, len(p.activeVIPs))
-	for vip := range p.activeVIPs {
-		activeVIPs = append(activeVIPs, vip)
-	}
-	sort.Slice(activeVIPs, func(i, j int) bool { return activeVIPs[i] < activeVIPs[j] })
-	for _, vip := range activeVIPs {
-		p.Net.SetVIPTraffic(string(vip), 0)
-		if home, ok := p.Fabric.HomeOf(vip); ok {
-			p.Fabric.Switch(home).SetVIPLoad(vip, 0)
-		}
-		delete(p.activeVIPs, vip)
-	}
-	demandApps := make([]cluster.AppID, 0, len(p.appDemand))
-	for app := range p.appDemand {
-		demandApps = append(demandApps, app)
-	}
-	sort.Slice(demandApps, func(i, j int) bool { return demandApps[i] < demandApps[j] })
-	for _, app := range demandApps {
-		demand := p.appDemand[app]
-		vips, shares, err := p.DNS.ExpectedShares(app)
-		if err != nil {
-			continue // app has no DNS record: demand is unroutable
-		}
-		for i, vipStr := range vips {
-			share := shares[i]
-			vip := lbswitch.VIP(vipStr)
-			vipMbps := demand.Mbps * share
-			vipCPU := demand.CPU * share
-			p.Net.SetVIPTraffic(vipStr, vipMbps)
-			if vipMbps > 0 || vipCPU > 0 {
-				p.activeVIPs[vip] = true
-			}
-			home, ok := p.Fabric.HomeOf(vip)
-			if !ok {
-				continue
-			}
-			sw := p.Fabric.Switch(home)
-			// Black-holing: an undetected link failure drops the share
-			// of the VIP's traffic routed over the dead link, and an
-			// undetected switch failure drops the whole VIP. The
-			// clients still send the demand (SetVIPTraffic above keeps
-			// the full value — the packets do cross the access links),
-			// it just never reaches a VM, which is exactly the gap the
-			// availability accounting measures.
-			reach := p.vipReachability(vipStr)
-			if !sw.Serving() {
-				reach = 0
-			}
-			vipMbps *= reach
-			vipCPU *= reach
-			sw.SetVIPLoad(vip, vipMbps)
-			if reach == 0 {
-				continue
-			}
-			rips, mbpsShares, err := sw.VIPLoadShare(vip)
-			if err != nil {
-				continue
-			}
-			// VIPLoadShare distributes the fluid Mbps; CPU follows the
-			// same weight proportions.
-			var totalMbps float64
-			for _, m := range mbpsShares {
-				totalMbps += m
-			}
-			for j, rip := range rips {
-				frac := 0.0
-				if totalMbps > 0 {
-					frac = mbpsShares[j] / totalMbps
-				} else if len(rips) > 0 {
-					frac = 1 / float64(len(rips))
-				}
-				vmID, ok := p.ripToVM[rip]
-				if !ok {
-					continue
-				}
-				vm := p.Cluster.VM(vmID)
-				if vm == nil {
-					continue
-				}
-				vm.Demand = vm.Demand.Add(cluster.Resources{
-					CPU:     vipCPU * frac,
-					NetMbps: mbpsShares[j],
-				})
-			}
-		}
-	}
-	// Session overlay: discrete sessions (internal/sessions) contribute
-	// their demand on top of the fluid model, pinned to their VMs.
-	sessVIPs := make([]lbswitch.VIP, 0, len(p.sessVIP))
-	for vip := range p.sessVIP {
-		sessVIPs = append(sessVIPs, vip)
-	}
-	sort.Slice(sessVIPs, func(i, j int) bool { return sessVIPs[i] < sessVIPs[j] })
-	for _, vip := range sessVIPs {
-		mbps := p.sessVIP[vip]
-		if mbps <= 0 {
-			continue
-		}
-		p.Net.SetVIPTraffic(string(vip), p.Net.VIPTraffic(string(vip))+mbps)
-		if home, ok := p.Fabric.HomeOf(vip); ok {
-			sw := p.Fabric.Switch(home)
-			sw.SetVIPLoad(vip, sw.VIPLoad(vip)+mbps)
-		}
-		p.activeVIPs[vip] = true
-	}
-	for vmID, res := range p.sessVM {
-		if vm := p.Cluster.VM(vmID); vm != nil {
-			vm.Demand = vm.Demand.Add(res)
-		}
-	}
-}
-
 // SessionOpened records a discrete session's demand: res pinned to the
 // VM it connected to (TCP affinity) and its bandwidth on the VIP it
-// arrived through. The update is applied incrementally; a subsequent
-// Propagate reproduces the same state from the overlay maps.
+// arrived through. Every write below re-evaluates the same canonical
+// fluid+session expression Propagate uses, so session churn leaves the
+// platform in exactly the state a full recompute would build and needs
+// no dirty marking.
 func (p *Platform) SessionOpened(vip lbswitch.VIP, vm cluster.VMID, res cluster.Resources) {
 	p.sessVIP[vip] += res.NetMbps
 	p.sessVM[vm] = p.sessVM[vm].Add(res)
 	if v := p.Cluster.VM(vm); v != nil {
-		v.Demand = v.Demand.Add(res)
+		v.Demand = p.sessVM[vm].Add(p.fluidVM[vm])
 	}
-	p.Net.SetVIPTraffic(string(vip), p.Net.VIPTraffic(string(vip))+res.NetMbps)
+	p.Net.SetVIPTraffic(string(vip), p.fluidTraffic[vip]+p.sessVIP[vip])
 	if home, ok := p.Fabric.HomeOf(vip); ok {
-		sw := p.Fabric.Switch(home)
-		sw.SetVIPLoad(vip, sw.VIPLoad(vip)+res.NetMbps)
+		p.Fabric.Switch(home).SetVIPLoad(vip, p.fluidSwLoad[vip]+p.sessVIP[vip])
 	}
-	p.activeVIPs[vip] = true
+	p.markVIPActive(vip)
 }
 
-// SessionClosed reverses SessionOpened when the session ends.
+// SessionClosed reverses SessionOpened when the session ends, writing
+// the same canonical fluid+session sums.
 func (p *Platform) SessionClosed(vip lbswitch.VIP, vm cluster.VMID, res cluster.Resources) {
 	p.sessVIP[vip] -= res.NetMbps
 	if p.sessVIP[vip] <= 1e-12 {
@@ -631,24 +549,11 @@ func (p *Platform) SessionClosed(vip lbswitch.VIP, vm cluster.VMID, res cluster.
 		p.sessVM[vm] = left
 	}
 	if v := p.Cluster.VM(vm); v != nil {
-		d := v.Demand.Sub(res)
-		if !d.NonNegative() {
-			d = cluster.Resources{}
-		}
-		v.Demand = d
+		v.Demand = p.sessVM[vm].Add(p.fluidVM[vm])
 	}
-	if t := p.Net.VIPTraffic(string(vip)) - res.NetMbps; t > 1e-12 {
-		p.Net.SetVIPTraffic(string(vip), t)
-	} else {
-		p.Net.SetVIPTraffic(string(vip), 0)
-	}
+	p.Net.SetVIPTraffic(string(vip), p.fluidTraffic[vip]+p.sessVIP[vip])
 	if home, ok := p.Fabric.HomeOf(vip); ok {
-		sw := p.Fabric.Switch(home)
-		if l := sw.VIPLoad(vip) - res.NetMbps; l > 1e-12 {
-			sw.SetVIPLoad(vip, l)
-		} else {
-			sw.SetVIPLoad(vip, 0)
-		}
+		p.Fabric.Switch(home).SetVIPLoad(vip, p.fluidSwLoad[vip]+p.sessVIP[vip])
 	}
 }
 
@@ -717,17 +622,11 @@ func (p *Platform) AppServedDemand(app cluster.AppID) (served, demand float64) {
 // onboarding, so zero active routes means the VIP was withdrawn (or its
 // routes all died): unreachable until re-advertised.
 func (p *Platform) vipReachability(vipStr string) float64 {
-	active := p.Net.ActiveLinks(vipStr)
-	if len(active) == 0 {
+	active, serving := p.Net.RouteCounts(vipStr)
+	if active == 0 {
 		return 0
 	}
-	n := 0
-	for _, id := range active {
-		if l := p.Net.Link(id); l != nil && l.Serving() {
-			n++
-		}
-	}
-	return float64(n) / float64(len(active))
+	return float64(serving) / float64(active)
 }
 
 // AppSatisfaction returns served/demanded CPU for app (1 when it has no
@@ -749,11 +648,17 @@ func (p *Platform) TotalSatisfaction() float64 {
 		demand += d
 	}
 	// Fluid demand of apps that no longer exist in the cluster still
-	// counts as unserved.
-	for app, d := range p.appDemand {
+	// counts as unserved. Sorted order: float sums must not depend on
+	// map iteration order.
+	var gone []cluster.AppID
+	for app := range p.appDemand {
 		if p.Cluster.App(app) == nil {
-			demand += d.CPU
+			gone = append(gone, app)
 		}
+	}
+	slices.Sort(gone)
+	for _, app := range gone {
+		demand += p.appDemand[app].CPU
 	}
 	if demand == 0 {
 		return 1

@@ -1,0 +1,561 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+)
+
+// Incremental demand propagation.
+//
+// Propagate used to be a full-stack recompute — every VM zeroed, every
+// keyed slice rebuilt and sorted, every app's DNS shares re-queried, and
+// every VIP's RIP fan-out re-walked — on every manager action and demand
+// tick, making a run O(events × VIPs × RIPs). This file makes the
+// steady-state cost proportional to what changed instead:
+//
+//   - Every mutation that can shift where demand lands marks the owning
+//     application dirty: SetAppDemand directly; DNS exposure changes via
+//     dnsctl's OnChange hook; switch VIP/RIP/weight reconfigurations via
+//     lbswitch's OnReconfig hook; route advertisements via netmodel's
+//     OnRouteChange hook (resolved to an owner through vipOwner); and
+//     switch/link fault-repair transitions explicitly (failures.go).
+//   - Propagate recomputes only the dirty applications. For each one it
+//     first undoes the app's previously applied contributions (recorded
+//     in an appApplied ledger) and then applies freshly computed ones.
+//   - Every value is written canonically — assigned from inputs, never
+//     accumulated across Propagate calls — so the state after an
+//     incremental pass is bit-for-bit identical to the state after a
+//     full recompute. Link loads and switch throughput are likewise
+//     canonical sums in fixed order (see netmodel.Link.LoadMbps and
+//     lbswitch.Switch.ThroughputMbps). This equivalence is what lets a
+//     periodic full-recompute fallback and a parallel full path coexist
+//     with the incremental path without changing any result, and it is
+//     checked exactly by Config.PropagateDebugCheck.
+//
+// The invariant between Propagate calls: for every VIP,
+// net traffic = fluidTraffic[vip] + sessVIP[vip] and
+// switch load  = fluidSwLoad[vip] + sessVIP[vip]; for every VM,
+// demand = fluidVM[vm] + sessVM[vm]. SessionOpened/SessionClosed keep
+// the invariant by rewriting these same expressions, so discrete
+// session churn needs no dirty marking at all.
+
+// defaultFullEvery is the period of the full-recompute safety net when
+// Config.PropagateFullEvery is 0.
+const defaultFullEvery = 256
+
+// parallelThreshold is the minimum number of demand-carrying apps
+// before the full path fans out across workers; below it the
+// goroutine overhead outweighs the compute.
+const parallelThreshold = 64
+
+// appliedVIP records what one Propagate wrote for one VIP of an app.
+type appliedVIP struct {
+	vip     lbswitch.VIP
+	traffic float64 // fluid Mbps set on the access network (pre-reachability)
+	swLoad  float64 // fluid Mbps set on the home switch (post-reachability)
+	hasHome bool
+	act     bool // carried demand: counts toward the active-VIP set
+}
+
+// appliedVM records the fluid demand one Propagate added to one VM.
+type appliedVM struct {
+	vm  cluster.VMID
+	res cluster.Resources
+}
+
+// appApplied is the per-application ledger of applied contributions;
+// its slices are truncated and reused so steady-state recomputes do
+// not allocate.
+type appApplied struct {
+	vips []appliedVIP
+	vms  []appliedVM
+}
+
+func (r *appApplied) reset() {
+	r.vips = r.vips[:0]
+	r.vms = r.vms[:0]
+}
+
+// sharesCache holds an app's DNS expected shares with typed VIPs,
+// invalidated by the DNS record generation.
+type sharesCache struct {
+	gen    int64
+	vips   []lbswitch.VIP
+	shares []float64
+}
+
+// propScratch is reusable buffer space for the RIP fan-out; the
+// parallel full path gives each worker its own.
+type propScratch struct {
+	rips []lbswitch.RIP
+	mbps []float64
+}
+
+// insertSorted inserts v into sorted s if absent, keeping s sorted.
+func insertSorted[T cmp.Ordered](s []T, v T) []T {
+	i, found := slices.BinarySearch(s, v)
+	if found {
+		return s
+	}
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// removeSorted removes v from sorted s if present.
+func removeSorted[T cmp.Ordered](s []T, v T) []T {
+	if i, found := slices.BinarySearch(s, v); found {
+		s = append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// markAppDirty queues app for recomputation on the next Propagate.
+func (p *Platform) markAppDirty(app cluster.AppID) {
+	p.dirtyApps[app] = struct{}{}
+}
+
+// markVIPDirty marks the application owning vip dirty, when known.
+func (p *Platform) markVIPDirty(vip lbswitch.VIP) {
+	if app, ok := p.vipOwner[vip]; ok {
+		p.markAppDirty(app)
+	}
+}
+
+// onSwitchReconfig is the lbswitch.Switch OnReconfig hook: any VIP/RIP
+// membership or weight change re-routes that VIP's demand. It also
+// maintains the VIP→owner index (AddVIP always precedes any route or
+// session activity on a VIP, so the index is complete by construction).
+func (p *Platform) onSwitchReconfig(vip lbswitch.VIP, app cluster.AppID) {
+	p.vipOwner[vip] = app
+	p.markAppDirty(app)
+}
+
+// markVIPActive adds vip to the active set and its sorted index.
+func (p *Platform) markVIPActive(vip lbswitch.VIP) {
+	if !p.activeVIPs[vip] {
+		p.activeVIPs[vip] = true
+		p.activeSorted = insertSorted(p.activeSorted, vip)
+	}
+}
+
+// unmarkVIPActive removes vip from the active set and its sorted index.
+func (p *Platform) unmarkVIPActive(vip lbswitch.VIP) {
+	if p.activeVIPs[vip] {
+		delete(p.activeVIPs, vip)
+		p.activeSorted = removeSorted(p.activeSorted, vip)
+	}
+}
+
+// sharesFor returns app's cached DNS expected shares, refreshing when
+// the DNS record generation moved. Returns nil when app has no record.
+func (p *Platform) sharesFor(app cluster.AppID) *sharesCache {
+	gen := p.DNS.Gen(app)
+	if gen == 0 {
+		return nil
+	}
+	c := p.shareCache[app]
+	if c != nil && c.gen == gen {
+		return c
+	}
+	vips, shares, err := p.DNS.ExpectedShares(app)
+	if err != nil {
+		return nil
+	}
+	if c == nil {
+		c = &sharesCache{}
+		p.shareCache[app] = c
+	}
+	c.gen = gen
+	c.vips = c.vips[:0]
+	for _, v := range vips {
+		c.vips = append(c.vips, lbswitch.VIP(v))
+	}
+	c.shares = shares
+	return c
+}
+
+// workers returns the full-path fan-out width.
+func (p *Platform) workers() int {
+	if p.Cfg.PropagateWorkers > 0 {
+		return p.Cfg.PropagateWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Propagate pushes application demand through the whole stack:
+// DNS exposure weights split each app's demand over its VIPs; each VIP's
+// bandwidth lands on its advertised access link and its home LB switch;
+// each VIP's demand splits over its RIPs by LB weight; and each RIP's
+// share becomes its VM's demand. Call after any change to demand,
+// exposure, placement, or weights. Managers call it automatically after
+// their actions.
+//
+// Only applications marked dirty since the last call are recomputed;
+// everything that can shift demand marks the owner dirty (see the file
+// comment), so callers need not know which path runs. A full recompute
+// runs every Config.PropagateFullEvery calls, when more than half the
+// demand-carrying apps are dirty, or on demand via PropagateFull; by
+// construction both paths produce bit-identical state.
+func (p *Platform) Propagate() {
+	p.propagateTicks++
+	fullEvery := p.Cfg.PropagateFullEvery
+	if fullEvery == 0 {
+		fullEvery = defaultFullEvery
+	}
+	full := (fullEvery > 0 && p.propagateTicks%int64(fullEvery) == 0) ||
+		2*len(p.dirtyApps) >= len(p.demandAppsSorted)
+	if full {
+		p.propagateFull()
+	} else {
+		p.propagateDirty()
+		if p.Cfg.PropagateDebugCheck {
+			p.debugCheckAgainstFull()
+		}
+	}
+	clear(p.dirtyApps)
+}
+
+// PropagateFull forces a full recompute of all demand state. Results
+// are identical to Propagate; exported for benchmarks and debugging.
+func (p *Platform) PropagateFull() {
+	p.propagateFull()
+	clear(p.dirtyApps)
+}
+
+// propagateDirty recomputes only the dirty applications, in sorted
+// order: undo the app's previous contributions, then recompute and
+// apply against the current DNS shares, placements, and health state.
+func (p *Platform) propagateDirty() {
+	if len(p.dirtyApps) == 0 {
+		return
+	}
+	apps := p.dirtyScratch[:0]
+	for app := range p.dirtyApps {
+		apps = append(apps, app)
+	}
+	slices.Sort(apps)
+	p.dirtyScratch = apps
+	for _, app := range apps {
+		rec := p.applied[app]
+		if rec != nil {
+			p.undoApp(rec)
+		}
+		demand, ok := p.appDemand[app]
+		if !ok {
+			if rec != nil {
+				rec.reset()
+			}
+			continue
+		}
+		if rec == nil {
+			rec = &appApplied{}
+			p.applied[app] = rec
+		}
+		rec.reset()
+		p.computeApp(app, demand, rec, &p.scratch)
+		p.applyRec(rec)
+	}
+}
+
+// propagateFull recomputes every application from scratch. The compute
+// phase fans out across a worker pool when the app count warrants it;
+// workers only fill disjoint per-app ledgers, and the apply phase runs
+// sequentially in sorted app order, so the result is bit-for-bit
+// identical for any worker count (the same contract placement.
+// ParallelPlace meets).
+func (p *Platform) propagateFull() {
+	// Reset every VM carrying a RIP to its session-overlay base.
+	for vmID := range p.vmToRIP {
+		if vm := p.Cluster.VM(vmID); vm != nil {
+			vm.Demand = p.sessVM[vmID]
+		}
+	}
+	clear(p.fluidVM)
+	// Clear previously active VIPs down to their session-only load; the
+	// apply phase re-marks the ones still carrying demand.
+	act := append(p.activeScratch[:0], p.activeSorted...)
+	p.activeScratch = act
+	for _, vip := range act {
+		sess := p.sessVIP[vip]
+		p.Net.SetVIPTraffic(string(vip), sess)
+		if home, ok := p.Fabric.HomeOf(vip); ok {
+			p.Fabric.Switch(home).SetVIPLoad(vip, sess)
+		}
+		if sess == 0 {
+			p.unmarkVIPActive(vip)
+		}
+	}
+	clear(p.fluidTraffic)
+	clear(p.fluidSwLoad)
+	for app, rec := range p.applied {
+		if _, ok := p.appDemand[app]; !ok {
+			delete(p.applied, app)
+		} else {
+			rec.reset()
+		}
+	}
+	apps := p.demandAppsSorted
+	for _, app := range apps {
+		if p.applied[app] == nil {
+			p.applied[app] = &appApplied{}
+		}
+		p.sharesFor(app) // refresh caches before the read-only fan-out
+	}
+	if nw := p.workers(); nw > 1 && len(apps) >= parallelThreshold {
+		p.computeAppsParallel(apps, nw)
+	} else {
+		for _, app := range apps {
+			p.computeApp(app, p.appDemand[app], p.applied[app], &p.scratch)
+		}
+	}
+	for _, app := range apps {
+		p.applyRec(p.applied[app])
+	}
+}
+
+// computeAppsParallel fills each app's ledger concurrently. The compute
+// phase only reads platform state (share caches were refreshed by the
+// caller) and writes disjoint ledgers, so any scheduling order yields
+// the same ledgers; determinism comes from the sequential sorted apply.
+func (p *Platform) computeAppsParallel(apps []cluster.AppID, nw int) {
+	if nw > len(apps) {
+		nw = len(apps)
+	}
+	if cap(p.workerScratch) < nw {
+		p.workerScratch = make([]propScratch, nw)
+	}
+	ws := p.workerScratch[:nw]
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(sc *propScratch) {
+			defer wg.Done()
+			for {
+				i := cursor.Add(1) - 1
+				if i >= int64(len(apps)) {
+					return
+				}
+				app := apps[i]
+				p.computeApp(app, p.appDemand[app], p.applied[app], sc)
+			}
+		}(&ws[w])
+	}
+	wg.Wait()
+}
+
+// computeApp fills rec with app's fluid contributions under the current
+// DNS shares, VIP homes, reachability, and RIP weights. It reads
+// platform state but writes only rec and scratch, so it is safe to run
+// concurrently for distinct apps.
+func (p *Platform) computeApp(app cluster.AppID, demand Demand, rec *appApplied, scratch *propScratch) {
+	sc := p.sharesFor(app)
+	if sc == nil {
+		return // app has no DNS record: demand is unroutable
+	}
+	for i, vip := range sc.vips {
+		share := sc.shares[i]
+		vipMbps := demand.Mbps * share
+		vipCPU := demand.CPU * share
+		av := appliedVIP{vip: vip, traffic: vipMbps, act: vipMbps > 0 || vipCPU > 0}
+		home, ok := p.Fabric.HomeOf(vip)
+		if !ok {
+			rec.vips = append(rec.vips, av)
+			continue
+		}
+		sw := p.Fabric.Switch(home)
+		// Black-holing: an undetected link failure drops the share of
+		// the VIP's traffic routed over the dead link, and an undetected
+		// switch failure drops the whole VIP. The clients still send the
+		// demand (av.traffic keeps the full value — the packets do cross
+		// the access links), it just never reaches a VM, which is
+		// exactly the gap the availability accounting measures.
+		reach := p.vipReachability(string(vip))
+		if !sw.Serving() {
+			reach = 0
+		}
+		vipMbps *= reach
+		vipCPU *= reach
+		av.hasHome = true
+		av.swLoad = vipMbps
+		rec.vips = append(rec.vips, av)
+		if reach == 0 {
+			continue
+		}
+		rips, mbpsShares, err := sw.AppendVIPLoadShare(vip, vipMbps, scratch.rips[:0], scratch.mbps[:0])
+		scratch.rips, scratch.mbps = rips, mbpsShares
+		if err != nil {
+			continue
+		}
+		// The load split distributes the fluid Mbps; CPU follows the
+		// same weight proportions.
+		var totalMbps float64
+		for _, m := range mbpsShares {
+			totalMbps += m
+		}
+		for j, rip := range rips {
+			frac := 0.0
+			if totalMbps > 0 {
+				frac = mbpsShares[j] / totalMbps
+			} else if len(rips) > 0 {
+				frac = 1 / float64(len(rips))
+			}
+			vmID, ok := p.ripToVM[rip]
+			if !ok {
+				continue
+			}
+			if p.Cluster.VM(vmID) == nil {
+				continue
+			}
+			rec.vms = append(rec.vms, appliedVM{vm: vmID, res: cluster.Resources{
+				CPU:     vipCPU * frac,
+				NetMbps: mbpsShares[j],
+			}})
+		}
+	}
+}
+
+// undoApp removes an app's previously applied contributions, leaving
+// each touched VIP and VM at its session-overlay base.
+func (p *Platform) undoApp(rec *appApplied) {
+	for i := range rec.vips {
+		av := &rec.vips[i]
+		sess := p.sessVIP[av.vip]
+		p.Net.SetVIPTraffic(string(av.vip), sess)
+		delete(p.fluidTraffic, av.vip)
+		// The VIP may have moved switches (or lost its home) since the
+		// ledger was written, so resolve the current home.
+		if home, ok := p.Fabric.HomeOf(av.vip); ok {
+			p.Fabric.Switch(home).SetVIPLoad(av.vip, sess)
+		}
+		delete(p.fluidSwLoad, av.vip)
+		if sess == 0 {
+			p.unmarkVIPActive(av.vip)
+		}
+	}
+	for i := range rec.vms {
+		avm := &rec.vms[i]
+		if vm := p.Cluster.VM(avm.vm); vm != nil {
+			vm.Demand = p.sessVM[avm.vm]
+		}
+		delete(p.fluidVM, avm.vm)
+	}
+}
+
+// applyRec writes an app's freshly computed contributions. Every write
+// is canonical — base plus fluid in one expression — so applying after
+// undoApp reproduces exactly the state a full recompute would build.
+func (p *Platform) applyRec(rec *appApplied) {
+	for i := range rec.vips {
+		av := &rec.vips[i]
+		sess := p.sessVIP[av.vip]
+		p.Net.SetVIPTraffic(string(av.vip), av.traffic+sess)
+		p.fluidTraffic[av.vip] = av.traffic
+		if av.hasHome {
+			if home, ok := p.Fabric.HomeOf(av.vip); ok {
+				p.Fabric.Switch(home).SetVIPLoad(av.vip, av.swLoad+sess)
+			}
+			p.fluidSwLoad[av.vip] = av.swLoad
+		}
+		if av.act || sess > 0 {
+			p.markVIPActive(av.vip)
+		}
+	}
+	for i := range rec.vms {
+		avm := &rec.vms[i]
+		if vm := p.Cluster.VM(avm.vm); vm != nil {
+			vm.Demand = vm.Demand.Add(avm.res)
+		}
+		p.fluidVM[avm.vm] = p.fluidVM[avm.vm].Add(avm.res)
+	}
+}
+
+// propState is a bitwise snapshot of everything Propagate writes, used
+// by the debug cross-check.
+type propState struct {
+	vmDemand   map[cluster.VMID]cluster.Resources
+	vipTraffic map[lbswitch.VIP]uint64
+	swVIPLoad  map[lbswitch.VIP]uint64
+	swLoads    []uint64
+	linkLoads  []uint64
+}
+
+func (p *Platform) captureState() *propState {
+	s := &propState{
+		vmDemand:   make(map[cluster.VMID]cluster.Resources),
+		vipTraffic: make(map[lbswitch.VIP]uint64),
+		swVIPLoad:  make(map[lbswitch.VIP]uint64),
+	}
+	for vmID := range p.vmToRIP {
+		if vm := p.Cluster.VM(vmID); vm != nil {
+			s.vmDemand[vmID] = vm.Demand
+		}
+	}
+	for vip := range p.vipOwner {
+		s.vipTraffic[vip] = math.Float64bits(p.Net.VIPTraffic(string(vip)))
+		if home, ok := p.Fabric.HomeOf(vip); ok {
+			s.swVIPLoad[vip] = math.Float64bits(p.Fabric.Switch(home).VIPLoad(vip))
+		}
+	}
+	for _, sw := range p.Fabric.Switches() {
+		s.swLoads = append(s.swLoads, math.Float64bits(sw.ThroughputMbps()))
+	}
+	for _, l := range p.Net.Links() {
+		s.linkLoads = append(s.linkLoads, math.Float64bits(l.LoadMbps()))
+	}
+	return s
+}
+
+func (a *propState) diff(b *propState) string {
+	for vm, da := range a.vmDemand {
+		if db := b.vmDemand[vm]; da != db {
+			return fmt.Sprintf("vm %d demand %+v != %+v", vm, da, db)
+		}
+	}
+	if len(a.vmDemand) != len(b.vmDemand) {
+		return fmt.Sprintf("vm count %d != %d", len(a.vmDemand), len(b.vmDemand))
+	}
+	for vip, ta := range a.vipTraffic {
+		if tb := b.vipTraffic[vip]; ta != tb {
+			return fmt.Sprintf("vip %s traffic %v != %v", vip, math.Float64frombits(ta), math.Float64frombits(tb))
+		}
+	}
+	for vip, la := range a.swVIPLoad {
+		if lb := b.swVIPLoad[vip]; la != lb {
+			return fmt.Sprintf("vip %s switch load %v != %v", vip, math.Float64frombits(la), math.Float64frombits(lb))
+		}
+	}
+	for i := range a.swLoads {
+		if a.swLoads[i] != b.swLoads[i] {
+			return fmt.Sprintf("switch %d throughput %v != %v", i, math.Float64frombits(a.swLoads[i]), math.Float64frombits(b.swLoads[i]))
+		}
+	}
+	for i := range a.linkLoads {
+		if a.linkLoads[i] != b.linkLoads[i] {
+			return fmt.Sprintf("link %d load %v != %v", i, math.Float64frombits(a.linkLoads[i]), math.Float64frombits(b.linkLoads[i]))
+		}
+	}
+	return ""
+}
+
+// debugCheckAgainstFull verifies that the incremental pass left exactly
+// the state a full recompute builds, and panics on any bit difference.
+func (p *Platform) debugCheckAgainstFull() {
+	before := p.captureState()
+	p.propagateFull()
+	after := p.captureState()
+	if d := before.diff(after); d != "" {
+		panic("core: incremental propagation diverged from full recompute: " + d)
+	}
+}

@@ -15,7 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"megadc/internal/cluster"
 )
@@ -35,6 +35,7 @@ type exposure struct {
 
 type record struct {
 	vips []exposure // insertion order, deterministic
+	gen  int64      // bumped on every membership or weight change
 }
 
 // DNS is the authoritative DNS of the platform.
@@ -46,6 +47,29 @@ type DNS struct {
 	// reconfigurations (an agility/complexity output for E4/E5).
 	Resolutions   int64
 	WeightChanges int64
+
+	// OnChange, when set, is called after any change to an application's
+	// record (VIP registered/unregistered, weight changed). The platform
+	// uses it to mark the application dirty for incremental demand
+	// propagation; Gen gives caches a cheap staleness check.
+	OnChange func(app cluster.AppID)
+}
+
+// Gen returns a generation counter for app's record that increases on
+// every change, or 0 when the app has no record. Caches of derived
+// values (e.g. expected shares) stay valid while the generation holds.
+func (d *DNS) Gen(app cluster.AppID) int64 {
+	if r := d.records[app]; r != nil {
+		return r.gen
+	}
+	return 0
+}
+
+func (d *DNS) changed(app cluster.AppID, r *record) {
+	r.gen++
+	if d.OnChange != nil {
+		d.OnChange(app)
+	}
 }
 
 // New returns a DNS with the given record TTL in seconds.
@@ -76,6 +100,7 @@ func (d *DNS) Register(app cluster.AppID, vip string, weight float64) error {
 		}
 	}
 	r.vips = append(r.vips, exposure{vip: vip, weight: weight})
+	d.changed(app, r)
 	return nil
 }
 
@@ -88,6 +113,7 @@ func (d *DNS) Unregister(app cluster.AppID, vip string) error {
 	for i, e := range r.vips {
 		if e.vip == vip {
 			r.vips = append(r.vips[:i], r.vips[i+1:]...)
+			d.changed(app, r)
 			return nil
 		}
 	}
@@ -109,6 +135,7 @@ func (d *DNS) SetWeight(app cluster.AppID, vip string, weight float64) error {
 			if e.weight != weight {
 				r.vips[i].weight = weight
 				d.WeightChanges++
+				d.changed(app, r)
 			}
 			return nil
 		}
@@ -139,6 +166,7 @@ func (d *DNS) ExposeOnly(app cluster.AppID, vips ...string) error {
 			return fmt.Errorf("%w: %s", ErrNoVIP, v)
 		}
 	}
+	dirty := false
 	for i := range r.vips {
 		w := 0.0
 		if keep[r.vips[i].vip] {
@@ -147,7 +175,11 @@ func (d *DNS) ExposeOnly(app cluster.AppID, vips ...string) error {
 		if r.vips[i].weight != w {
 			r.vips[i].weight = w
 			d.WeightChanges++
+			dirty = true
 		}
+	}
+	if dirty {
+		d.changed(app, r)
 	}
 	return nil
 }
@@ -171,7 +203,7 @@ func (d *DNS) Apps() []cluster.AppID {
 	for app := range d.records {
 		out = append(out, app)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -185,7 +217,7 @@ func (d *DNS) VIPs(app cluster.AppID) []string {
 	for _, e := range r.vips {
 		out = append(out, e.vip)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -141,18 +141,26 @@ func (c *Consolidator) stepPod(pod cluster.PodID) {
 	}
 }
 
-// powerOnOne restores the most recently powered-off server of the pod.
+// powerOnOne restores the lowest-numbered powered-off server of the
+// pod. The choice must be deterministic (not map iteration order) so
+// identically seeded runs reproduce byte-for-byte.
 func (c *Consolidator) powerOnOne(pod cluster.PodID) {
-	for id, saved := range c.off {
+	pick := cluster.ServerID(-1)
+	for id := range c.off {
 		srv := c.p.Cluster.Server(id)
 		if srv == nil || srv.Pod != pod {
 			continue
 		}
-		srv.Capacity = saved
-		delete(c.off, id)
-		c.PowerOns++
+		if pick < 0 || id < pick {
+			pick = id
+		}
+	}
+	if pick < 0 {
 		return
 	}
+	c.p.Cluster.Server(pick).Capacity = c.off[pick]
+	delete(c.off, pick)
+	c.PowerOns++
 }
 
 // powerOffOne vacates and powers off the least-loaded powered-on server

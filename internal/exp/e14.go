@@ -47,7 +47,11 @@ func RunE14(o Options) (*metrics.Table, *E14Result, error) {
 	for _, mtbf := range mtbfs {
 		topo := core.SmallTopology()
 		topo.Seed = o.Seed
-		p, err := core.NewPlatform(topo, core.DefaultConfig())
+		cfg := core.DefaultConfig()
+		if o.ForceFullPropagate {
+			cfg.PropagateFullEvery = 1
+		}
+		p, err := core.NewPlatform(topo, cfg)
 		if err != nil {
 			return nil, nil, err
 		}

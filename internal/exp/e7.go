@@ -33,6 +33,9 @@ func RunE7(o Options) (*metrics.Table, *E7Result, error) {
 	}
 	base := core.DefaultConfig()
 	base.VIPsPerApp = 2
+	if o.ForceFullPropagate {
+		base.PropagateFullEvery = 1
+	}
 	variants := []variant{
 		{"none", base.WithKnobs()},
 		{"C (server transfer)", base.WithKnobs(core.KnobServerTransfer)},

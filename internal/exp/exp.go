@@ -8,7 +8,8 @@
 package exp
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"megadc/internal/metrics"
 )
@@ -20,6 +21,12 @@ type Options struct {
 	Full bool
 	// Seed makes every experiment deterministic.
 	Seed int64
+	// ForceFullPropagate makes every platform the experiment builds run
+	// a full demand recompute on every Propagate call (no incremental
+	// path). Incremental propagation is bit-exact against the full
+	// path, so results must not change; the cross-check tests rely on
+	// this to compare E7/E14 tables under both strategies.
+	ForceFullPropagate bool
 }
 
 // DefaultOptions returns the defaults used by cmd/mdcexp and the benches.
@@ -54,7 +61,7 @@ func All() []Experiment {
 		{"x3", "Extension: discrete sessions under the drain protocol", func(o Options) (*metrics.Table, error) { t, _, err := RunX3(o); return t, err }},
 		{"x4", "Extension: failure domains and recovery", func(o Options) (*metrics.Table, error) { t, _, err := RunX4(o); return t, err }},
 	}
-	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	slices.SortFunc(exps, func(a, b Experiment) int { return cmp.Compare(a.ID, b.ID) })
 	return exps
 }
 

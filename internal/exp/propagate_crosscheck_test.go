@@ -1,0 +1,50 @@
+package exp
+
+import "testing"
+
+// The incremental propagation path must be bit-exact against a full
+// recompute on every tick. The core package cross-checks raw platform
+// state (crosscheck_test.go); these tests close the loop at the
+// experiment level: the rendered E7 and E14 tables — knob ablation
+// under sustained overload, and availability under MTBF/MTTR churn —
+// must be byte-for-byte identical whichever strategy computed them.
+
+func TestE7TableIdenticalUnderFullPropagate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation ×2")
+	}
+	inc, _, err := RunE7(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts()
+	o.ForceFullPropagate = true
+	full, _, err := RunE7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.String() != full.String() {
+		t.Fatalf("E7 table differs between incremental and full propagation:\n--- incremental ---\n%s\n--- full ---\n%s",
+			inc.String(), full.String())
+	}
+}
+
+func TestE14TableIdenticalUnderFullPropagate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation ×2")
+	}
+	inc, _, err := RunE14(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts()
+	o.ForceFullPropagate = true
+	full, _, err := RunE14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.String() != full.String() {
+		t.Fatalf("E14 table differs between incremental and full propagation:\n--- incremental ---\n%s\n--- full ---\n%s",
+			inc.String(), full.String())
+	}
+}

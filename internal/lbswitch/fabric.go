@@ -3,7 +3,7 @@ package lbswitch
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"megadc/internal/cluster"
 )
@@ -166,7 +166,7 @@ func (f *Fabric) VIPsOfApp(app cluster.AppID) []VIP {
 			out = append(out, vip)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -18,7 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"megadc/internal/cluster"
 	"megadc/internal/health"
@@ -121,11 +121,26 @@ type Switch struct {
 	conns     map[ConnID]conn
 	nextConn  ConnID
 
+	// Cached canonical throughput: the sum of per-VIP fluid loads in
+	// vipOrder, recomputed lazily after a load or membership change. The
+	// fixed summation order keeps ThroughputMbps independent of map
+	// iteration and update history, which incremental demand propagation
+	// relies on for bit-exact results.
+	loadSum  float64
+	sumValid bool
+
 	// Reconfigs counts programmatic reconfiguration operations applied to
 	// the switch (VIP/RIP add/remove, weight changes). The paper notes
 	// these take "only several seconds"; the latency itself is applied by
 	// the managers, but the count is an experiment output.
 	Reconfigs int64
+
+	// OnReconfig, when set, is called after every configuration change
+	// that can shift how the VIP's demand lands (VIP/RIP add/remove,
+	// weight change), with the affected VIP and its owning application.
+	// The platform uses it to mark the application dirty for incremental
+	// demand propagation.
+	OnReconfig func(vip VIP, app cluster.AppID)
 }
 
 // Serving reports whether the switch is healthy enough to forward
@@ -180,7 +195,11 @@ func (s *Switch) AddVIP(vip VIP, app cluster.AppID) error {
 	}
 	s.vips[vip] = &vipEntry{app: app, ripIndex: make(map[RIP]*ripEntry)}
 	s.vipOrder = append(s.vipOrder, vip)
+	s.sumValid = false
 	s.Reconfigs++
+	if s.OnReconfig != nil {
+		s.OnReconfig(vip, app)
+	}
 	return nil
 }
 
@@ -209,7 +228,11 @@ func (s *Switch) RemoveVIP(vip VIP, force bool) (broken int, err error) {
 			break
 		}
 	}
+	s.sumValid = false
 	s.Reconfigs++
+	if s.OnReconfig != nil {
+		s.OnReconfig(vip, e.app)
+	}
 	return broken, nil
 }
 
@@ -233,6 +256,9 @@ func (s *Switch) AddRIP(vip VIP, rip RIP, weight float64) error {
 	e.ripIndex[rip] = re
 	s.totalRIPs++
 	s.Reconfigs++
+	if s.OnReconfig != nil {
+		s.OnReconfig(vip, e.app)
+	}
 	return nil
 }
 
@@ -263,6 +289,9 @@ func (s *Switch) RemoveRIP(vip VIP, rip RIP) (broken int, err error) {
 	}
 	s.totalRIPs--
 	s.Reconfigs++
+	if s.OnReconfig != nil {
+		s.OnReconfig(vip, e.app)
+	}
 	return broken, nil
 }
 
@@ -282,6 +311,9 @@ func (s *Switch) SetWeight(vip VIP, rip RIP, weight float64) error {
 	}
 	re.weight = weight
 	s.Reconfigs++
+	if s.OnReconfig != nil {
+		s.OnReconfig(vip, e.app)
+	}
 	return nil
 }
 
@@ -418,6 +450,7 @@ func (s *Switch) SetVIPLoad(vip VIP, mbps float64) error {
 		return fmt.Errorf("lbswitch: negative load %v", mbps)
 	}
 	e.loadMbps = mbps
+	s.sumValid = false
 	return nil
 }
 
@@ -429,13 +462,19 @@ func (s *Switch) VIPLoad(vip VIP) float64 {
 	return 0
 }
 
-// ThroughputMbps returns the switch's total fluid offered load.
+// ThroughputMbps returns the switch's total fluid offered load: the sum
+// of per-VIP loads in VIP insertion order (cached until a load changes),
+// so the value is reproducible rather than map-iteration dependent.
 func (s *Switch) ThroughputMbps() float64 {
-	var sum float64
-	for _, e := range s.vips {
-		sum += e.loadMbps
+	if !s.sumValid {
+		var sum float64
+		for _, vip := range s.vipOrder {
+			sum += s.vips[vip].loadMbps
+		}
+		s.loadSum = sum
+		s.sumValid = true
 	}
-	return sum
+	return s.loadSum
 }
 
 // Utilization returns offered load over throughput capacity. Values above
@@ -482,6 +521,23 @@ func (s *Switch) VIPLoadShare(vip VIP) (rips []RIP, mbps []float64, err error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
 	}
+	return s.appendLoadShare(e, e.loadMbps, nil, nil)
+}
+
+// AppendVIPLoadShare is VIPLoadShare with an explicit load to distribute
+// and caller-provided buffers the results are appended to, so hot paths
+// can reuse scratch space and split a load other than the stored one
+// (demand propagation distributes the fluid-only load while the stored
+// load also carries the discrete-session overlay).
+func (s *Switch) AppendVIPLoadShare(vip VIP, load float64, rips []RIP, mbps []float64) ([]RIP, []float64, error) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return rips, mbps, fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	return s.appendLoadShare(e, load, rips, mbps)
+}
+
+func (s *Switch) appendLoadShare(e *vipEntry, load float64, rips []RIP, mbps []float64) ([]RIP, []float64, error) {
 	var total float64
 	for _, re := range e.rips {
 		total += re.weight
@@ -490,7 +546,7 @@ func (s *Switch) VIPLoadShare(vip VIP) (rips []RIP, mbps []float64, err error) {
 		rips = append(rips, re.rip)
 		share := 0.0
 		if total > 0 {
-			share = e.loadMbps * re.weight / total
+			share = load * re.weight / total
 		}
 		mbps = append(mbps, share)
 	}
@@ -570,12 +626,21 @@ func (s *Switch) CheckInvariants() error {
 // load, breaking ties by VIP string for determinism.
 func (s *Switch) SortVIPsByLoad() []VIP {
 	vips := s.VIPs()
-	sort.Slice(vips, func(i, j int) bool {
-		li, lj := s.VIPLoad(vips[i]), s.VIPLoad(vips[j])
-		if li != lj {
-			return li > lj
+	slices.SortFunc(vips, func(a, b VIP) int {
+		la, lb := s.VIPLoad(a), s.VIPLoad(b)
+		if la != lb {
+			if la > lb {
+				return -1
+			}
+			return 1
 		}
-		return vips[i] < vips[j]
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+		return 0
 	})
 	return vips
 }

@@ -1,6 +1,6 @@
 package metrics
 
-import "sort"
+import "slices"
 
 // Availability tracks service availability per key (typically one key
 // per application) from periodic served/demand observations. Like
@@ -98,7 +98,7 @@ func (a *Availability) Keys() []string {
 	for k := range a.keys {
 		out = append(out, k)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -7,7 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Counter is a monotonically increasing event count.
@@ -180,7 +180,7 @@ func (s *Sample) Quantile(q float64) float64 {
 
 func (s *Sample) sort() {
 	if !s.sorted {
-		sort.Float64s(s.xs)
+		slices.Sort(s.xs)
 		s.sorted = true
 	}
 }

@@ -10,7 +10,7 @@ package multidc
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"megadc/internal/cluster"
 	"megadc/internal/core"
@@ -187,7 +187,7 @@ func (f *Federation) Step() {
 	for id := range f.apps {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for _, id := range ids {
 		fa := f.apps[id]
 		var hot, cold []int
@@ -202,8 +202,8 @@ func (f *Federation) Step() {
 		if len(hot) == 0 || len(cold) == 0 {
 			continue
 		}
-		sort.Ints(hot)
-		sort.Ints(cold)
+		slices.Sort(hot)
+		slices.Sort(cold)
 		var moved float64
 		for _, h := range hot {
 			d := fa.shares[h] * f.ShiftStep
@@ -231,12 +231,25 @@ func (f *Federation) Start(interval float64) {
 }
 
 // TotalSatisfaction aggregates served/demanded CPU over all DCs.
+// Iteration is in sorted ID order so the float sums are independent of
+// map iteration order (byte-for-byte reproducible runs).
 func (f *Federation) TotalSatisfaction() float64 {
 	var served, demand float64
-	for _, fa := range f.apps {
+	ids := make([]FedAppID, 0, len(f.apps))
+	for id := range f.apps {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		fa := f.apps[id]
 		demand += fa.demand.CPU
-		for dcID, local := range fa.locals {
-			s := f.dcs[dcID].P.AppSatisfaction(local)
+		dcIDs := make([]int, 0, len(fa.locals))
+		for dcID := range fa.locals {
+			dcIDs = append(dcIDs, dcID)
+		}
+		slices.Sort(dcIDs)
+		for _, dcID := range dcIDs {
+			s := f.dcs[dcID].P.AppSatisfaction(fa.locals[dcID])
 			served += s * fa.demand.CPU * fa.shares[dcID]
 		}
 	}

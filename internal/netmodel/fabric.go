@@ -2,7 +2,7 @@ package netmodel
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // HoseFabric abstracts the modern intra-DC network topologies the paper
@@ -111,7 +111,7 @@ func (h *HoseFabric) Admissible() (bool, []int) {
 	for host := range bad {
 		out = append(out, host)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return false, out
 }
 

@@ -8,9 +8,10 @@
 package netmodel
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"megadc/internal/health"
 )
@@ -59,21 +60,63 @@ type Link struct {
 	// link repaired.
 	Health health.State
 
-	loadMbps float64
+	// Per-VIP traffic shares currently routed over this link, with the
+	// key set kept sorted so the total load is always the same canonical
+	// sum regardless of the order shares were applied in. A running
+	// add/subtract accumulator would drift by ULPs depending on update
+	// history, which would break the bit-for-bit equivalence between
+	// incremental and full demand propagation.
+	shares    map[VIPAddr]float64
+	shareKeys []VIPAddr
+	loadSum   float64
+	sumValid  bool
 }
 
 // Serving reports whether the link is healthy enough to carry traffic.
 func (l *Link) Serving() bool { return l.Health.Serving() }
 
-// LoadMbps returns the current offered load on the link.
-func (l *Link) LoadMbps() float64 { return l.loadMbps }
+// LoadMbps returns the current offered load on the link: the sum of the
+// per-VIP shares in sorted VIP order (cached until a share changes).
+func (l *Link) LoadMbps() float64 {
+	if !l.sumValid {
+		var sum float64
+		for _, vip := range l.shareKeys {
+			sum += l.shares[vip]
+		}
+		l.loadSum = sum
+		l.sumValid = true
+	}
+	return l.loadSum
+}
+
+func (l *Link) setShare(vip VIPAddr, share float64) {
+	if _, ok := l.shares[vip]; !ok {
+		i, _ := slices.BinarySearch(l.shareKeys, vip)
+		l.shareKeys = append(l.shareKeys, "")
+		copy(l.shareKeys[i+1:], l.shareKeys[i:])
+		l.shareKeys[i] = vip
+	}
+	l.shares[vip] = share
+	l.sumValid = false
+}
+
+func (l *Link) clearShare(vip VIPAddr) {
+	if _, ok := l.shares[vip]; !ok {
+		return
+	}
+	delete(l.shares, vip)
+	if i, found := slices.BinarySearch(l.shareKeys, vip); found {
+		l.shareKeys = append(l.shareKeys[:i], l.shareKeys[i+1:]...)
+	}
+	l.sumValid = false
+}
 
 // Utilization returns load/capacity; above 1 means overloaded.
 func (l *Link) Utilization() float64 {
 	if l.CapacityMbps <= 0 {
 		return 0
 	}
-	return l.loadMbps / l.CapacityMbps
+	return l.LoadMbps() / l.CapacityMbps
 }
 
 // advertisement is one VIP route at one link.
@@ -99,6 +142,11 @@ type Network struct {
 
 	vipTraffic map[VIPAddr]float64
 	applied    map[VIPAddr]appliedLoad
+
+	// OnRouteChange, when set, is called after any advertisement change
+	// for a VIP (advertise, withdraw, padding flip). The platform uses it
+	// to mark the VIP's owner dirty for incremental demand propagation.
+	OnRouteChange func(vip VIPAddr)
 }
 
 // appliedLoad remembers how a VIP's traffic was last spread over links,
@@ -152,7 +200,8 @@ func (n *Network) AddLink(ar AccessRouterID, br BorderRouterID, capacityMbps, co
 	if capacityMbps <= 0 {
 		return nil, fmt.Errorf("netmodel: non-positive capacity %v", capacityMbps)
 	}
-	l := &Link{ID: LinkID(len(n.links)), Router: ar, Border: br, CapacityMbps: capacityMbps, CostPerMbps: costPerMbps}
+	l := &Link{ID: LinkID(len(n.links)), Router: ar, Border: br, CapacityMbps: capacityMbps, CostPerMbps: costPerMbps,
+		shares: make(map[VIPAddr]float64)}
 	n.links[l.ID] = l
 	n.order = append(n.order, l.ID)
 	return l, nil
@@ -194,6 +243,9 @@ func (n *Network) Advertise(vip VIPAddr, link LinkID, padded bool) error {
 	n.ads[vip] = append(n.ads[vip], advertisement{link: link, padded: padded})
 	n.RouteUpdates++
 	n.redistribute(vip)
+	if n.OnRouteChange != nil {
+		n.OnRouteChange(vip)
+	}
 	return nil
 }
 
@@ -208,6 +260,9 @@ func (n *Network) Withdraw(vip VIPAddr, link LinkID) error {
 			}
 			n.RouteUpdates++
 			n.redistribute(vip)
+			if n.OnRouteChange != nil {
+				n.OnRouteChange(vip)
+			}
 			return nil
 		}
 	}
@@ -224,6 +279,9 @@ func (n *Network) SetPadded(vip VIPAddr, link LinkID, padded bool) error {
 				n.ads[vip][i].padded = padded
 				n.RouteUpdates++
 				n.redistribute(vip)
+				if n.OnRouteChange != nil {
+					n.OnRouteChange(vip)
+				}
 			}
 			return nil
 		}
@@ -240,8 +298,24 @@ func (n *Network) ActiveLinks(vip VIPAddr) []LinkID {
 			out = append(out, ad.link)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
+}
+
+// RouteCounts returns how many active (unpadded) routes vip has and how
+// many of them terminate on serving links, without allocating — the
+// reachability inputs the demand-propagation hot path needs.
+func (n *Network) RouteCounts(vip VIPAddr) (active, serving int) {
+	for _, ad := range n.ads[vip] {
+		if ad.padded {
+			continue
+		}
+		active++
+		if l := n.links[ad.link]; l != nil && l.Serving() {
+			serving++
+		}
+	}
+	return active, serving
 }
 
 // AllLinks returns every link vip is advertised on, padded or not.
@@ -250,7 +324,7 @@ func (n *Network) AllLinks(vip VIPAddr) []LinkID {
 	for _, ad := range n.ads[vip] {
 		out = append(out, ad.link)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -277,36 +351,43 @@ func (n *Network) VIPTraffic(vip VIPAddr) float64 { return n.vipTraffic[vip] }
 // the VIP's previous contribution and applies the contribution implied
 // by the current traffic and active-link set. Incremental updates keep
 // SetVIPTraffic O(links-per-VIP) so experiments can carry tens of
-// thousands of VIPs.
+// thousands of VIPs. The previous link slice is reused so steady-state
+// traffic updates do not allocate.
 func (n *Network) redistribute(vip VIPAddr) {
-	if prev, ok := n.applied[vip]; ok {
-		for _, id := range prev.links {
-			if l := n.links[id]; l != nil {
-				l.loadMbps -= prev.share
-				if l.loadMbps < 0 && l.loadMbps > -1e-9 {
-					l.loadMbps = 0
-				}
-			}
+	prev := n.applied[vip]
+	for _, id := range prev.links {
+		if l := n.links[id]; l != nil {
+			l.clearShare(vip)
 		}
-		delete(n.applied, vip)
 	}
+	links := prev.links[:0]
+	for _, ad := range n.ads[vip] {
+		if !ad.padded {
+			links = append(links, ad.link)
+		}
+	}
+	slices.Sort(links)
 	t := n.vipTraffic[vip]
-	active := n.ActiveLinks(vip)
-	if t == 0 || len(active) == 0 {
+	if t == 0 || len(links) == 0 {
+		if cap(links) == 0 {
+			delete(n.applied, vip)
+		} else {
+			n.applied[vip] = appliedLoad{links: links}
+		}
 		return
 	}
-	share := t / float64(len(active))
-	for _, id := range active {
-		n.links[id].loadMbps += share
+	share := t / float64(len(links))
+	for _, id := range links {
+		n.links[id].setShare(vip, share)
 	}
-	n.applied[vip] = appliedLoad{links: active, share: share}
+	n.applied[vip] = appliedLoad{links: links, share: share}
 }
 
 // LinkLoads returns per-link load in creation order.
 func (n *Network) LinkLoads() []float64 {
 	out := make([]float64, 0, len(n.order))
 	for _, id := range n.order {
-		out = append(out, n.links[id].loadMbps)
+		out = append(out, n.links[id].LoadMbps())
 	}
 	return out
 }
@@ -329,12 +410,15 @@ func (n *Network) OverloadedLinks(threshold float64) []LinkID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		ui, uj := n.links[out[i]].Utilization(), n.links[out[j]].Utilization()
-		if ui != uj {
-			return ui > uj
+	slices.SortFunc(out, func(a, b LinkID) int {
+		ua, ub := n.links[a].Utilization(), n.links[b].Utilization()
+		if ua != ub {
+			if ua > ub {
+				return -1
+			}
+			return 1
 		}
-		return out[i] < out[j]
+		return cmp.Compare(a, b)
 	})
 	return out
 }
@@ -344,7 +428,7 @@ func (n *Network) TotalCost() float64 {
 	var sum float64
 	for _, id := range n.order {
 		l := n.links[id]
-		sum += l.loadMbps * l.CostPerMbps
+		sum += l.LoadMbps() * l.CostPerMbps
 	}
 	return sum
 }
@@ -360,7 +444,7 @@ func (n *Network) VIPsOnLink(link LinkID) []VIPAddr {
 			}
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -385,12 +469,12 @@ func (n *Network) CheckInvariants() error {
 	}
 	for _, id := range n.order {
 		l := n.links[id]
-		d := l.loadMbps - want[id]
+		d := l.LoadMbps() - want[id]
 		if d < 0 {
 			d = -d
 		}
 		if d > 1e-6*(1+want[id]) {
-			return fmt.Errorf("link %d load %v != expected %v", id, l.loadMbps, want[id])
+			return fmt.Errorf("link %d load %v != expected %v", id, l.LoadMbps(), want[id])
 		}
 	}
 	return nil

@@ -1,7 +1,8 @@
 package placement
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 )
 
 // Controller is the Tang-style application placement controller. It
@@ -100,12 +101,15 @@ func (c *Controller) improve(p *Problem, instances [][]int, alloc [][]float64, r
 			order = append(order, a)
 		}
 	}
-	sort.Slice(order, func(i, j int) bool {
-		ri, rj := residApp[order[i]], residApp[order[j]]
-		if ri != rj {
-			return ri > rj
+	slices.SortFunc(order, func(a, b int) int {
+		ra, rb := residApp[a], residApp[b]
+		if ra != rb {
+			if ra > rb {
+				return -1
+			}
+			return 1
 		}
-		return order[i] < order[j]
+		return cmp.Compare(a, b)
 	})
 
 	progress := false

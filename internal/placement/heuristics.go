@@ -1,6 +1,9 @@
 package placement
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // FirstFit is the simple baseline placer: apps in descending demand
 // order, instances appended on the first machine (by index) with spare
@@ -81,12 +84,15 @@ func greedyPlace(p *Problem, pick func(p *Problem, candidates []int, residCPU, r
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(i, j int) bool {
-		di, dj := p.AppDemand[order[i]], p.AppDemand[order[j]]
-		if di != dj {
-			return di > dj
+	slices.SortFunc(order, func(a, b int) int {
+		da, db := p.AppDemand[a], p.AppDemand[b]
+		if da != db {
+			if da > db {
+				return -1
+			}
+			return 1
 		}
-		return order[i] < order[j]
+		return cmp.Compare(a, b)
 	})
 
 	candidates := make([]int, 0, p.NumMachines())

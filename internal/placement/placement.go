@@ -15,9 +15,10 @@
 package placement
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Problem is one placement problem instance. All slices are indexed by
@@ -220,12 +221,15 @@ func allocateCPU(p *Problem, instances [][]int) (alloc [][]float64, residApp []f
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(i, j int) bool {
-		di, dj := p.AppDemand[order[i]], p.AppDemand[order[j]]
-		if di != dj {
-			return di > dj
+	slices.SortFunc(order, func(a, b int) int {
+		da, db := p.AppDemand[a], p.AppDemand[b]
+		if da != db {
+			if da > db {
+				return -1
+			}
+			return 1
 		}
-		return order[i] < order[j]
+		return cmp.Compare(a, b)
 	})
 
 	for _, a := range order {
@@ -236,12 +240,15 @@ func allocateCPU(p *Problem, instances [][]int) (alloc [][]float64, residApp []f
 		for i := range idx {
 			idx[i] = i
 		}
-		sort.Slice(idx, func(x, y int) bool {
-			rx, ry := residCPU[instances[a][idx[x]]], residCPU[instances[a][idx[y]]]
+		slices.SortFunc(idx, func(x, y int) int {
+			rx, ry := residCPU[instances[a][x]], residCPU[instances[a][y]]
 			if rx != ry {
-				return rx > ry
+				if rx > ry {
+					return -1
+				}
+				return 1
 			}
-			return instances[a][idx[x]] < instances[a][idx[y]]
+			return cmp.Compare(instances[a][x], instances[a][y])
 		})
 		for _, j := range idx {
 			if need <= feaTol {

@@ -1,0 +1,53 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags
+// into the commands, so `mdcexp` and `megadcsim` runs can be fed
+// straight to `go tool pprof` when chasing propagation or placement
+// hot spots.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath; either may be empty to skip that profile. The returned stop
+// function finishes both and must be called on the normal exit path
+// (profiles are discarded when the process exits early with an error).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var fns []func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		fns = append(fns, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if memPath != "" {
+		fns = append(fns, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		})
+	}
+	return func() {
+		for _, fn := range fns {
+			fn()
+		}
+	}, nil
+}

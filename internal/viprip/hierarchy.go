@@ -2,7 +2,7 @@ package viprip
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"megadc/internal/cluster"
 	"megadc/internal/lbswitch"
@@ -200,7 +200,7 @@ func (h *Hierarchy) Rebalance() int {
 		sw := h.pods[big][idx]
 		h.pods[big] = append(h.pods[big][:idx], h.pods[big][idx+1:]...)
 		h.pods[small] = append(h.pods[small], sw)
-		sort.Slice(h.pods[small], func(i, j int) bool { return h.pods[small][i] < h.pods[small][j] })
+		slices.Sort(h.pods[small])
 		h.podOf[sw] = small
 		h.Rebalances++
 		moves++

@@ -1,9 +1,10 @@
 package viprip
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"megadc/internal/cluster"
 	"megadc/internal/lbswitch"
@@ -147,11 +148,11 @@ func (m *Manager) Pending() int { return len(m.queue) }
 // priority), applying each request. It returns the processed requests in
 // execution order.
 func (m *Manager) ProcessAll() []*Request {
-	sort.SliceStable(m.queue, func(i, j int) bool {
-		if m.queue[i].Priority != m.queue[j].Priority {
-			return m.queue[i].Priority > m.queue[j].Priority
+	slices.SortStableFunc(m.queue, func(a, b *Request) int {
+		if a.Priority != b.Priority {
+			return cmp.Compare(b.Priority, a.Priority)
 		}
-		return m.queue[i].seq < m.queue[j].seq
+		return cmp.Compare(a.seq, b.seq)
 	})
 	out := m.queue
 	m.queue = nil

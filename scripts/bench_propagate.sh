@@ -1,0 +1,26 @@
+#!/bin/sh
+# Regenerates BENCH_propagate.json, the committed benchmark baseline for
+# the propagation fast path:
+#
+#   - BenchmarkPropagateSteady / BenchmarkPropagateFull* /
+#     BenchmarkPlatformPropagate with -benchmem, so ns/op, B/op, and
+#     allocs/op are recorded (the incremental-propagation acceptance
+#     bar is steady-state ≥5x cheaper than full recompute);
+#   - the E2 (placement scalability) and E3 (pod size) experiment
+#     benchmarks at -benchtime=1x for their headline wall-clock metrics.
+#
+# Run from anywhere; writes BENCH_propagate.json at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_propagate.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkPropagateSteady|BenchmarkPropagateFull|BenchmarkPlatformPropagate' \
+	-benchmem -benchtime=1s . >"$tmp"
+go test -run '^$' -bench 'BenchmarkE2PlacementScalability|BenchmarkE3PodSize' \
+	-benchtime=1x . >>"$tmp"
+
+go run ./tools/benchjson <"$tmp" >"$out"
+echo "wrote $out"
