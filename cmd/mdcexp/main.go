@@ -10,6 +10,7 @@
 //	mdcexp -e e4           # run one experiment
 //	mdcexp -full           # larger configurations (minutes)
 //	mdcexp -seed 7         # change the deterministic seed
+//	mdcexp -audit 1        # audit conservation laws on every Propagate (0 disables)
 //	mdcexp -list           # list experiment ids and titles
 //	mdcexp -json           # machine-readable output (one JSON doc per experiment)
 //	mdcexp -cpuprofile cpu.pprof -e e2   # profile an experiment
@@ -31,6 +32,7 @@ func main() {
 		id      = flag.String("e", "all", "experiment id (e1..e14, x1..x4) or 'all'")
 		full    = flag.Bool("full", false, "run the larger configurations")
 		seed    = flag.Int64("seed", 1, "deterministic seed")
+		auditN  = flag.Int("audit", 10, "run the conservation-law auditor every N Propagate calls (0 disables)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		asJSON  = flag.Bool("json", false, "emit each table as a JSON document")
 		asMD    = flag.Bool("md", false, "emit each table as GitHub-flavoured markdown")
@@ -53,7 +55,7 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{Full: *full, Seed: *seed}
+	opts := exp.Options{Full: *full, Seed: *seed, AuditEvery: *auditN}
 	var toRun []exp.Experiment
 	if *id == "all" {
 		toRun = exp.All()

@@ -17,6 +17,7 @@
 //	megadcsim -churn -churn-flap       # add link flapping to the churn
 //	megadcsim -sessions                # drive discrete sessions instead of fluid demand
 //	megadcsim -energy                  # attach the consolidation knob and report energy
+//	megadcsim -audit 10                # check conservation laws every 10 Propagate calls
 package main
 
 import (
@@ -47,6 +48,7 @@ func main() {
 		duration    = flag.Float64("duration", 3600, "simulated seconds")
 		flash       = flag.Int("flash", -1, "app index to hit with a 10× flash crowd (-1: none)")
 		seed        = flag.Int64("seed", 1, "deterministic seed")
+		auditN      = flag.Int("audit", 0, "run the conservation-law auditor every N Propagate calls (0 disables)")
 		knobs       = flag.String("knobs", "", "comma-separated knob letters A..F (empty = all)")
 		printTopo   = flag.Bool("print-topology", false, "validate and print the Figure 1 topology, then exit")
 		failures    = flag.String("fail", "", "comma-separated failures to inject mid-run: server, switch, link")
@@ -80,6 +82,7 @@ func main() {
 	topo.Seed = *seed
 
 	cfg := core.DefaultConfig()
+	cfg.AuditEvery = *auditN
 	if *knobs != "" {
 		var ks []core.Knob
 		for _, c := range strings.Split(strings.ToUpper(*knobs), ",") {
@@ -250,7 +253,16 @@ func main() {
 		stopProf() // the full run already happened; keep its profiles
 		os.Exit(1)
 	}
-	fmt.Println("invariants: ok")
+	if err := p.AuditErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "megadcsim: AUDIT VIOLATION:", err)
+		stopProf()
+		os.Exit(1)
+	}
+	if *auditN > 0 {
+		fmt.Println("invariants: ok (audited)")
+	} else {
+		fmt.Println("invariants: ok")
+	}
 }
 
 // scheduleFailures injects the requested failures at 40%, 55%, and 70%

@@ -1,0 +1,109 @@
+// Package audit defines the structured invariant-violation reports
+// produced by the platform's conservation-law auditor (see
+// core.Platform.Audit and DESIGN.md §9). The auditor walks the whole
+// platform and checks the cross-layer laws the paper's architecture
+// implies — VIP/RIP bidirectional consistency, DNS share sums, capacity
+// accounting, session conservation, and link/switch load decomposition.
+// A violation is a structured record (component, invariant ID,
+// expected/actual, repro seed), never a bare panic: callers decide
+// whether to fail a test, abort a run, or log and continue.
+package audit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one broken invariant, observed at one audit walk.
+type Violation struct {
+	// Component names the subsystem the violation was observed in
+	// (e.g. "viprip", "dnsctl", "cluster", "sessions", "netmodel").
+	Component string
+	// Invariant is the stable ID of the broken law (DESIGN.md §9),
+	// e.g. "I1.RIP_VM_BIJECTION". Regression tests cite these IDs.
+	Invariant string
+	// Expected / Actual describe the law and the observed state.
+	Expected string
+	Actual   string
+	// Detail pins the violation to a concrete entity (VIP, VM, pod…).
+	Detail string
+	// Seed is the topology seed of the run, for reproduction.
+	Seed int64
+}
+
+// String renders the violation on one line.
+func (v Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s: expected %s, got %s", v.Invariant, v.Component, v.Expected, v.Actual)
+	if v.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", v.Detail)
+	}
+	fmt.Fprintf(&b, " seed=%d", v.Seed)
+	return b.String()
+}
+
+// Report collects the violations of one audit walk.
+type Report struct {
+	// Seed is the audited run's topology seed, copied into every
+	// violation the report collects.
+	Seed int64
+	// Tick is the platform's Propagate tick count at audit time.
+	Tick int64
+
+	Violations []Violation
+}
+
+// NewReport returns an empty report for the given run.
+func NewReport(seed, tick int64) *Report {
+	return &Report{Seed: seed, Tick: tick}
+}
+
+// Add records one violation.
+func (r *Report) Add(component, invariant, expected, actual, detail string) {
+	r.Violations = append(r.Violations, Violation{
+		Component: component,
+		Invariant: invariant,
+		Expected:  expected,
+		Actual:    actual,
+		Detail:    detail,
+		Seed:      r.Seed,
+	})
+}
+
+// Addf is Add with a formatted detail string.
+func (r *Report) Addf(component, invariant, expected, actual, format string, args ...any) {
+	r.Add(component, invariant, expected, actual, fmt.Sprintf(format, args...))
+}
+
+// OK reports whether the walk found no violations.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Has reports whether the report contains a violation of the given
+// invariant ID — the assertion regression tests use.
+func (r *Report) Has(invariant string) bool {
+	for _, v := range r.Violations {
+		if v.Invariant == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders every violation, one per line.
+func (r *Report) String() string {
+	lines := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		lines[i] = v.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Err returns nil for a clean report, or an error carrying every
+// violation.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("audit: %d invariant violation(s) at tick %d:\n%s",
+		len(r.Violations), r.Tick, r.String())
+}

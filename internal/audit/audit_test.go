@@ -1,0 +1,40 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportLifecycle(t *testing.T) {
+	r := NewReport(42, 7)
+	if !r.OK() {
+		t.Fatal("fresh report not OK")
+	}
+	if r.Err() != nil {
+		t.Fatalf("fresh report Err = %v", r.Err())
+	}
+	r.Add("dnsctl", "I2.SHARE_SUM", "1", "0.8", "app 3")
+	r.Addf("sessions", "I4.SESSION_CONSERVATION", "0", "2", "app %d leaks %d", 5, 2)
+	if r.OK() {
+		t.Fatal("report with violations reads OK")
+	}
+	if !r.Has("I2.SHARE_SUM") || !r.Has("I4.SESSION_CONSERVATION") {
+		t.Fatalf("Has misses recorded invariants: %s", r)
+	}
+	if r.Has("I1.FABRIC") {
+		t.Fatal("Has reports an invariant never recorded")
+	}
+	err := r.Err()
+	if err == nil {
+		t.Fatal("Err = nil with violations")
+	}
+	for _, want := range []string{"2 invariant violation(s)", "tick 7",
+		"I2.SHARE_SUM", "app 5 leaks 2", "seed=42"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Err %q misses %q", err, want)
+		}
+	}
+	if r.Violations[0].Seed != 42 {
+		t.Fatalf("violation seed = %d, want 42", r.Violations[0].Seed)
+	}
+}

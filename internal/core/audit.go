@@ -1,0 +1,412 @@
+package core
+
+// Invariant auditor (DESIGN.md §9). Platform.Audit walks every substrate
+// and checks the cross-layer conservation laws the paper's architecture
+// implies. Each law has a stable invariant ID cited by regression tests:
+//
+//	I1.* VIP/RIP bidirectional consistency (viprip ↔ lbswitch ↔ cluster)
+//	I2.* DNS share sums and generation monotonicity (dnsctl)
+//	I3.* capacity accounting and fault-snapshot discipline (cluster)
+//	I4.* fluid+session demand conservation (core, sessions)
+//	I5.* link/switch load decomposition and limits (netmodel, lbswitch)
+//
+// Violations are structured audit.Violation records, never panics; the
+// Propagate hook (Config.AuditEvery / Config.AuditOnChange) accumulates
+// them and AuditErr gates end-of-run success on an empty set.
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"megadc/internal/audit"
+	"megadc/internal/cluster"
+	"megadc/internal/health"
+	"megadc/internal/lbswitch"
+)
+
+// maxAuditViolations bounds what the periodic hook stores; a broken run
+// repeats the same violations every audited tick.
+const maxAuditViolations = 64
+
+// Audit runs one full invariant walk and returns its report. It is
+// cheap relative to a full recompute but still O(platform); use
+// Config.AuditEvery to bound the overhead in long runs.
+func (p *Platform) Audit() *audit.Report {
+	rep := audit.NewReport(p.seed, p.propagateTicks)
+	p.auditVIPRIP(rep)
+	p.auditDNS(rep)
+	p.auditCapacity(rep)
+	p.auditConservation(rep)
+	p.auditNetwork(rep)
+	return rep
+}
+
+// AuditViolations returns the violations accumulated by the periodic
+// audit hook since the platform was built.
+func (p *Platform) AuditViolations() []audit.Violation {
+	return slices.Clone(p.auditViolations)
+}
+
+// AuditErr runs one final audit walk and returns an error when it — or
+// any earlier periodic audit — found violations. The cmd binaries and
+// the experiment harness use it as the end-of-run gate.
+func (p *Platform) AuditErr() error {
+	if err := p.Audit().Err(); err != nil {
+		return err
+	}
+	if n := len(p.auditViolations); n > 0 {
+		return fmt.Errorf("audit: %d violation(s) accumulated during the run (first: %s)",
+			int64(n)+p.auditDropped, p.auditViolations[0])
+	}
+	return nil
+}
+
+// maybeAudit is the Propagate hook: it audits when the tick matches
+// Config.AuditEvery (or always under AuditOnChange) and accumulates any
+// violations, capped at maxAuditViolations.
+func (p *Platform) maybeAudit() {
+	if !p.Cfg.AuditOnChange &&
+		(p.Cfg.AuditEvery <= 0 || p.propagateTicks%int64(p.Cfg.AuditEvery) != 0) {
+		return
+	}
+	rep := p.Audit()
+	for _, v := range rep.Violations {
+		if len(p.auditViolations) >= maxAuditViolations {
+			p.auditDropped++
+			continue
+		}
+		p.auditViolations = append(p.auditViolations, v)
+	}
+}
+
+// auditVIPRIP checks I1: every RIP configured on a switch backs exactly
+// one registered VM, the RIP↔VM index is a bijection over live VMs, and
+// every VIP DNS exposes is homed on a switch.
+func (p *Platform) auditVIPRIP(rep *audit.Report) {
+	if err := p.Fabric.CheckInvariants(); err != nil {
+		rep.Add("lbswitch", "I1.FABRIC", "consistent switch tables", err.Error(), "")
+	}
+	rips := make([]lbswitch.RIP, 0, len(p.ripToVM))
+	for rip := range p.ripToVM {
+		rips = append(rips, rip)
+	}
+	slices.Sort(rips)
+	for _, rip := range rips {
+		vm := p.ripToVM[rip]
+		if back, ok := p.vmToRIP[vm]; !ok || back != rip {
+			rep.Addf("viprip", "I1.RIP_VM_BIJECTION",
+				fmt.Sprintf("vmToRIP[%d] == %s", vm, rip), string(back),
+				"rip %s", rip)
+		}
+		if p.Cluster.VM(vm) == nil {
+			rep.Addf("viprip", "I1.RIP_LIVE_VM",
+				"every indexed RIP backs a live VM", "VM missing from cluster",
+				"rip %s -> vm %d", rip, vm)
+		}
+		if _, ok := p.ripHomeVIP[rip]; !ok {
+			rep.Addf("viprip", "I1.RIP_HOME_KNOWN",
+				"every indexed RIP has a home VIP", "no ripHomeVIP entry",
+				"rip %s", rip)
+		}
+	}
+	vms := make([]cluster.VMID, 0, len(p.vmToRIP))
+	for vm := range p.vmToRIP {
+		vms = append(vms, vm)
+	}
+	slices.Sort(vms)
+	for _, vm := range vms {
+		rip := p.vmToRIP[vm]
+		if back, ok := p.ripToVM[rip]; !ok || back != vm {
+			rep.Addf("viprip", "I1.RIP_VM_BIJECTION",
+				fmt.Sprintf("ripToVM[%s] == %d", rip, vm), fmt.Sprintf("%d", back),
+				"vm %d", vm)
+		}
+	}
+	// Every VM placed through the platform serves through a RIP.
+	for _, vmID := range p.Cluster.VMIDs() {
+		if _, ok := p.vmToRIP[vmID]; !ok {
+			rep.Addf("viprip", "I1.VM_HAS_RIP",
+				"every placed VM has a RIP", "no RIP configured",
+				"vm %d", vmID)
+		}
+	}
+	// Every RIP a switch load-balances to is registered and configured
+	// under its recorded home VIP (no orphan RIPs receiving traffic).
+	for _, sw := range p.Fabric.Switches() {
+		for _, vip := range sw.VIPs() {
+			swRIPs, _, err := sw.Weights(vip)
+			if err != nil {
+				continue
+			}
+			for _, rip := range swRIPs {
+				if _, ok := p.ripToVM[rip]; !ok {
+					rep.Addf("viprip", "I1.NO_ORPHAN_RIP",
+						"every switch-configured RIP is registered", "unknown RIP",
+						"switch %d vip %s rip %s", sw.ID, vip, rip)
+				}
+				if home, ok := p.ripHomeVIP[rip]; ok && home != vip {
+					rep.Addf("viprip", "I1.RIP_HOME_MATCH",
+						fmt.Sprintf("rip %s configured under its home VIP %s", rip, home),
+						string(vip), "switch %d", sw.ID)
+				}
+			}
+		}
+	}
+	// Exposed VIPs must be homed — clients resolving to an unhomed VIP
+	// reach a dead address.
+	for _, app := range p.DNS.Apps() {
+		vips, weights, err := p.DNS.Weights(app)
+		if err != nil {
+			continue
+		}
+		for i, vipStr := range vips {
+			if weights[i] <= 0 {
+				continue
+			}
+			if _, ok := p.Fabric.HomeOf(lbswitch.VIP(vipStr)); !ok {
+				rep.Addf("viprip", "I1.EXPOSED_HOMED",
+					"every DNS-exposed VIP is homed on a switch", "no fabric home",
+					"app %d vip %s", app, vipStr)
+			}
+		}
+	}
+}
+
+// auditDNS checks I2: per-app expected shares sum to 1 (or are all zero
+// when nothing is exposed), weights are non-negative, and the record
+// generation never moves backwards.
+func (p *Platform) auditDNS(rep *audit.Report) {
+	for _, app := range p.DNS.Apps() {
+		_, weights, err := p.DNS.Weights(app)
+		if err != nil {
+			continue
+		}
+		var total float64
+		for i, w := range weights {
+			if w < 0 {
+				rep.Addf("dnsctl", "I2.WEIGHT_NONNEG",
+					"weight >= 0", fmt.Sprintf("%v", w), "app %d vip #%d", app, i)
+			}
+			total += w
+		}
+		_, shares, err := p.DNS.ExpectedShares(app)
+		if err == nil {
+			var sum float64
+			for _, s := range shares {
+				sum += s
+			}
+			if total > 0 {
+				if d := sum - 1; d > 1e-9 || d < -1e-9 {
+					rep.Addf("dnsctl", "I2.SHARE_SUM",
+						"shares sum to 1", fmt.Sprintf("%v", sum), "app %d", app)
+				}
+			} else if sum != 0 {
+				rep.Addf("dnsctl", "I2.SHARE_SUM",
+					"all-zero shares for an unexposed app", fmt.Sprintf("%v", sum),
+					"app %d", app)
+			}
+		}
+		gen := p.DNS.Gen(app)
+		if last := p.auditLastGen[app]; gen < last {
+			rep.Addf("dnsctl", "I2.GEN_MONOTONE",
+				fmt.Sprintf("generation >= %d", last), fmt.Sprintf("%d", gen),
+				"app %d", app)
+		}
+		p.auditLastGen[app] = gen
+	}
+}
+
+// auditCapacity checks I3: cluster accounting (server used == Σ slices
+// ≤ capacity), pod used ≤ pod capacity, and the fault-snapshot
+// discipline — a component is non-healthy iff a pre-failure snapshot
+// exists, undetected faults leave capacity untouched (so repair restores
+// exactly, with no double-count), and detected components hold zero
+// capacity until repaired.
+func (p *Platform) auditCapacity(rep *audit.Report) {
+	if err := p.Cluster.CheckInvariants(); err != nil {
+		rep.Add("cluster", "I3.CLUSTER", "consistent cluster accounting", err.Error(), "")
+	}
+	for _, pod := range p.Cluster.PodIDs() {
+		used, capacity := p.Cluster.PodUsed(pod), p.Cluster.PodCapacity(pod)
+		if !fitsWithSlack(used, capacity) {
+			rep.Addf("cluster", "I3.POD_CAPACITY",
+				fmt.Sprintf("pod used ≤ capacity %v", capacity), used.String(),
+				"pod %d", pod)
+		}
+	}
+	for _, id := range p.Cluster.ServerIDs() {
+		srv := p.Cluster.Server(id)
+		snap, hasSnap := p.srvSnap[id]
+		if (srv.Health != health.Healthy) != hasSnap {
+			rep.Addf("cluster", "I3.SNAPSHOT_IFF_FAULTED",
+				"snapshot present iff server non-healthy",
+				fmt.Sprintf("health=%v snapshot=%v", srv.Health, hasSnap),
+				"server %d", id)
+			continue
+		}
+		switch srv.Health {
+		case health.FailedUndetected:
+			if srv.Capacity != snap {
+				rep.Addf("cluster", "I3.SNAPSHOT_EXACT",
+					fmt.Sprintf("undetected fault keeps capacity %v", snap),
+					srv.Capacity.String(), "server %d", id)
+			}
+		case health.Repairing, health.FailedDetected:
+			if !srv.Capacity.IsZero() {
+				rep.Addf("cluster", "I3.DETECTED_ZEROED",
+					"detected server holds zero capacity", srv.Capacity.String(),
+					"server %d", id)
+			}
+		}
+	}
+	for _, sw := range p.Fabric.Switches() {
+		snap, hasSnap := p.swSnap[sw.ID]
+		if (sw.Health != health.Healthy) != hasSnap {
+			rep.Addf("lbswitch", "I3.SNAPSHOT_IFF_FAULTED",
+				"snapshot present iff switch non-healthy",
+				fmt.Sprintf("health=%v snapshot=%v", sw.Health, hasSnap),
+				"switch %d", sw.ID)
+			continue
+		}
+		switch sw.Health {
+		case health.FailedUndetected:
+			if sw.Limits != snap {
+				rep.Addf("lbswitch", "I3.SNAPSHOT_EXACT",
+					fmt.Sprintf("undetected fault keeps limits %+v", snap),
+					fmt.Sprintf("%+v", sw.Limits), "switch %d", sw.ID)
+			}
+		case health.Repairing, health.FailedDetected:
+			if sw.Limits != (lbswitch.Limits{}) {
+				rep.Addf("lbswitch", "I3.DETECTED_ZEROED",
+					"detected switch holds zero limits",
+					fmt.Sprintf("%+v", sw.Limits), "switch %d", sw.ID)
+			}
+		}
+	}
+	for _, l := range p.Net.Links() {
+		snap, hasSnap := p.linkSnap[l.ID]
+		if (l.Health != health.Healthy) != hasSnap {
+			rep.Addf("netmodel", "I3.SNAPSHOT_IFF_FAULTED",
+				"snapshot present iff link non-healthy",
+				fmt.Sprintf("health=%v snapshot=%v", l.Health, hasSnap),
+				"link %d", l.ID)
+			continue
+		}
+		switch l.Health {
+		case health.FailedUndetected:
+			if l.CapacityMbps != snap {
+				rep.Addf("netmodel", "I3.SNAPSHOT_EXACT",
+					fmt.Sprintf("undetected fault keeps capacity %v", snap),
+					fmt.Sprintf("%v", l.CapacityMbps), "link %d", l.ID)
+			}
+		case health.Repairing, health.FailedDetected:
+			if l.CapacityMbps != 0 {
+				rep.Addf("netmodel", "I3.DETECTED_ZEROED",
+					"detected link holds zero capacity",
+					fmt.Sprintf("%v", l.CapacityMbps), "link %d", l.ID)
+			}
+		}
+	}
+}
+
+// auditConservation checks I4: every observable equals its canonical
+// fluid+session sum, bit for bit — per-VIP network traffic, per-VIP
+// switch load, and per-VM demand. Session overlays are non-negative.
+// (The per-driver session-outcome conservation lives in
+// sessions.Driver.Audit, which sees the outcome counters.)
+func (p *Platform) auditConservation(rep *audit.Report) {
+	vips := make([]lbswitch.VIP, 0, len(p.vipOwner))
+	for vip := range p.vipOwner {
+		vips = append(vips, vip)
+	}
+	slices.Sort(vips)
+	for _, vip := range vips {
+		sess := p.sessVIP[vip]
+		if sess < 0 {
+			rep.Addf("core", "I4.SESS_NONNEG",
+				"session overlay >= 0", fmt.Sprintf("%v", sess), "vip %s", vip)
+		}
+		want := p.fluidTraffic[vip] + sess
+		got := p.Net.VIPTraffic(string(vip))
+		if math.Float64bits(got) != math.Float64bits(want) {
+			rep.Addf("core", "I4.VIP_TRAFFIC_SUM",
+				fmt.Sprintf("traffic == fluid+session == %v", want),
+				fmt.Sprintf("%v", got), "vip %s", vip)
+		}
+		if home, ok := p.Fabric.HomeOf(vip); ok {
+			wantSw := p.fluidSwLoad[vip] + sess
+			gotSw := p.Fabric.Switch(home).VIPLoad(vip)
+			if math.Float64bits(gotSw) != math.Float64bits(wantSw) {
+				rep.Addf("core", "I4.SWITCH_LOAD_SUM",
+					fmt.Sprintf("switch load == fluid+session == %v", wantSw),
+					fmt.Sprintf("%v", gotSw), "vip %s on switch %d", vip, home)
+			}
+		}
+	}
+	vms := make([]cluster.VMID, 0, len(p.vmToRIP))
+	for vm := range p.vmToRIP {
+		vms = append(vms, vm)
+	}
+	slices.Sort(vms)
+	for _, vmID := range vms {
+		vm := p.Cluster.VM(vmID)
+		if vm == nil {
+			continue // I1.RIP_LIVE_VM already flagged it
+		}
+		if !p.sessVM[vmID].NonNegative() {
+			rep.Addf("core", "I4.SESS_NONNEG",
+				"session overlay >= 0", p.sessVM[vmID].String(), "vm %d", vmID)
+		}
+		want := p.sessVM[vmID].Add(p.fluidVM[vmID])
+		if !sameBits(vm.Demand, want) {
+			rep.Addf("core", "I4.VM_DEMAND_SUM",
+				fmt.Sprintf("VM demand == session+fluid == %v", want),
+				vm.Demand.String(), "vm %d", vmID)
+		}
+	}
+}
+
+// auditNetwork checks I5: link loads decompose into per-VIP route
+// shares, and (when Config.AuditOverloadUtil is set) no link or switch
+// exceeds the modeled utilization ceiling. The overload check is opt-in
+// because several experiments overload links on purpose (EXPERIMENTS.md
+// E4/E9).
+func (p *Platform) auditNetwork(rep *audit.Report) {
+	if err := p.Net.CheckInvariants(); err != nil {
+		rep.Add("netmodel", "I5.LINK_DECOMP", "link loads equal per-VIP shares", err.Error(), "")
+	}
+	limit := p.Cfg.AuditOverloadUtil
+	if limit <= 0 {
+		return
+	}
+	for _, l := range p.Net.Links() {
+		if u := l.Utilization(); u > limit {
+			rep.Addf("netmodel", "I5.LINK_OVERLOAD",
+				fmt.Sprintf("link utilization <= %v", limit), fmt.Sprintf("%v", u),
+				"link %d", l.ID)
+		}
+	}
+	for _, sw := range p.Fabric.Switches() {
+		if u := sw.BottleneckUtilization(); u > limit {
+			rep.Addf("lbswitch", "I5.SWITCH_OVERLOAD",
+				fmt.Sprintf("switch utilization <= %v", limit), fmt.Sprintf("%v", u),
+				"switch %d", sw.ID)
+		}
+	}
+}
+
+// fitsWithSlack is Resources.Fits with a relative float tolerance: pod
+// sums accumulate in sorted order, but used and capacity are still sums
+// of many terms.
+func fitsWithSlack(r, c cluster.Resources) bool {
+	within := func(x, lim float64) bool { return x <= lim+1e-9*(1+math.Abs(lim)) }
+	return within(r.CPU, c.CPU) && within(r.MemMB, c.MemMB) && within(r.NetMbps, c.NetMbps)
+}
+
+// sameBits compares two Resources values bit-for-bit per component.
+func sameBits(a, b cluster.Resources) bool {
+	return math.Float64bits(a.CPU) == math.Float64bits(b.CPU) &&
+		math.Float64bits(a.MemMB) == math.Float64bits(b.MemMB) &&
+		math.Float64bits(a.NetMbps) == math.Float64bits(b.NetMbps)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+)
+
+// auditTestPlatform builds a small platform with one demand-carrying
+// app, ready for targeted state corruption.
+func auditTestPlatform(t *testing.T) (*Platform, cluster.AppID) {
+	t.Helper()
+	topo := SmallTopology()
+	cfg := DefaultConfig()
+	cfg.VIPsPerApp = 2
+	p, err := NewPlatform(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.OnboardApp("aud", cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100},
+		3, Demand{CPU: 2, Mbps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, a.ID
+}
+
+func TestAuditCleanPlatform(t *testing.T) {
+	p, _ := auditTestPlatform(t)
+	if rep := p.Audit(); !rep.OK() {
+		t.Fatalf("clean platform audits dirty:\n%s", rep)
+	}
+}
+
+// TestAuditDetectsCorruption white-box corrupts each audited layer and
+// checks the auditor reports the matching invariant ID.
+func TestAuditDetectsCorruption(t *testing.T) {
+	t.Run("I1.RIP_VM_BIJECTION", func(t *testing.T) {
+		p, _ := auditTestPlatform(t)
+		for _, rip := range p.vmToRIP {
+			delete(p.ripToVM, rip)
+			break
+		}
+		if rep := p.Audit(); !rep.Has("I1.RIP_VM_BIJECTION") {
+			t.Fatalf("missing I1.RIP_VM_BIJECTION, got:\n%s", rep)
+		}
+	})
+	t.Run("I1.EXPOSED_HOMED", func(t *testing.T) {
+		p, app := auditTestPlatform(t)
+		vip := p.Fabric.VIPsOfApp(app)[0]
+		if err := p.Fabric.DropVIP(vip, true); err != nil {
+			t.Fatal(err)
+		}
+		if rep := p.Audit(); !rep.Has("I1.EXPOSED_HOMED") {
+			t.Fatalf("missing I1.EXPOSED_HOMED, got:\n%s", rep)
+		}
+	})
+	t.Run("I2.GEN_MONOTONE", func(t *testing.T) {
+		p, app := auditTestPlatform(t)
+		p.auditLastGen[app] = p.DNS.Gen(app) + 5
+		if rep := p.Audit(); !rep.Has("I2.GEN_MONOTONE") {
+			t.Fatalf("missing I2.GEN_MONOTONE, got:\n%s", rep)
+		}
+	})
+	t.Run("I3.SNAPSHOT_IFF_FAULTED", func(t *testing.T) {
+		p, _ := auditTestPlatform(t)
+		// A snapshot for a healthy server means fault bookkeeping leaked
+		// (or a repair forgot to consume it — the double-count case).
+		p.srvSnap[p.Cluster.ServerIDs()[0]] = cluster.Resources{CPU: 8}
+		if rep := p.Audit(); !rep.Has("I3.SNAPSHOT_IFF_FAULTED") {
+			t.Fatalf("missing I3.SNAPSHOT_IFF_FAULTED, got:\n%s", rep)
+		}
+	})
+	t.Run("I4.VIP_TRAFFIC_SUM", func(t *testing.T) {
+		p, app := auditTestPlatform(t)
+		vip := p.Fabric.VIPsOfApp(app)[0]
+		p.fluidTraffic[vip] += 1 // ledger no longer matches the network
+		if rep := p.Audit(); !rep.Has("I4.VIP_TRAFFIC_SUM") {
+			t.Fatalf("missing I4.VIP_TRAFFIC_SUM, got:\n%s", rep)
+		}
+	})
+	t.Run("I4.VM_DEMAND_SUM", func(t *testing.T) {
+		p, _ := auditTestPlatform(t)
+		for vmID := range p.vmToRIP {
+			if vm := p.Cluster.VM(vmID); vm != nil {
+				vm.Demand.CPU += 0.5
+				break
+			}
+		}
+		if rep := p.Audit(); !rep.Has("I4.VM_DEMAND_SUM") {
+			t.Fatalf("missing I4.VM_DEMAND_SUM, got:\n%s", rep)
+		}
+	})
+	t.Run("I5.LINK_OVERLOAD", func(t *testing.T) {
+		p, _ := auditTestPlatform(t)
+		p.Cfg.AuditOverloadUtil = 1e-9 // everything carrying load is "overloaded"
+		if rep := p.Audit(); !rep.Has("I5.LINK_OVERLOAD") {
+			t.Fatalf("missing I5.LINK_OVERLOAD, got:\n%s", rep)
+		}
+	})
+}
+
+// TestAuditHookAccumulates checks the Propagate-time hook: violations
+// present while auditing is enabled surface through AuditViolations and
+// AuditErr, with the repro seed stamped in.
+func TestAuditHookAccumulates(t *testing.T) {
+	topo := SmallTopology()
+	topo.Seed = 77
+	cfg := DefaultConfig()
+	cfg.VIPsPerApp = 2
+	cfg.AuditOnChange = true
+	p, err := NewPlatform(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.OnboardApp("aud", cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100},
+		2, Demand{CPU: 1, Mbps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.AuditViolations()) != 0 {
+		t.Fatalf("clean onboarding accumulated violations: %v", p.AuditViolations())
+	}
+	vip := p.Fabric.VIPsOfApp(a.ID)[0]
+	p.fluidTraffic[vip] += 3
+	p.Propagate() // no dirty apps: the corruption survives and the hook sees it
+	vs := p.AuditViolations()
+	if len(vs) == 0 {
+		t.Fatal("hook did not accumulate the violation")
+	}
+	if vs[0].Seed != 77 {
+		t.Fatalf("violation seed = %d, want the topology seed 77", vs[0].Seed)
+	}
+	if err := p.AuditErr(); err == nil {
+		t.Fatal("AuditErr = nil with accumulated violations")
+	} else if !strings.Contains(err.Error(), "I4.VIP_TRAFFIC_SUM") {
+		t.Fatalf("AuditErr misses the invariant ID: %v", err)
+	}
+}
+
+// TestDrainDropMidwayKeepsVIPUnexposed is the I1.EXPOSED_HOMED
+// regression surfaced by the auditor: when a VIP is dropped from the
+// fabric mid-drain (the DetectSwitch no-healthy-target path), the drain
+// protocol's finish step used to blindly restore the VIP's DNS weight,
+// exposing a dead address. The weight must stay zero until a rehome
+// reconciles exposure.
+func TestDrainDropMidwayKeepsVIPUnexposed(t *testing.T) {
+	topo := SmallTopology()
+	cfg := DefaultConfig()
+	cfg.VIPsPerApp = 2
+	cfg.AuditOnChange = true
+	p, err := NewPlatform(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.OnboardApp("svc", cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100},
+		3, Demand{CPU: 2, Mbps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vip := p.Fabric.VIPsOfApp(a.ID)[0]
+	home, ok := p.Fabric.HomeOf(vip)
+	if !ok {
+		t.Fatal("vip has no home")
+	}
+	var dst lbswitch.SwitchID
+	for _, sw := range p.Fabric.Switches() {
+		if sw.ID != home {
+			dst = sw.ID
+			break
+		}
+	}
+	p.Global.startDrainAndTransfer(vip, dst)
+	// Mid-drain — after the weight went to zero, before the transfer
+	// attempt fires — the detect path drops the VIP from the fabric
+	// outright, exactly what DetectSwitch does when no healthy switch
+	// can take it.
+	p.Eng.After(p.Cfg.DNSUpdateLatency+1, func() {
+		if err := p.Fabric.DropVIP(vip, true); err != nil {
+			t.Errorf("drop: %v", err)
+		}
+		if err := p.DNS.SetWeight(a.ID, string(vip), 0); err != nil {
+			t.Errorf("zero weight: %v", err)
+		}
+		p.Propagate()
+	})
+	p.Eng.RunFor(p.Cfg.DNSUpdateLatency + p.DNS.TTL() + 4*p.Cfg.DrainMargin + 10)
+
+	if _, homed := p.Fabric.HomeOf(vip); homed {
+		t.Fatal("setup: vip should still be unhomed")
+	}
+	vips, ws, err := p.DNS.Weights(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vips {
+		if v == string(vip) && ws[i] != 0 {
+			t.Fatalf("drain finish restored weight %v for the dropped VIP %s (I1.EXPOSED_HOMED)", ws[i], vip)
+		}
+	}
+	if err := p.AuditErr(); err != nil {
+		t.Fatalf("audit (I1.EXPOSED_HOMED regression): %v", err)
+	}
+}

@@ -26,6 +26,9 @@ func TestPropertyChaos(t *testing.T) {
 		// Cross-check every incremental Propagate against a full
 		// recompute: any bitwise divergence panics the run.
 		cfg.PropagateDebugCheck = true
+		// Run the conservation-law auditor on every Propagate; any
+		// accumulated violation fails the run below.
+		cfg.AuditOnChange = true
 		p, err := NewPlatform(topo, cfg)
 		if err != nil {
 			return false
@@ -157,6 +160,10 @@ func TestPropertyChaos(t *testing.T) {
 				t.Logf("invariant after op %d: %v", op%12, err)
 				return false
 			}
+			if rep := p.Audit(); !rep.OK() {
+				t.Logf("audit after op %d: %v", op%12, rep.Err())
+				return false
+			}
 		}
 		// Repair every outstanding failure, let the loops settle, and
 		// check that the platform converges back to a healthy state.
@@ -178,6 +185,10 @@ func TestPropertyChaos(t *testing.T) {
 		p.Eng.RunFor(600)
 		if err := p.CheckInvariants(); err != nil {
 			t.Logf("invariant after settling: %v", err)
+			return false
+		}
+		if err := p.AuditErr(); err != nil {
+			t.Logf("audit after settling: %v", err)
 			return false
 		}
 		for _, id := range p.Cluster.ServerIDs() {

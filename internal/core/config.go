@@ -125,6 +125,25 @@ type Config struct {
 	// against a full recompute and panics on any bitwise state
 	// difference. Test-only: it makes every tick O(platform).
 	PropagateDebugCheck bool
+
+	// AuditEvery runs the cross-layer invariant auditor (Platform.Audit,
+	// DESIGN.md §9) after every Nth Propagate call. 0 disables periodic
+	// auditing entirely — the hook then costs nothing. Violations
+	// accumulate on the platform as structured reports (AuditViolations,
+	// AuditErr); the auditor never panics.
+	AuditEvery int
+
+	// AuditOnChange audits after every single Propagate call regardless
+	// of AuditEvery — the maximally strict (and slow) setting used by
+	// regression tests and the CI audit job.
+	AuditOnChange bool
+
+	// AuditOverloadUtil, when positive, makes the auditor flag any link
+	// or switch whose utilization exceeds it (I5.LINK_OVERLOAD /
+	// I5.SWITCH_OVERLOAD). Off by default: several experiments overload
+	// links on purpose (EXPERIMENTS.md E4/E9), so a blanket ceiling
+	// would flag intended behavior.
+	AuditOverloadUtil float64
 }
 
 // DefaultConfig returns the configuration used throughout the
@@ -189,6 +208,9 @@ func (c *Config) Validate() error {
 	}
 	if c.PodControlInterval <= 0 || c.GlobalControlInterval <= 0 {
 		return fmt.Errorf("core: control intervals must be positive")
+	}
+	if c.AuditEvery < 0 {
+		return fmt.Errorf("core: AuditEvery must be >= 0, got %d", c.AuditEvery)
 	}
 	return nil
 }

@@ -159,6 +159,9 @@ func runPropagationScenario(t *testing.T, cfg Config, nOps int) *Platform {
 	if err := p.CheckInvariants(); err != nil {
 		t.Fatalf("invariant after settling: %v", err)
 	}
+	if err := p.AuditErr(); err != nil {
+		t.Fatalf("audit after settling: %v", err)
+	}
 	return p
 }
 
@@ -171,10 +174,13 @@ func runPropagationScenario(t *testing.T, cfg Config, nOps int) *Platform {
 // here.
 func TestIncrementalMatchesFullRecompute(t *testing.T) {
 	const nOps = 150
-	inc := runPropagationScenario(t, DefaultConfig(), nOps)
+	incCfg := DefaultConfig()
+	incCfg.AuditEvery = 10 // periodic conservation-law audit alongside the crosscheck
+	inc := runPropagationScenario(t, incCfg, nOps)
 
 	fullCfg := DefaultConfig()
 	fullCfg.PropagateFullEvery = 1
+	fullCfg.AuditEvery = 10
 	full := runPropagationScenario(t, fullCfg, nOps)
 
 	if d := inc.captureState().diff(full.captureState()); d != "" {

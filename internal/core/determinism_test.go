@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+// TestScenarioDeterminism runs the seeded crosscheck scenario twice with
+// an identical configuration and requires bit-identical end state. Any
+// map-iteration-order dependence anywhere on the propagation or control
+// paths (the historical offenders: twolayer, multidc, netmodel, and the
+// workload/exp candidate loops) shows up as a diff here, because two
+// in-process runs see different map layouts.
+func TestScenarioDeterminism(t *testing.T) {
+	const nOps = 80
+	run := func() *Platform {
+		cfg := DefaultConfig()
+		cfg.AuditEvery = 10
+		return runPropagationScenario(t, cfg, nOps)
+	}
+	a := run()
+	b := run()
+	if d := a.captureState().diff(b.captureState()); d != "" {
+		t.Fatalf("two identically-seeded runs diverged: %s", d)
+	}
+	if sa, sb := a.TotalSatisfaction(), b.TotalSatisfaction(); sa != sb {
+		t.Fatalf("total satisfaction differs across identical runs: %v != %v", sa, sb)
+	}
+	la, lb := a.Net.LinkLoads(), b.Net.LinkLoads()
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("link %d load differs across identical runs: %v != %v", i, la[i], lb[i])
+		}
+	}
+}

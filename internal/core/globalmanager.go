@@ -395,7 +395,16 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 		}
 	}
 	finish := func() {
-		g.p.DNS.SetWeight(app, string(vip), restoreWeight)
+		// The VIP can lose its fabric home mid-drain (a detected switch
+		// failure with no healthy target drops it outright). Restoring
+		// its DNS weight then would expose a dead address
+		// (I1.EXPOSED_HOMED); keep it at zero until a rehome reconciles
+		// exposure.
+		if _, homed := g.p.Fabric.HomeOf(vip); homed {
+			g.p.DNS.SetWeight(app, string(vip), restoreWeight)
+		} else {
+			g.p.DNS.SetWeight(app, string(vip), 0)
+		}
 		delete(g.draining, vip)
 		g.p.Suppress(vip, false)
 		g.p.Propagate()

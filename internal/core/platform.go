@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"slices"
 
+	"megadc/internal/audit"
 	"megadc/internal/cluster"
 	"megadc/internal/dnsctl"
 	"megadc/internal/lbswitch"
@@ -142,6 +143,15 @@ type Platform struct {
 	srvSnap  map[cluster.ServerID]cluster.Resources
 	swSnap   map[lbswitch.SwitchID]lbswitch.Limits
 	linkSnap map[netmodel.LinkID]float64
+
+	// Invariant auditor state (see audit.go): the topology seed stamped
+	// into violation reports, the last DNS generation seen per app for
+	// the I2.GEN_MONOTONE check, and the violations accumulated by the
+	// periodic Propagate hook (capped at maxAuditViolations).
+	seed            int64
+	auditLastGen    map[cluster.AppID]int64
+	auditViolations []audit.Violation
+	auditDropped    int64
 }
 
 // NewPlatform builds a platform from a topology and config. Control
@@ -191,6 +201,9 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 		fluidTraffic: make(map[lbswitch.VIP]float64),
 		fluidSwLoad:  make(map[lbswitch.VIP]float64),
 		fluidVM:      make(map[cluster.VMID]cluster.Resources),
+
+		seed:         topo.Seed,
+		auditLastGen: make(map[cluster.AppID]int64),
 	}
 
 	// Access network: each ISP gets one AR; each AR gets LinksPerISP

@@ -224,6 +224,9 @@ func (p *Platform) Propagate() {
 		}
 	}
 	clear(p.dirtyApps)
+	if p.Cfg.AuditOnChange || p.Cfg.AuditEvery > 0 {
+		p.maybeAudit()
+	}
 }
 
 // PropagateFull forces a full recompute of all demand state. Results

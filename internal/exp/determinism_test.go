@@ -1,0 +1,23 @@
+package exp
+
+import "testing"
+
+// TestX2Deterministic runs the multi-DC federation experiment twice
+// in-process with identical options and byte-compares the rendered
+// result tables. x2 crosses every layer the map-order fixes touched
+// (multidc share application, twolayer and netmodel invariant sweeps),
+// so any residual iteration-order dependence flips a cell here.
+func TestX2Deterministic(t *testing.T) {
+	o := Options{Seed: 1, AuditEvery: 10}
+	tb1, _, err := RunX2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, _, err := RunX2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := tb1.String(), tb2.String(); a != b {
+		t.Fatalf("x2 output differs across identical runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}

@@ -47,10 +47,7 @@ func RunE14(o Options) (*metrics.Table, *E14Result, error) {
 	for _, mtbf := range mtbfs {
 		topo := core.SmallTopology()
 		topo.Seed = o.Seed
-		cfg := core.DefaultConfig()
-		if o.ForceFullPropagate {
-			cfg.PropagateFullEvery = 1
-		}
+		cfg := o.configure(core.DefaultConfig())
 		p, err := core.NewPlatform(topo, cfg)
 		if err != nil {
 			return nil, nil, err
@@ -77,6 +74,9 @@ func RunE14(o Options) (*metrics.Table, *E14Result, error) {
 		p.Eng.RunUntil(duration)
 		mon.Finish()
 		if err := p.CheckInvariants(); err != nil {
+			return nil, nil, fmt.Errorf("exp: e14 mtbf=%v: %w", mtbf, err)
+		}
+		if err := o.auditCheck(p); err != nil {
 			return nil, nil, fmt.Errorf("exp: e14 mtbf=%v: %w", mtbf, err)
 		}
 		ttr := mon.Avail.AllRecoveries()

@@ -66,6 +66,7 @@ func RunE5(o Options) (*metrics.Table, *E5Result, error) {
 		// The experiment hand-places every advertisement; unused-VIP
 		// recycling would move the (deliberately) unexposed alternates.
 		cfg.RecycleUnusedVIPs = false
+		cfg = o.configure(cfg)
 		p, err := core.NewPlatform(topo, cfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("exp: e5 k=%d: %w", k, err)
@@ -139,6 +140,9 @@ func RunE5(o Options) (*metrics.Table, *E5Result, error) {
 		}
 		res.Rows = append(res.Rows, row)
 		tb.AddRow(k, row.StartHotUtil, row.MaxLinkUtil, row.LinkCoV, row.ExposureChanges, row.SwitchesNeeded)
+		if err := o.auditCheck(p); err != nil {
+			return nil, nil, fmt.Errorf("exp: e5 k=%d: %w", k, err)
+		}
 	}
 	return tb, res, nil
 }

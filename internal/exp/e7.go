@@ -33,9 +33,7 @@ func RunE7(o Options) (*metrics.Table, *E7Result, error) {
 	}
 	base := core.DefaultConfig()
 	base.VIPsPerApp = 2
-	if o.ForceFullPropagate {
-		base.PropagateFullEvery = 1
-	}
+	base = o.configure(base)
 	variants := []variant{
 		{"none", base.WithKnobs()},
 		{"C (server transfer)", base.WithKnobs(core.KnobServerTransfer)},
@@ -115,6 +113,9 @@ func runPodRelief(o Options, name string, cfg core.Config) (*E7Row, error) {
 	row.ServerTransfers = p.Global.ServerTransfers
 	row.Deployments = p.Global.Deployments + sumLocalDeploys(p)
 	if err := p.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("exp: e7 %s: %w", name, err)
+	}
+	if err := o.auditCheck(p); err != nil {
 		return nil, fmt.Errorf("exp: e7 %s: %w", name, err)
 	}
 	return row, nil

@@ -56,7 +56,7 @@ func RunE8(o Options) (*metrics.Table, *E8Result, error) {
 }
 
 func runAgility(o Options, name string, knobs []core.Knob) (*E8Row, error) {
-	cfg := core.DefaultConfig().WithKnobs(knobs...)
+	cfg := o.configure(core.DefaultConfig().WithKnobs(knobs...))
 	cfg.VIPsPerApp = 2
 	// Faster control loops so the measurement reflects actuation
 	// latency, not polling period.
@@ -91,6 +91,9 @@ func runAgility(o Options, name string, knobs []core.Knob) (*E8Row, error) {
 	p.Eng.RunUntil(horizon)
 	row.FinalSatisfaction = p.AppSatisfaction(app.ID)
 	if err := p.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("exp: e8 %s: %w", name, err)
+	}
+	if err := o.auditCheck(p); err != nil {
 		return nil, fmt.Errorf("exp: e8 %s: %w", name, err)
 	}
 	return row, nil

@@ -11,6 +11,7 @@ import (
 	"cmp"
 	"slices"
 
+	"megadc/internal/core"
 	"megadc/internal/metrics"
 )
 
@@ -27,10 +28,36 @@ type Options struct {
 	// path, so results must not change; the cross-check tests rely on
 	// this to compare E7/E14 tables under both strategies.
 	ForceFullPropagate bool
+	// AuditEvery enables the cross-layer invariant auditor
+	// (core.Config.AuditEvery, DESIGN.md §9) on every platform the
+	// experiments build; any violation fails the experiment. 0 disables.
+	AuditEvery int
 }
 
-// DefaultOptions returns the defaults used by cmd/mdcexp and the benches.
-func DefaultOptions() Options { return Options{Seed: 1} }
+// DefaultOptions returns the defaults used by cmd/mdcexp and the
+// benches: seed 1, auditing every 10th propagation — the experiments
+// double as a standing end-to-end audit at negligible cost.
+func DefaultOptions() Options { return Options{Seed: 1, AuditEvery: 10} }
+
+// configure applies the option-level platform knobs to a config an
+// experiment built; every experiment constructing a core.Platform
+// passes its config through here.
+func (o Options) configure(cfg core.Config) core.Config {
+	if o.ForceFullPropagate {
+		cfg.PropagateFullEvery = 1
+	}
+	cfg.AuditEvery = o.AuditEvery
+	return cfg
+}
+
+// auditCheck gates an experiment's end on a clean invariant audit when
+// auditing is enabled.
+func (o Options) auditCheck(p *core.Platform) error {
+	if o.AuditEvery <= 0 {
+		return nil
+	}
+	return p.AuditErr()
+}
 
 // Experiment couples an id to its runner.
 type Experiment struct {

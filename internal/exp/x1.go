@@ -36,7 +36,7 @@ func RunX1(o Options) (*metrics.Table, *X1Result, error) {
 		topo := core.SmallTopology()
 		topo.Pods = 2
 		topo.Seed = o.Seed
-		p, err := core.NewPlatform(topo, core.DefaultConfig())
+		p, err := core.NewPlatform(topo, o.configure(core.DefaultConfig()))
 		if err != nil {
 			return X1Row{}, err
 		}
@@ -68,6 +68,9 @@ func RunX1(o Options) (*metrics.Table, *X1Result, error) {
 		})
 		p.Eng.RunUntil(day)
 		if err := p.CheckInvariants(); err != nil {
+			return X1Row{}, fmt.Errorf("exp: x1 %s: %w", row.Config, err)
+		}
+		if err := o.auditCheck(p); err != nil {
 			return X1Row{}, fmt.Errorf("exp: x1 %s: %w", row.Config, err)
 		}
 		row.EnergyKWh = meter.EnergyWh(day) / 1000

@@ -31,7 +31,7 @@ type X2Result struct {
 // the big DC.
 func RunX2(o Options) (*metrics.Table, *X2Result, error) {
 	fed := multidc.New(sim.New(o.Seed))
-	cfg := core.DefaultConfig()
+	cfg := o.configure(core.DefaultConfig())
 	big, err := fed.AddDC("big", core.SmallTopology(), cfg)
 	if err != nil {
 		return nil, nil, err
@@ -70,6 +70,11 @@ func RunX2(o Options) (*metrics.Table, *X2Result, error) {
 	}
 	if err := fed.CheckInvariants(); err != nil {
 		return nil, nil, fmt.Errorf("exp: x2: %w", err)
+	}
+	for _, dc := range []*multidc.DC{big, small} {
+		if err := o.auditCheck(dc.P); err != nil {
+			return nil, nil, fmt.Errorf("exp: x2 %s: %w", dc.Name, err)
+		}
 	}
 	res.Shifts = fed.Shifts
 	tb := metrics.NewTable("X2 — multi-DC federation steering a surge (140 cores vs 64-core small DC)",

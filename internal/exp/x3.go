@@ -26,7 +26,7 @@ type X3Result struct {
 // co-located VIPs and lets the knob-B drain protocol fix it, counting
 // the straggler sessions that forced transfers break.
 func RunX3(o Options) (*metrics.Table, *X3Result, error) {
-	cfg := core.DefaultConfig()
+	cfg := o.configure(core.DefaultConfig())
 	cfg.VIPsPerApp = 2
 	topo := core.SmallTopology()
 	topo.Seed = o.Seed
@@ -91,6 +91,13 @@ func RunX3(o Options) (*metrics.Table, *X3Result, error) {
 	}
 	if err := p.CheckInvariants(); err != nil {
 		return nil, nil, fmt.Errorf("exp: x3: %w", err)
+	}
+	if o.AuditEvery > 0 {
+		rep := p.Audit()
+		drv.Audit(rep)
+		if err := rep.Err(); err != nil {
+			return nil, nil, fmt.Errorf("exp: x3: %w", err)
+		}
 	}
 	tb := metrics.NewTable("X3 — discrete sessions under the knob-B drain protocol",
 		"sessions", "completed", "broken", "broken frac", "vip transfers", "forced breaks", "sw0 util start", "sw0 util end")

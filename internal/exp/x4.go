@@ -50,7 +50,7 @@ func RunX4(o Options) (*metrics.Table, *X4Result, error) {
 	for _, c := range cases {
 		topo := core.SmallTopology()
 		topo.Seed = o.Seed
-		p, err := core.NewPlatform(topo, core.DefaultConfig())
+		p, err := core.NewPlatform(topo, o.configure(core.DefaultConfig()))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -70,6 +70,9 @@ func RunX4(o Options) (*metrics.Table, *X4Result, error) {
 		dip := p.TotalSatisfaction()
 		p.Eng.RunUntil(1500)
 		if err := p.CheckInvariants(); err != nil {
+			return nil, nil, fmt.Errorf("exp: x4 %s: %w", c.name, err)
+		}
+		if err := o.auditCheck(p); err != nil {
 			return nil, nil, fmt.Errorf("exp: x4 %s: %w", c.name, err)
 		}
 		res.Rows = append(res.Rows, X4Row{

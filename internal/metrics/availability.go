@@ -1,6 +1,9 @@
 package metrics
 
-import "slices"
+import (
+	"fmt"
+	"slices"
+)
 
 // Availability tracks service availability per key (typically one key
 // per application) from periodic served/demand observations. Like
@@ -45,8 +48,12 @@ func (a *Availability) Observe(key string, t, served, demand float64) {
 	}
 	if st.started {
 		dt := t - st.lastT
+		// Same-tick observations (dt == 0) are legal: incremental
+		// propagation can mark a key twice in one tick. Only strictly
+		// backwards time is a caller bug.
 		if dt < 0 {
-			panic("metrics: Availability.Observe time went backwards")
+			panic(fmt.Sprintf("metrics: Availability.Observe time went backwards for %q: %v < %v",
+				key, t, st.lastT))
 		}
 		st.unserved += st.lastUnserved * dt
 		if st.inOutage {

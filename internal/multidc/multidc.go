@@ -154,9 +154,16 @@ func (f *Federation) LocalApp(id FedAppID, dc *DC) (cluster.AppID, bool) {
 }
 
 func (f *Federation) apply(fa *fedApp) {
-	for dcID, share := range fa.shares {
+	// Sorted DC order: SetAppDemand triggers per-DC propagation, so the
+	// application order must not depend on map iteration.
+	dcIDs := make([]int, 0, len(fa.shares))
+	for dcID := range fa.shares {
+		dcIDs = append(dcIDs, dcID)
+	}
+	slices.Sort(dcIDs)
+	for _, dcID := range dcIDs {
 		local := fa.locals[dcID]
-		f.dcs[dcID].P.SetAppDemand(local, fa.demand.Scale(share))
+		f.dcs[dcID].P.SetAppDemand(local, fa.demand.Scale(fa.shares[dcID]))
 	}
 }
 
@@ -266,9 +273,23 @@ func (f *Federation) CheckInvariants() error {
 			return fmt.Errorf("multidc: %s: %w", dc.Name, err)
 		}
 	}
-	for id, fa := range f.apps {
+	// Sorted app and DC order so both the float accumulation and the
+	// choice of which violation is reported first are deterministic.
+	ids := make([]FedAppID, 0, len(f.apps))
+	for id := range f.apps {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		fa := f.apps[id]
+		dcIDs := make([]int, 0, len(fa.shares))
+		for dcID := range fa.shares {
+			dcIDs = append(dcIDs, dcID)
+		}
+		slices.Sort(dcIDs)
 		var sum float64
-		for _, s := range fa.shares {
+		for _, dcID := range dcIDs {
+			s := fa.shares[dcID]
 			if s < -1e-9 {
 				return fmt.Errorf("multidc: app %d negative share %v", id, s)
 			}

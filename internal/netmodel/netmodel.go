@@ -451,8 +451,16 @@ func (n *Network) VIPsOnLink(link LinkID) []VIPAddr {
 // CheckInvariants verifies that link loads equal the per-VIP traffic
 // shares and that no advertisement references a missing link.
 func (n *Network) CheckInvariants() error {
+	// Sorted VIP order: the expected per-link loads are float sums, so
+	// the accumulation order must not depend on map iteration.
+	vips := make([]VIPAddr, 0, len(n.ads))
+	for vip := range n.ads {
+		vips = append(vips, vip)
+	}
+	slices.Sort(vips)
 	want := make(map[LinkID]float64)
-	for vip, ads := range n.ads {
+	for _, vip := range vips {
+		ads := n.ads[vip]
 		for _, ad := range ads {
 			if _, ok := n.links[ad.link]; !ok {
 				return fmt.Errorf("vip %s advertised on missing link %d", vip, ad.link)

@@ -1,0 +1,172 @@
+package sessions
+
+import (
+	"errors"
+	"testing"
+
+	"megadc/internal/audit"
+	"megadc/internal/cluster"
+	"megadc/internal/core"
+	"megadc/internal/lbswitch"
+	"megadc/internal/workload"
+)
+
+// TestCloseOnOpeningSwitch is the I4.SESSION_CONSERVATION regression
+// for the connection-ID collision bug: connection IDs are per-switch,
+// and the close path used to close on the VIP's *current* home. After a
+// forced transfer, a session opened later on the new home could hold
+// the same ID the broken session held on the old switch — so the stale
+// close tore down the unrelated live session and the broken one was
+// counted completed. Totals stay conserved under the bug (one
+// Broken↔Completed swap per collision), so the assertions go through
+// switch state and per-driver attribution, not the stats sums.
+func TestCloseOnOpeningSwitch(t *testing.T) {
+	topo := core.SmallTopology()
+	cfg := core.DefaultConfig()
+	cfg.VIPsPerApp = 1
+	p, err := core.NewPlatform(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := p.OnboardApp("a", cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100},
+		2, core.Demand{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vip := p.Fabric.VIPsOfApp(app.ID)[0]
+	home0, _ := p.Fabric.HomeOf(vip)
+
+	// Two drivers on the same app: A's sessions are seconds long, B's
+	// effectively never end within the test. Constant(0) profiles keep
+	// both drivers from generating arrivals on their own — the test
+	// injects the two arrivals by hand.
+	cfgA := DefaultConfig()
+	cfgA.Template = workload.SessionTemplate{MeanDuration: 1, Mbps: 1, CPU: 0.01}
+	drvA, err := NewDriver(p, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drvA.AddApp(app.ID, workload.Constant(0)); err != nil {
+		t.Fatal(err)
+	}
+	cfgB := DefaultConfig()
+	cfgB.Template = workload.SessionTemplate{MeanDuration: 1e7, Mbps: 1, CPU: 0.01}
+	drvB, err := NewDriver(p, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drvB.AddApp(app.ID, workload.Constant(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A opens the first connection on the VIP's original home switch.
+	drvA.arrive(drvA.apps[app.ID])
+	if st := drvA.Stats(app.ID); st.Started != 1 || st.Active != 1 {
+		t.Fatalf("setup: A stats %+v", st)
+	}
+	// Forced transfer breaks A's connection and moves the VIP.
+	var dst lbswitch.SwitchID
+	for _, sw := range p.Fabric.Switches() {
+		if sw.ID != home0 {
+			dst = sw.ID
+			break
+		}
+	}
+	if err := p.Fabric.TransferVIP(vip, dst, true); err != nil {
+		t.Fatal(err)
+	}
+	p.Propagate()
+	// B opens the first connection on the new home — same per-switch
+	// connection ID as A's broken one.
+	drvB.arrive(drvB.apps[app.ID])
+	if st := drvB.Stats(app.ID); st.Started != 1 || st.Active != 1 {
+		t.Fatalf("setup: B stats %+v", st)
+	}
+
+	// A's session duration elapses; its close fires.
+	p.Eng.RunFor(120)
+
+	if st := drvA.Stats(app.ID); st.Broken != 1 || st.Completed != 0 {
+		t.Fatalf("A stats %+v: the forced transfer broke A's session, it must count Broken (I4.SESSION_CONSERVATION)", st)
+	}
+	if got := p.Fabric.Switch(dst).VIPConns(vip); got != 1 {
+		t.Fatalf("VIPConns = %d: A's stale close tore down B's live connection (I4.SESSION_CONSERVATION)", got)
+	}
+	// B's connection is alive, so a graceful transfer must refuse.
+	if err := p.Fabric.TransferVIP(vip, home0, false); !errors.Is(err, lbswitch.ErrActiveConns) {
+		t.Fatalf("graceful transfer err = %v, want ErrActiveConns while B's session lives", err)
+	}
+	rep := audit.NewReport(topo.Seed, 0)
+	drvA.Audit(rep)
+	drvB.Audit(rep)
+	if !rep.OK() {
+		t.Fatalf("driver audit:\n%s", rep)
+	}
+}
+
+// TestFaultDuringDrainAccounting injects a server failure while
+// sessions are in flight and drains are possible, then checks through
+// the auditor that the accounting conserves: every admitted session is
+// completed, broken, or active (I4.SESSION_CONSERVATION), and no more
+// sessions are broken than the fabric recorded forced breaks
+// (I4.BROKEN_ACCOUNTED) — i.e. drained/completed sessions are never
+// double-counted as dropped, and every drop traces to a fault path.
+// This is the regression for viprip.Manager.DelRIP discarding the
+// broken-connection count when a failed server's RIPs are removed.
+func TestFaultDuringDrainAccounting(t *testing.T) {
+	topo := core.SmallTopology()
+	topo.Seed = 9
+	cfg := core.DefaultConfig()
+	cfg.AuditEvery = 10
+	p, err := core.NewPlatform(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := p.OnboardApp("svc", cluster.Resources{CPU: 1, MemMB: 1024, NetMbps: 100},
+		4, core.Demand{CPU: 2, Mbps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv, err := NewDriver(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.StopAt = 300
+	if err := drv.AddApp(app.ID, workload.Constant(10)); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.Eng.RunUntil(120)
+
+	// Fail a server hosting this app's VMs: the sessions pinned to its
+	// RIPs break when DelRIP removes them from the switches.
+	var victim cluster.ServerID
+	found := false
+	for _, id := range p.Cluster.ServerIDs() {
+		srv := p.Cluster.Server(id)
+		if srv.Serving() && len(srv.VMIDs()) > 0 {
+			victim, found = id, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no serving server hosts a VM")
+	}
+	if _, err := p.FailServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.RunUntil(900) // arrivals stop at 300; sessions run out
+
+	st := drv.TotalStats()
+	if st.Broken == 0 {
+		t.Fatal("setup: the server failure broke no sessions")
+	}
+	rep := p.Audit()
+	drv.Audit(rep)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("audit after fault-during-drain: %v", err)
+	}
+	if err := p.AuditErr(); err != nil {
+		t.Fatalf("accumulated audit: %v", err)
+	}
+}

@@ -13,7 +13,9 @@ package sessions
 import (
 	"fmt"
 	"math"
+	"slices"
 
+	"megadc/internal/audit"
 	"megadc/internal/cluster"
 	"megadc/internal/core"
 	"megadc/internal/dnsctl"
@@ -123,6 +125,43 @@ func (d *Driver) TotalStats() Stats {
 	return t
 }
 
+// Audit appends session-conservation violations to rep (DESIGN.md §9):
+// per app, every admitted session is completed, broken, or still active
+// (I4.SESSION_CONSERVATION) with non-negative counters, and across the
+// driver no more sessions are broken than the fabric recorded forced
+// connection breaks (I4.BROKEN_ACCOUNTED) — sessions may only be
+// dropped on fault/forced-reconfiguration paths, never by bookkeeping.
+func (d *Driver) Audit(rep *audit.Report) {
+	apps := make([]cluster.AppID, 0, len(d.apps))
+	for app := range d.apps {
+		apps = append(apps, app)
+	}
+	slices.Sort(apps)
+	var totalBroken int64
+	for _, app := range apps {
+		st := d.apps[app].stats
+		if st.Started != st.Completed+st.Broken+st.Active {
+			rep.Addf("sessions", "I4.SESSION_CONSERVATION",
+				fmt.Sprintf("started %d == completed+broken+active", st.Started),
+				fmt.Sprintf("%d+%d+%d", st.Completed, st.Broken, st.Active),
+				"app %d", app)
+		}
+		if st.Started < 0 || st.Completed < 0 || st.Broken < 0 ||
+			st.NoExposure < 0 || st.Rejected < 0 || st.Active < 0 {
+			rep.Addf("sessions", "I4.STATS_NONNEG",
+				"non-negative outcome counters", fmt.Sprintf("%+v", st),
+				"app %d", app)
+		}
+		totalBroken += st.Broken
+	}
+	if totalBroken > d.p.Fabric.BrokenConns {
+		rep.Addf("sessions", "I4.BROKEN_ACCOUNTED",
+			fmt.Sprintf("broken sessions <= %d fabric-recorded forced breaks",
+				d.p.Fabric.BrokenConns),
+			fmt.Sprintf("%d", totalBroken), "")
+	}
+}
+
 func (d *Driver) scheduleNext(ad *appDriver) {
 	next := workload.NextArrival(ad.profile, d.p.Eng.Now(), d.p.Rand())
 	if math.IsInf(next, 1) {
@@ -171,14 +210,14 @@ func (d *Driver) arrive(ad *appDriver) {
 
 	d.p.Eng.After(s.Duration, func() {
 		ad.stats.Active--
-		// The VIP may have been transferred meanwhile: close on its
-		// *current* home. A forced transfer already dropped the
-		// connection, in which case CloseConn reports false.
-		closed := false
-		if h, ok := d.p.Fabric.HomeOf(vip); ok {
-			closed = d.p.Fabric.Switch(h).CloseConn(connID)
-		}
-		if closed {
+		// Close on the switch that opened the connection. Connection IDs
+		// are per-switch, so closing on the VIP's *current* home after a
+		// transfer could tear down an unrelated session that happens to
+		// hold the same ID there (I4.SESSION_CONSERVATION regression).
+		// A connection never survives a transfer — graceful transfers
+		// require quiescence and forced ones break every conn — so a
+		// false return here means this session was forcibly broken.
+		if closed := sw.CloseConn(connID); closed {
 			ad.stats.Completed++
 		} else {
 			ad.stats.Broken++

@@ -18,6 +18,7 @@ package twolayer
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"megadc/internal/cluster"
 	"megadc/internal/lbswitch"
@@ -251,7 +252,15 @@ func (a *Arch) CheckInvariants() error {
 	if err := a.LB.CheckInvariants(); err != nil {
 		return err
 	}
-	for app, mvips := range a.mvipsOf {
+	// Sorted app order so the first violation reported does not depend
+	// on map iteration order.
+	apps := make([]cluster.AppID, 0, len(a.mvipsOf))
+	for app := range a.mvipsOf {
+		apps = append(apps, app)
+	}
+	slices.Sort(apps)
+	for _, app := range apps {
+		mvips := a.mvipsOf[app]
 		for _, m := range mvips {
 			if _, ok := a.LB.HomeOf(m); !ok {
 				return fmt.Errorf("twolayer: app %d m-VIP %s not homed on LB layer", app, m)

@@ -10,15 +10,20 @@ package viprip
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // IPPool allocates unique IPv4 addresses from a base address. Freed
-// addresses are recycled LIFO. The paper's RIPs come from the private
-// 10/8 block; VIPs from the provider's public space.
+// addresses are recycled lowest-first, so free-then-alloc always
+// returns the numerically lowest available address — a deterministic
+// rule property tests can assert. The paper's RIPs come from the
+// private 10/8 block; VIPs from the provider's public space.
 type IPPool struct {
-	base  uint32
-	size  uint32
-	next  uint32
+	base uint32
+	size uint32
+	next uint32
+	// freed holds returned addresses sorted descending, so the lowest
+	// is popped from the end in O(1).
 	freed []uint32
 	inUse map[uint32]bool
 }
@@ -39,7 +44,9 @@ func NewIPPool(base string, size uint32) (*IPPool, error) {
 	return &IPPool{base: b, size: size, inUse: make(map[uint32]bool)}, nil
 }
 
-// Alloc returns an unused address from the pool.
+// Alloc returns an unused address from the pool: the lowest freed
+// address when any exist (all freed addresses precede the never-used
+// range), otherwise the next never-used one.
 func (p *IPPool) Alloc() (string, error) {
 	var addr uint32
 	if n := len(p.freed); n > 0 {
@@ -67,7 +74,11 @@ func (p *IPPool) Free(ip string) error {
 		return fmt.Errorf("viprip: %s not allocated from this pool", ip)
 	}
 	delete(p.inUse, a)
-	p.freed = append(p.freed, a)
+	// Insert keeping freed sorted descending (lowest last).
+	i := sort.Search(len(p.freed), func(i int) bool { return p.freed[i] < a })
+	p.freed = append(p.freed, 0)
+	copy(p.freed[i+1:], p.freed[i:])
+	p.freed[i] = a
 	return nil
 }
 

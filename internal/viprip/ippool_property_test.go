@@ -1,0 +1,157 @@
+package viprip
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestIPPoolProperties drives a pool through random seeded alloc/free
+// sequences and checks the allocator's contract at every step:
+//
+//   - an address is never handed out twice while still registered,
+//   - Allocated() tracks the live set exactly,
+//   - a full pool returns ErrPoolExhausted (never a panic or a dup),
+//   - free-then-alloc recycles the numerically lowest freed address.
+func TestIPPoolProperties(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		const size = 64
+		p, err := NewIPPool("10.1.0.0", size)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		inUse := map[uint32]bool{} // model: addresses currently allocated
+		freed := map[uint32]bool{} // model: addresses freed and reusable
+		var handedOut []string     // live addresses, for picking a free target
+		for _, op := range ops {
+			if op%3 != 0 && len(handedOut) > 0 { // free a random live address
+				i := rng.Intn(len(handedOut))
+				ip := handedOut[i]
+				handedOut[i] = handedOut[len(handedOut)-1]
+				handedOut = handedOut[:len(handedOut)-1]
+				if err := p.Free(ip); err != nil {
+					t.Logf("free %s: %v", ip, err)
+					return false
+				}
+				a, _ := parseIPv4(ip)
+				delete(inUse, a)
+				freed[a] = true
+				continue
+			}
+			ip, err := p.Alloc()
+			if len(inUse) == int(size) { // model says full
+				if !errors.Is(err, ErrPoolExhausted) {
+					t.Logf("full pool: err = %v, want ErrPoolExhausted", err)
+					return false
+				}
+				continue
+			}
+			if err != nil {
+				t.Logf("alloc: %v", err)
+				return false
+			}
+			a, perr := parseIPv4(ip)
+			if perr != nil {
+				t.Logf("alloc returned bad address %q", ip)
+				return false
+			}
+			if inUse[a] {
+				t.Logf("alloc returned %s while it is still registered", ip)
+				return false
+			}
+			if len(freed) > 0 { // must be the lowest freed address
+				low := uint32(0)
+				first := true
+				for fa := range freed {
+					if first || fa < low {
+						low, first = fa, false
+					}
+				}
+				if a != low {
+					t.Logf("alloc returned %s, want lowest freed %s", ip, formatIPv4(low))
+					return false
+				}
+				delete(freed, a)
+			}
+			inUse[a] = true
+			handedOut = append(handedOut, ip)
+			if p.Allocated() != len(inUse) {
+				t.Logf("Allocated() = %d, model has %d", p.Allocated(), len(inUse))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIPPoolExhaustionIsAnError drains a tiny pool and checks that the
+// overflow alloc fails with ErrPoolExhausted — repeatably, without
+// panicking — and that a single Free makes Alloc succeed again.
+func TestIPPoolExhaustionIsAnError(t *testing.T) {
+	p, err := NewIPPool("10.2.0.0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ips []string
+	for i := 0; i < 3; i++ {
+		ip, err := p.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		ips = append(ips, ip)
+	}
+	for i := 0; i < 2; i++ { // exhaustion must be stable, not one-shot
+		if _, err := p.Alloc(); !errors.Is(err, ErrPoolExhausted) {
+			t.Fatalf("alloc on full pool (try %d): err = %v, want ErrPoolExhausted", i, err)
+		}
+	}
+	if err := p.Free(ips[1]); err != nil {
+		t.Fatal(err)
+	}
+	ip, err := p.Alloc()
+	if err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+	if ip != ips[1] {
+		t.Fatalf("alloc after free = %s, want the freed %s", ip, ips[1])
+	}
+}
+
+// TestIPPoolRecyclesLowestFirst frees a scattered set of addresses and
+// checks Alloc returns them in ascending order before touching the
+// never-used range.
+func TestIPPoolRecyclesLowestFirst(t *testing.T) {
+	p, err := NewIPPool("10.0.0.0", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ips []string
+	for i := 0; i < 8; i++ {
+		ip, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ips = append(ips, ip)
+	}
+	for _, i := range []int{5, 1, 3} {
+		if err := p.Free(ips[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lowest-first recycling: .1, then .3, then .5, then the fresh .8.
+	for _, want := range []string{"10.0.0.1", "10.0.0.3", "10.0.0.5", "10.0.0.8"} {
+		got, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("alloc = %s, want %s", got, want)
+		}
+	}
+}

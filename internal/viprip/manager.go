@@ -268,14 +268,18 @@ func (m *Manager) AddRIP(app cluster.AppID, rip lbswitch.RIP, weight float64, pr
 	return vip, home, nil
 }
 
-// DelRIP removes rip from every VIP of app that carries it.
+// DelRIP removes rip from every VIP of app that carries it. Connections
+// pinned to the RIP are forcibly broken; they count toward the fabric's
+// BrokenConns total so session accounting stays conserved
+// (I4.BROKEN_ACCOUNTED).
 func (m *Manager) DelRIP(app cluster.AppID, rip lbswitch.RIP) error {
 	removed := false
 	for _, vip := range m.fabric.VIPsOfApp(app) {
 		home, _ := m.fabric.HomeOf(vip)
 		sw := m.fabric.Switch(home)
-		if _, err := sw.RemoveRIP(vip, rip); err == nil {
+		if n, err := sw.RemoveRIP(vip, rip); err == nil {
 			removed = true
+			m.fabric.BrokenConns += int64(n)
 		}
 	}
 	if !removed {
