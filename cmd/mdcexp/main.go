@@ -13,6 +13,7 @@
 //	mdcexp -audit 1        # audit conservation laws on every Propagate (0 disables)
 //	mdcexp -list           # list experiment ids and titles
 //	mdcexp -json           # machine-readable output (one JSON doc per experiment)
+//	mdcexp -trace -trace-events ev.log -e e4   # flight-record an experiment (DESIGN.md §10)
 //	mdcexp -cpuprofile cpu.pprof -e e2   # profile an experiment
 package main
 
@@ -25,19 +26,22 @@ import (
 
 	"megadc/internal/exp"
 	"megadc/internal/profiling"
+	"megadc/internal/trace"
 )
 
 func main() {
 	var (
-		id      = flag.String("e", "all", "experiment id (e1..e14, x1..x4) or 'all'")
-		full    = flag.Bool("full", false, "run the larger configurations")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		auditN  = flag.Int("audit", 10, "run the conservation-law auditor every N Propagate calls (0 disables)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		asJSON  = flag.Bool("json", false, "emit each table as a JSON document")
-		asMD    = flag.Bool("md", false, "emit each table as GitHub-flavoured markdown")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		id          = flag.String("e", "all", "experiment id (e1..e14, x1..x4) or 'all'")
+		full        = flag.Bool("full", false, "run the larger configurations")
+		seed        = flag.Int64("seed", 1, "deterministic seed")
+		auditN      = flag.Int("audit", 10, "run the conservation-law auditor every N Propagate calls (0 disables)")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		asJSON      = flag.Bool("json", false, "emit each table as a JSON document")
+		asMD        = flag.Bool("md", false, "emit each table as GitHub-flavoured markdown")
+		useTrace    = flag.Bool("trace", false, "attach the flight recorder to every platform the experiments build")
+		traceEvents = flag.String("trace-events", "", "with -trace: write the event log to this file ('-' = stdout)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -56,6 +60,12 @@ func main() {
 	}
 
 	opts := exp.Options{Full: *full, Seed: *seed, AuditEvery: *auditN}
+	if *useTrace {
+		opts.Trace = trace.NewRecorder(trace.DefaultRingSize)
+	} else if *traceEvents != "" {
+		fmt.Fprintln(os.Stderr, "mdcexp: -trace-events requires -trace")
+		os.Exit(2)
+	}
 	var toRun []exp.Experiment
 	if *id == "all" {
 		toRun = exp.All()
@@ -91,5 +101,13 @@ func main() {
 		}
 		tb.Render(os.Stdout)
 		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if opts.Trace != nil {
+		if err := trace.ExportFiles(opts.Trace, *traceEvents, ""); err != nil {
+			fmt.Fprintln(os.Stderr, "mdcexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events recorded (%d in ring)\n",
+			opts.Trace.Total(), opts.Trace.Len())
 	}
 }

@@ -18,6 +18,9 @@
 //	megadcsim -sessions                # drive discrete sessions instead of fluid demand
 //	megadcsim -energy                  # attach the consolidation knob and report energy
 //	megadcsim -audit 10                # check conservation laws every 10 Propagate calls
+//	megadcsim -trace                   # flight-recorder tracing (DESIGN.md §10)
+//	megadcsim -trace -trace-events ev.log -trace-ts ts.csv   # export the artifacts
+//	megadcsim -demand-trace wl.txt     # drive app 0's demand from a workload trace file
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"megadc/internal/metrics"
 	"megadc/internal/profiling"
 	"megadc/internal/sessions"
+	"megadc/internal/trace"
 	"megadc/internal/workload"
 )
 
@@ -59,7 +63,11 @@ func main() {
 		churnFlap   = flag.Bool("churn-flap", false, "add link flapping episodes to the churn")
 		useSess     = flag.Bool("sessions", false, "drive discrete client sessions instead of fluid demand")
 		useEnergy   = flag.Bool("energy", false, "attach the consolidation knob and report energy")
-		traceFile   = flag.String("trace", "", "drive the most popular app's demand from a trace file (lines: 'time rate-multiplier')")
+		traceFile   = flag.String("demand-trace", "", "drive the most popular app's demand from a trace file (lines: 'time rate-multiplier')")
+		useTrace    = flag.Bool("trace", false, "attach the flight recorder + time-series sampler (DESIGN.md §10)")
+		traceEvents = flag.String("trace-events", "", "with -trace: write the event log to this file ('-' = stdout)")
+		traceTS     = flag.String("trace-ts", "", "with -trace: write the time series to this file (.json = JSON, else CSV; '-' = stdout)")
+		traceRing   = flag.Int("trace-ring", trace.DefaultRingSize, "with -trace: event ring capacity (older events are overwritten)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -83,6 +91,15 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.AuditEvery = *auditN
+	var rec *trace.Recorder
+	if *useTrace {
+		rec = trace.NewRecorder(*traceRing)
+		rec.TS = &trace.Timeseries{}
+		cfg.Trace = rec
+	} else if *traceEvents != "" || *traceTS != "" {
+		fmt.Fprintln(os.Stderr, "megadcsim: -trace-events/-trace-ts require -trace")
+		os.Exit(2)
+	}
 	if *knobs != "" {
 		var ks []core.Knob
 		for _, c := range strings.Split(strings.ToUpper(*knobs), ",") {
@@ -247,6 +264,15 @@ func main() {
 		fmt.Printf("availability: mean uptime %.4f, %d outages, %.0f s total downtime, %.0f core·s unserved, TTR p50=%.0fs p95=%.0fs\n",
 			av.MeanUptime(*duration), av.TotalOutages(), av.TotalDowntime(), av.TotalUnserved(),
 			ttr.Quantile(0.5), ttr.Quantile(0.95))
+	}
+	if rec != nil {
+		if err := trace.ExportFiles(rec, *traceEvents, *traceTS); err != nil {
+			fmt.Fprintln(os.Stderr, "megadcsim:", err)
+			stopProf()
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events recorded (%d in ring), %d time-series samples\n",
+			rec.Total(), rec.Len(), rec.TS.Len())
 	}
 	if err := p.CheckInvariants(); err != nil {
 		fmt.Fprintln(os.Stderr, "megadcsim: INVARIANT VIOLATION:", err)

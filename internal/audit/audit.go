@@ -12,6 +12,8 @@ package audit
 import (
 	"fmt"
 	"strings"
+
+	"megadc/internal/trace"
 )
 
 // Violation is one broken invariant, observed at one audit walk.
@@ -29,9 +31,14 @@ type Violation struct {
 	Detail string
 	// Seed is the topology seed of the run, for reproduction.
 	Seed int64
+	// Timeline holds the flight-recorder tail for the violating entity:
+	// the most recent trace events touching any entity named in Detail.
+	// Empty when the run was not traced (see Report.AttachTimelines).
+	Timeline []trace.Event
 }
 
-// String renders the violation on one line.
+// String renders the violation on one line, followed by the flight-
+// recorder timeline (one indented line per event) when one is attached.
 func (v Violation) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "[%s] %s: expected %s, got %s", v.Invariant, v.Component, v.Expected, v.Actual)
@@ -39,6 +46,10 @@ func (v Violation) String() string {
 		fmt.Fprintf(&b, " (%s)", v.Detail)
 	}
 	fmt.Fprintf(&b, " seed=%d", v.Seed)
+	for i := range v.Timeline {
+		b.WriteString("\n    | ")
+		b.WriteString(v.Timeline[i].String())
+	}
 	return b.String()
 }
 
@@ -87,6 +98,27 @@ func (r *Report) Has(invariant string) bool {
 		}
 	}
 	return false
+}
+
+// TimelineDepth is how many flight-recorder events AttachTimelines
+// keeps per violation.
+const TimelineDepth = 16
+
+// AttachTimelines fills each violation's Timeline from the flight
+// recorder: the last TimelineDepth events touching any entity the
+// violation's Detail names. Nil-safe on both receiver inputs; a
+// violation whose detail names no known entity keeps an empty timeline.
+func (r *Report) AttachTimelines(rec *trace.Recorder) {
+	if !rec.Enabled() {
+		return
+	}
+	for i := range r.Violations {
+		refs := trace.ParseRefs(r.Violations[i].Detail)
+		if len(refs) == 0 {
+			continue
+		}
+		r.Violations[i].Timeline = rec.TailTouching(refs, TimelineDepth)
+	}
 }
 
 // String renders every violation, one per line.

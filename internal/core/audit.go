@@ -23,6 +23,7 @@ import (
 	"megadc/internal/cluster"
 	"megadc/internal/health"
 	"megadc/internal/lbswitch"
+	"megadc/internal/trace"
 )
 
 // maxAuditViolations bounds what the periodic hook stores; a broken run
@@ -39,6 +40,12 @@ func (p *Platform) Audit() *audit.Report {
 	p.auditCapacity(rep)
 	p.auditConservation(rep)
 	p.auditNetwork(rep)
+	p.lastAuditCount = len(rep.Violations)
+	// Flight-recorder integration: attach the per-entity event timeline
+	// to each violation before recording the audit event itself, so the
+	// timeline ends at the state the auditor observed.
+	rep.AttachTimelines(p.Cfg.Trace)
+	p.Cfg.Trace.Record(trace.EvAudit, float64(len(rep.Violations)), float64(p.propagateTicks))
 	return rep
 }
 

@@ -13,7 +13,11 @@
 //	F. RIP weight adjustment         (Section IV-F, intra- and inter-pod)
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"megadc/internal/trace"
+)
 
 // Knob identifies one of the paper's control knobs, for ablation.
 type Knob int
@@ -144,6 +148,21 @@ type Config struct {
 	// links on purpose (EXPERIMENTS.md E4/E9), so a blanket ceiling
 	// would flag intended behavior.
 	AuditOverloadUtil float64
+
+	// Trace, when non-nil, is the flight recorder: the platform wires it
+	// into every substrate (VIP/RIP manager, switch fabric, drain
+	// protocol, pod/global manager decisions, health transitions) and
+	// attaches per-entity event timelines to audit violation reports.
+	// Nil (the default) disables tracing entirely — the disabled path
+	// adds no work and no allocations to the steady-state Propagate tick
+	// (guarded by BENCH_propagate.json).
+	Trace *trace.Recorder
+
+	// TraceSampleEvery is the period (simulated seconds) of the traced
+	// run's time-series sampler (satisfaction, VIP/RIP counts, queue
+	// depth, utilizations, fault counts). Only consulted when Trace is
+	// set; 0 falls back to PodControlInterval.
+	TraceSampleEvery float64
 }
 
 // DefaultConfig returns the configuration used throughout the

@@ -8,7 +8,15 @@ import (
 	"megadc/internal/health"
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
+	"megadc/internal/trace"
 )
+
+// traceHealth records one component health transition on the flight
+// recorder (no-op when tracing is off). The two states ride in the
+// event payload; health.TransitionLabel(from, to) is their spelling.
+func (p *Platform) traceHealth(ref trace.Ref, from, to health.State) {
+	p.Cfg.Trace.Record(trace.EvHealth, float64(from), float64(to), ref)
+}
 
 // Failure handling. The paper's architecture is built for fail-over:
 // LB switches "achieve fine-grained load balancing and fail-over among
@@ -48,6 +56,7 @@ func (p *Platform) FaultServer(id cluster.ServerID) error {
 	}
 	srv.Health = health.FailedUndetected
 	p.srvSnap[id] = srv.Capacity
+	p.traceHealth(trace.Server(id), health.Healthy, health.FailedUndetected)
 	p.Propagate()
 	return nil
 }
@@ -79,6 +88,7 @@ func (p *Platform) DetectServer(id cluster.ServerID) (lostVMs int, err error) {
 	}
 	srv.Capacity = cluster.Resources{}
 	srv.Health = health.Repairing
+	p.traceHealth(trace.Server(id), health.FailedUndetected, health.Repairing)
 	p.Propagate()
 	return lostVMs, nil
 }
@@ -99,9 +109,11 @@ func (p *Platform) RepairServer(id cluster.ServerID) error {
 	if !ok {
 		return fmt.Errorf("core: server %d has no pre-failure snapshot", id)
 	}
+	prev := srv.Health
 	srv.Capacity = snap
 	delete(p.srvSnap, id)
 	srv.Health = health.Healthy
+	p.traceHealth(trace.Server(id), prev, health.Healthy)
 	p.Propagate()
 	return nil
 }
@@ -129,6 +141,7 @@ func (p *Platform) FaultSwitch(id lbswitch.SwitchID) error {
 	}
 	sw.Health = health.FailedUndetected
 	p.swSnap[id] = sw.Limits
+	p.traceHealth(trace.SwitchRef(id), health.Healthy, health.FailedUndetected)
 	// A health transition is invisible to the reconfiguration hooks, so
 	// mark every VIP homed on the switch dirty explicitly.
 	for _, vip := range sw.VIPs() {
@@ -179,6 +192,7 @@ func (p *Platform) DetectSwitch(id lbswitch.SwitchID) (rehomed, dropped int, err
 	}
 	dead.Limits = lbswitch.Limits{}
 	dead.Health = health.Repairing
+	p.traceHealth(trace.SwitchRef(id), health.FailedUndetected, health.Repairing)
 	p.Propagate()
 	return rehomed, dropped, nil
 }
@@ -201,9 +215,11 @@ func (p *Platform) RepairSwitch(id lbswitch.SwitchID) error {
 	if !ok {
 		return fmt.Errorf("core: switch %d has no pre-failure snapshot", id)
 	}
+	prev := sw.Health
 	sw.Limits = snap
 	delete(p.swSnap, id)
 	sw.Health = health.Healthy
+	p.traceHealth(trace.SwitchRef(id), prev, health.Healthy)
 	// VIPs still homed here (fault never detected) regain reachability.
 	for _, vip := range sw.VIPs() {
 		p.markVIPDirty(vip)
@@ -294,6 +310,7 @@ func (p *Platform) FaultLink(id netmodel.LinkID) error {
 	}
 	link.Health = health.FailedUndetected
 	p.linkSnap[id] = link.CapacityMbps
+	p.traceHealth(trace.Link(id), health.Healthy, health.FailedUndetected)
 	// A health transition is invisible to the route-change hook, so mark
 	// every VIP advertised over the link dirty explicitly.
 	for _, vip := range p.Net.VIPsOnLink(id) {
@@ -336,6 +353,7 @@ func (p *Platform) DetectLink(id netmodel.LinkID) (readvertised int, err error) 
 	}
 	link.CapacityMbps = 0
 	link.Health = health.Repairing
+	p.traceHealth(trace.Link(id), health.FailedUndetected, health.Repairing)
 	p.Propagate()
 	return readvertised, nil
 }
@@ -357,9 +375,11 @@ func (p *Platform) RepairLink(id netmodel.LinkID) error {
 	if !ok {
 		return fmt.Errorf("core: link %d has no pre-failure snapshot", id)
 	}
+	prev := link.Health
 	link.CapacityMbps = snap
 	delete(p.linkSnap, id)
 	link.Health = health.Healthy
+	p.traceHealth(trace.Link(id), prev, health.Healthy)
 	// VIPs still routed over the link (fault never detected) regain
 	// their share of reachability.
 	for _, vip := range p.Net.VIPsOnLink(id) {

@@ -8,6 +8,7 @@ import (
 	"megadc/internal/cluster"
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
+	"megadc/internal/trace"
 )
 
 // GlobalManager is the datacenter-scale resource manager (paper Section
@@ -170,8 +171,12 @@ func (g *GlobalManager) shiftExposureOffLink(vipStr string, hot netmodel.LinkID)
 		if err := g.p.DNS.SetWeight(app, vipStr, newHot); err != nil {
 			return
 		}
+		g.p.Cfg.Trace.Record(trace.EvUnexpose, newHot, delta,
+			trace.VIP(vip), trace.App(app), trace.Link(hot))
 		for _, i := range coldIdx {
 			g.p.DNS.SetWeight(app, dnsVIPs[i], weights[i]+perCold)
+			g.p.Cfg.Trace.Record(trace.EvExpose, weights[i]+perCold, perCold,
+				trace.VIP(dnsVIPs[i]), trace.App(app))
 		}
 		g.ExposureChanges++
 		g.p.Propagate()
@@ -238,6 +243,10 @@ func (g *GlobalManager) costAwareExposure() {
 				return
 			}
 			g.p.DNS.SetWeight(app, dnsVIPs[cheapIdx], weights[cheapIdx]+delta)
+			g.p.Cfg.Trace.Record(trace.EvUnexpose, weights[hotIdx]-delta, delta,
+				trace.VIP(dnsVIPs[hotIdx]), trace.App(app))
+			g.p.Cfg.Trace.Record(trace.EvExpose, weights[cheapIdx]+delta, delta,
+				trace.VIP(dnsVIPs[cheapIdx]), trace.App(app))
 			g.ExposureChanges++
 			g.p.Propagate()
 		})
@@ -400,16 +409,26 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 		// its DNS weight then would expose a dead address
 		// (I1.EXPOSED_HOMED); keep it at zero until a rehome reconciles
 		// exposure.
+		restored := 0.0
 		if _, homed := g.p.Fabric.HomeOf(vip); homed {
-			g.p.DNS.SetWeight(app, string(vip), restoreWeight)
-		} else {
-			g.p.DNS.SetWeight(app, string(vip), 0)
+			restored = restoreWeight
 		}
+		g.p.DNS.SetWeight(app, string(vip), restored)
+		g.p.Cfg.Trace.Record(trace.EvDrainFinish, restored, 0,
+			trace.VIP(vip), trace.App(app))
 		delete(g.draining, vip)
 		g.p.Suppress(vip, false)
 		g.p.Propagate()
 	}
 	attempt := func(retriesLeft int, attemptFn func(int)) {
+		if retriesLeft == 0 && g.p.Cfg.Trace.Enabled() {
+			conns := 0
+			if h, ok := g.p.Fabric.HomeOf(vip); ok {
+				conns = g.p.Fabric.Switch(h).VIPConns(vip)
+			}
+			g.p.Cfg.Trace.Record(trace.EvDrainForce, float64(conns), 0,
+				trace.VIP(vip), trace.SwitchRef(dst))
+		}
 		before := g.p.Fabric.BrokenConns
 		err := g.p.Fabric.TransferVIP(vip, dst, retriesLeft == 0)
 		switch {
@@ -418,6 +437,8 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 			g.DrainForceBreaks += g.p.Fabric.BrokenConns - before
 			finish()
 		case errors.Is(err, lbswitch.ErrActiveConns) && retriesLeft > 0:
+			g.p.Cfg.Trace.Record(trace.EvDrainRetry, float64(retriesLeft), cfg.DrainMargin,
+				trace.VIP(vip), trace.SwitchRef(dst))
 			g.p.Eng.After(cfg.DrainMargin, func() { attemptFn(retriesLeft - 1) })
 		default:
 			g.FailedTransfers++
@@ -433,6 +454,8 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 			g.p.Suppress(vip, false)
 			return
 		}
+		g.p.Cfg.Trace.Record(trace.EvDrainStart, restoreWeight, g.p.DNS.TTL()+cfg.DrainMargin,
+			trace.VIP(vip), trace.SwitchRef(home), trace.SwitchRef(dst))
 		g.p.Propagate()
 		g.p.Eng.After(g.p.DNS.TTL()+cfg.DrainMargin, func() { attemptRec(2) })
 	})
@@ -511,6 +534,8 @@ func (g *GlobalManager) interPodWeights() {
 			nw := newWeights
 			g.p.Eng.After(cfg.SwitchReconfigLatency, func() {
 				if err := g.p.VIPRIP.AdjustWeights(vip, nw); err == nil {
+					g.p.Cfg.Trace.Record(trace.EvWeightShift, moved, float64(len(coldIdx)),
+						trace.VIP(vip), trace.SwitchRef(sw.ID))
 					g.InterPodAdjusts++
 					g.p.Propagate()
 				}
@@ -544,7 +569,9 @@ func (g *GlobalManager) deployToRelievePods() {
 		g.pendingDeploy[app] = true
 		g.p.Eng.After(cfg.VMDeployLatency, func() {
 			delete(g.pendingDeploy, app)
-			if _, err := g.p.DeployInstanceFor(app, target, vip); err == nil {
+			if vm, err := g.p.DeployInstanceFor(app, target, vip); err == nil {
+				g.p.Cfg.Trace.Record(trace.EvDeploy, float64(vm.ID), 0,
+					trace.App(app), trace.Pod(target), trace.VIP(vip))
 				g.Deployments++
 				g.p.Propagate()
 			}
@@ -677,6 +704,8 @@ func (g *GlobalManager) vacateAndTransfer(srv cluster.ServerID, donor, recipient
 			}
 		}
 		if err := g.p.Cluster.TransferServer(srv, recipient); err == nil {
+			g.p.Cfg.Trace.Record(trace.EvServerTransfer, float64(nVMs), 0,
+				trace.Server(srv), trace.Pod(donor), trace.Pod(recipient))
 			g.ServerTransfers++
 			g.p.Propagate()
 		}
@@ -743,6 +772,8 @@ func (g *GlobalManager) guardElephantPods() {
 			if err := g.p.Cluster.TransferServer(best, target); err != nil {
 				break
 			}
+			g.p.Cfg.Trace.Record(trace.EvServerTransfer, float64(bestVMs), 1,
+				trace.Server(best), trace.Pod(podID), trace.Pod(target))
 			g.ElephantMoves++
 		}
 	}

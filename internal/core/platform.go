@@ -152,6 +152,10 @@ type Platform struct {
 	auditLastGen    map[cluster.AppID]int64
 	auditViolations []audit.Violation
 	auditDropped    int64
+
+	// lastAuditCount is the violation count of the most recent audit
+	// walk, sampled into the traced time series (see trace.go).
+	lastAuditCount int
 }
 
 // NewPlatform builds a platform from a topology and config. Control
@@ -264,6 +268,15 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 	p.Net.OnRouteChange = func(vip netmodel.VIPAddr) { p.markVIPDirty(lbswitch.VIP(vip)) }
 	for _, sw := range p.Fabric.Switches() {
 		sw.OnReconfig = p.onSwitchReconfig
+	}
+
+	// Flight recorder: hand the simulation clock to the recorder and wire
+	// it into the substrates. When cfg.Trace is nil every Record call
+	// below and in the substrates is a nil-receiver no-op.
+	if cfg.Trace != nil {
+		cfg.Trace.Now = eng.Now
+		p.Fabric.SetTracer(cfg.Trace)
+		p.VIPRIP.SetTracer(cfg.Trace)
 	}
 
 	p.Global = newGlobalManager(p)
@@ -593,6 +606,18 @@ func (p *Platform) Start() {
 		p.Global.Step()
 		return true
 	})
+	// The time-series sampler is engine-scheduled so an untraced run
+	// carries no sampling branch anywhere near the Propagate hot path.
+	if p.Cfg.Trace != nil && p.Cfg.Trace.TS != nil {
+		iv := p.Cfg.TraceSampleEvery
+		if iv <= 0 {
+			iv = p.Cfg.PodControlInterval
+		}
+		p.Eng.Every(0, iv, func() bool {
+			p.TraceSample()
+			return true
+		})
+	}
 }
 
 // appServedDemand returns (served CPU, demanded CPU) for app. Demand is

@@ -6,6 +6,7 @@ import (
 	"megadc/internal/cluster"
 	"megadc/internal/lbswitch"
 	"megadc/internal/placement"
+	"megadc/internal/trace"
 )
 
 // PodManager performs local resource allocation within one logical pod
@@ -195,10 +196,14 @@ func (pm *PodManager) scheduleResize(vmID cluster.VMID, slice cluster.Resources)
 	pm.pendingVM[vmID] = true
 	pm.p.Eng.After(pm.p.Cfg.VMResizeLatency, func() {
 		delete(pm.pendingVM, vmID)
-		if pm.p.Cluster.VM(vmID) == nil {
+		vm := pm.p.Cluster.VM(vmID)
+		if vm == nil {
 			return // removed while the resize was in flight
 		}
+		oldCPU := vm.Slice.CPU
 		if err := pm.p.Cluster.ResizeVM(vmID, slice); err == nil {
+			pm.p.Cfg.Trace.Record(trace.EvResizeVM, oldCPU, slice.CPU,
+				trace.VM(vmID), trace.Pod(pm.pod))
 			pm.Resizes++
 		}
 	})
@@ -255,6 +260,7 @@ func (pm *PodManager) defragment() {
 			continue
 		}
 		vmID, target := victim, dst
+		from := sid
 		pm.pendingVM[vmID] = true
 		pm.p.Eng.After(pm.p.Cfg.VMMigrateLatency, func() {
 			delete(pm.pendingVM, vmID)
@@ -262,6 +268,8 @@ func (pm *PodManager) defragment() {
 				return
 			}
 			if err := pm.p.Cluster.MigrateVM(vmID, target); err == nil {
+				pm.p.Cfg.Trace.Record(trace.EvMigrateVM, 0, 0,
+					trace.VM(vmID), trace.Server(from), trace.Server(target))
 				pm.Defrags++
 				pm.p.Propagate()
 			}
@@ -433,7 +441,9 @@ func (pm *PodManager) localScaleOut() {
 		pm.pendingDeploy[h.app] = true
 		pm.p.Eng.After(pm.p.Cfg.VMDeployLatency, func() {
 			delete(pm.pendingDeploy, h.app)
-			if _, err := pm.p.DeployInstanceFor(h.app, pm.pod, h.vip); err == nil {
+			if vm, err := pm.p.DeployInstanceFor(h.app, pm.pod, h.vip); err == nil {
+				pm.p.Cfg.Trace.Record(trace.EvScaleOut, float64(vm.ID), h.overload,
+					trace.App(h.app), trace.Pod(pm.pod), trace.VIP(h.vip))
 				pm.LocalDeploys++
 				pm.p.Propagate()
 			}

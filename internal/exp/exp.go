@@ -13,6 +13,7 @@ import (
 
 	"megadc/internal/core"
 	"megadc/internal/metrics"
+	"megadc/internal/trace"
 )
 
 // Options selects the experiment scale.
@@ -32,6 +33,12 @@ type Options struct {
 	// (core.Config.AuditEvery, DESIGN.md §9) on every platform the
 	// experiments build; any violation fails the experiment. 0 disables.
 	AuditEvery int
+	// Trace, when non-nil, attaches the flight recorder (DESIGN.md §10)
+	// to every platform the experiments build. Recording does not
+	// perturb results (core.TestTracingDoesNotPerturb); successive
+	// platforms in one experiment share the recorder, so the event log
+	// spans the whole run.
+	Trace *trace.Recorder
 }
 
 // DefaultOptions returns the defaults used by cmd/mdcexp and the
@@ -47,6 +54,7 @@ func (o Options) configure(cfg core.Config) core.Config {
 		cfg.PropagateFullEvery = 1
 	}
 	cfg.AuditEvery = o.AuditEvery
+	cfg.Trace = o.Trace
 	return cfg
 }
 

@@ -45,6 +45,14 @@ func (s State) Failed() bool { return s != Healthy }
 // Detected reports whether the control plane knows about the failure.
 func (s State) Detected() bool { return s == FailedDetected || s == Repairing }
 
+// TransitionLabel renders a state change as "from→to" — the spelling
+// the tracing layer and violation timelines use for health events
+// (trace events carry the two states numerically; this maps them back
+// for humans).
+func TransitionLabel(from, to State) string {
+	return from.String() + "→" + to.String()
+}
+
 func (s State) String() string {
 	switch s {
 	case Healthy:

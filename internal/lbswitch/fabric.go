@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"megadc/internal/cluster"
+	"megadc/internal/trace"
 )
 
 // Fabric is the load-balancing layer: the pool of LB switches shared
@@ -23,7 +24,13 @@ type Fabric struct {
 	// counts connections broken by forced transfers.
 	Transfers   int64
 	BrokenConns int64
+
+	tracer *trace.Recorder
 }
+
+// SetTracer attaches the flight recorder to the fabric's structural
+// operations (place, drop, transfer). A nil recorder disables tracing.
+func (f *Fabric) SetTracer(r *trace.Recorder) { f.tracer = r }
 
 // ErrVIPExists is returned when adding a VIP that is already homed.
 var ErrVIPExists = errors.New("lbswitch: VIP already homed in fabric")
@@ -63,6 +70,18 @@ func (f *Fabric) Switches() []*Switch {
 // NumSwitches returns the number of switches in the pool.
 func (f *Fabric) NumSwitches() int { return len(f.order) }
 
+// NumVIPs returns the number of VIPs homed in the fabric.
+func (f *Fabric) NumVIPs() int { return len(f.vipHome) }
+
+// NumRIPs returns the total RIP entries across all switches.
+func (f *Fabric) NumRIPs() int {
+	n := 0
+	for _, id := range f.order {
+		n += f.switches[id].NumRIPs()
+	}
+	return n
+}
+
 // HomeOf returns the switch currently hosting vip.
 func (f *Fabric) HomeOf(vip VIP) (SwitchID, bool) {
 	id, ok := f.vipHome[vip]
@@ -83,6 +102,7 @@ func (f *Fabric) PlaceVIP(vip VIP, app cluster.AppID, sw SwitchID) error {
 		return err
 	}
 	f.vipHome[vip] = sw
+	f.tracer.Record(trace.EvPlaceVIP, 0, 0, trace.VIP(vip), trace.App(app), trace.SwitchRef(sw))
 	return nil
 }
 
@@ -99,6 +119,7 @@ func (f *Fabric) DropVIP(vip VIP, force bool) error {
 	}
 	f.BrokenConns += int64(broken)
 	delete(f.vipHome, vip)
+	f.tracer.Record(trace.EvDropVIP, float64(broken), 0, trace.VIP(vip), trace.SwitchRef(home))
 	return nil
 }
 
@@ -126,6 +147,8 @@ func (f *Fabric) TransferVIP(vip VIP, dst SwitchID, force bool) error {
 		return err
 	}
 	if from.VIPConns(vip) > 0 && !force {
+		f.tracer.RecordErr(trace.EvTransferVIP, float64(from.VIPConns(vip)), 0,
+			trace.VIP(vip), trace.SwitchRef(home), trace.SwitchRef(dst))
 		return fmt.Errorf("%w: %s has %d", ErrActiveConns, vip, from.VIPConns(vip))
 	}
 	// Admission check on the destination before mutating anything.
@@ -155,6 +178,8 @@ func (f *Fabric) TransferVIP(vip VIP, dst SwitchID, force bool) error {
 	}
 	f.vipHome[vip] = dst
 	f.Transfers++
+	f.tracer.Record(trace.EvTransferVIP, float64(broken), 0,
+		trace.VIP(vip), trace.SwitchRef(home), trace.SwitchRef(dst))
 	return nil
 }
 

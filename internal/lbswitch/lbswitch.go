@@ -17,6 +17,7 @@ package lbswitch
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"slices"
 
@@ -84,8 +85,15 @@ var (
 	ErrDupRIP      = errors.New("lbswitch: RIP already in group")
 	ErrActiveConns = errors.New("lbswitch: VIP has active connections")
 	ErrNoRIPs      = errors.New("lbswitch: VIP has no RIPs configured")
-	ErrBadWeight   = errors.New("lbswitch: weight must be positive")
+	ErrBadWeight   = errors.New("lbswitch: weight must be positive and finite")
 )
+
+// validWeight rejects non-positive and non-finite weights. NaN fails
+// every ordered comparison, so a bare `weight <= 0` check would let NaN
+// through into weight sums and poison every share computed from them.
+func validWeight(w float64) bool {
+	return w > 0 && !math.IsInf(w, 0) && !math.IsNaN(w)
+}
 
 type ripEntry struct {
 	rip    RIP
@@ -242,7 +250,7 @@ func (s *Switch) AddRIP(vip VIP, rip RIP, weight float64) error {
 	if !ok {
 		return fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
 	}
-	if weight <= 0 {
+	if !validWeight(weight) {
 		return fmt.Errorf("%w: %v", ErrBadWeight, weight)
 	}
 	if _, dup := e.ripIndex[rip]; dup {
@@ -306,7 +314,7 @@ func (s *Switch) SetWeight(vip VIP, rip RIP, weight float64) error {
 	if !ok {
 		return fmt.Errorf("%w: %s in %s", ErrNoSuchRIP, rip, vip)
 	}
-	if weight <= 0 {
+	if !validWeight(weight) {
 		return fmt.Errorf("%w: %v", ErrBadWeight, weight)
 	}
 	re.weight = weight

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"sort"
@@ -232,7 +233,7 @@ func TestTableJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := string(data)
-	for _, want := range []string{`"title":"demo"`, `"name":"alpha"`, `"value":"1.5"`, `"columns":["name","value"]`} {
+	for _, want := range []string{`"title":"demo"`, `"name":"alpha"`, `"value":1.5`, `"columns":["name","value"]`} {
 		if !strings.Contains(s, want) {
 			t.Errorf("JSON missing %s: %s", want, s)
 		}
@@ -240,6 +241,46 @@ func TestTableJSON(t *testing.T) {
 	empty := NewTable("")
 	if data, err := empty.MarshalJSON(); err != nil || !strings.Contains(string(data), `"rows":[]`) {
 		t.Errorf("empty table JSON: %s (%v)", data, err)
+	}
+}
+
+// A NaN or Inf cell must degrade to null in JSON (encoding/json errors
+// on non-finite floats, which would kill a whole experiment dump) and to
+// readable text in the text/markdown renderings.
+func TestTableNonFiniteCells(t *testing.T) {
+	tb := NewTable("bad", "name", "value", "extra")
+	tb.AddRow("nan", math.NaN(), 1.0)
+	tb.AddRow("posinf", math.Inf(1), 2.0)
+	tb.AddRow("neginf", math.Inf(-1), 3.0)
+
+	data, err := tb.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON with non-finite cells: %v", err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"value":null`) {
+		t.Errorf("JSON lacks null for non-finite cell: %s", s)
+	}
+	if strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Errorf("JSON leaked non-finite literal: %s", s)
+	}
+	if !strings.Contains(s, `"extra":1`) {
+		t.Errorf("finite cells must stay numbers: %s", s)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+
+	var md strings.Builder
+	tb.RenderMarkdown(&md)
+	for _, want := range []string{"| nan | NaN |", "| posinf | +Inf |", "| neginf | -Inf |"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown missing %q:\n%s", want, md.String())
+		}
+	}
+	if !strings.Contains(tb.String(), "NaN") {
+		t.Errorf("text rendering lost NaN: %q", tb.String())
 	}
 }
 

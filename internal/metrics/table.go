@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -13,7 +14,16 @@ import (
 type Table struct {
 	Title   string
 	headers []string
-	rows    [][]string
+	rows    [][]cell
+}
+
+// cell is one table entry: the rendered text plus, for numeric cells,
+// the original value so MarshalJSON can emit a JSON number (or null for
+// NaN/Inf, which encoding/json refuses to encode) instead of a string.
+type cell struct {
+	text  string
+	num   float64
+	isNum bool
 }
 
 // NewTable returns a table with the given title and column headers.
@@ -22,17 +32,22 @@ func NewTable(title string, headers ...string) *Table {
 }
 
 // AddRow appends a row. Values are formatted with %v; float64 values are
-// formatted compactly with %.4g.
+// formatted compactly with %.4g (NaN and ±Inf render as text in the
+// text/markdown outputs and as null in JSON).
 func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
+	row := make([]cell, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.4g", v)
+			row[i] = cell{text: fmt.Sprintf("%.4g", v), num: v, isNum: true}
 		case float32:
-			row[i] = fmt.Sprintf("%.4g", v)
+			row[i] = cell{text: fmt.Sprintf("%.4g", v), num: float64(v), isNum: true}
+		case int:
+			row[i] = cell{text: fmt.Sprintf("%v", c), num: float64(v), isNum: true}
+		case int64:
+			row[i] = cell{text: fmt.Sprintf("%v", c), num: float64(v), isNum: true}
 		default:
-			row[i] = fmt.Sprintf("%v", c)
+			row[i] = cell{text: fmt.Sprintf("%v", c)}
 		}
 	}
 	t.rows = append(t.rows, row)
@@ -49,8 +64,8 @@ func (t *Table) Render(w io.Writer) {
 	}
 	for _, row := range t.rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if i < len(widths) && len(c.text) > widths[i] {
+				widths[i] = len(c.text)
 			}
 		}
 	}
@@ -71,7 +86,11 @@ func (t *Table) Render(w io.Writer) {
 	}
 	writeRow(sep)
 	for _, row := range t.rows {
-		writeRow(row)
+		texts := make([]string, len(row))
+		for i, c := range row {
+			texts[i] = c.text
+		}
+		writeRow(texts)
 	}
 }
 
@@ -98,7 +117,7 @@ func (t *Table) RenderMarkdown(w io.Writer) {
 		cells := make([]string, len(t.headers))
 		for i := range cells {
 			if i < len(row) {
-				cells[i] = row[i]
+				cells[i] = row[i].text
 			}
 		}
 		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
@@ -106,24 +125,34 @@ func (t *Table) RenderMarkdown(w io.Writer) {
 }
 
 // MarshalJSON renders the table as {"title": ..., "columns": [...],
-// "rows": [{col: cell, ...}, ...]} with all cells as strings (they were
-// formatted at AddRow time).
+// "rows": [{col: cell, ...}, ...]}. Numeric cells are JSON numbers;
+// non-finite values become null (encoding/json refuses NaN/Inf, and one
+// bad cell must not kill a whole experiment's JSON dump); everything
+// else stays the string formatted at AddRow time.
 func (t *Table) MarshalJSON() ([]byte, error) {
 	type doc struct {
-		Title   string              `json:"title"`
-		Columns []string            `json:"columns"`
-		Rows    []map[string]string `json:"rows"`
+		Title   string           `json:"title"`
+		Columns []string         `json:"columns"`
+		Rows    []map[string]any `json:"rows"`
 	}
 	d := doc{Title: t.Title, Columns: t.headers}
 	if d.Columns == nil {
 		d.Columns = []string{}
 	}
-	d.Rows = make([]map[string]string, 0, len(t.rows))
+	d.Rows = make([]map[string]any, 0, len(t.rows))
 	for _, row := range t.rows {
-		m := make(map[string]string, len(row))
-		for i, cell := range row {
-			if i < len(t.headers) {
-				m[t.headers[i]] = cell
+		m := make(map[string]any, len(row))
+		for i, c := range row {
+			if i >= len(t.headers) {
+				continue
+			}
+			switch {
+			case c.isNum && (math.IsNaN(c.num) || math.IsInf(c.num, 0)):
+				m[t.headers[i]] = nil
+			case c.isNum:
+				m[t.headers[i]] = c.num
+			default:
+				m[t.headers[i]] = c.text
 			}
 		}
 		d.Rows = append(d.Rows, m)

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ExportFiles writes the recorder's artifacts for the CLI binaries:
+// eventsPath receives the event log and tsPath the time series (JSON
+// when the path ends in .json, CSV otherwise). Either path may be empty
+// (skip) or "-" (stdout). Nil-recorder safe: both paths must then be
+// empty or the export fails.
+func ExportFiles(rec *Recorder, eventsPath, tsPath string) error {
+	if !rec.Enabled() {
+		if eventsPath != "" || tsPath != "" {
+			return fmt.Errorf("trace: export requested but recording is disabled")
+		}
+		return nil
+	}
+	if eventsPath != "" {
+		if err := toFile(eventsPath, rec.WriteEvents); err != nil {
+			return fmt.Errorf("trace: events: %w", err)
+		}
+	}
+	if tsPath != "" {
+		if rec.TS == nil {
+			return fmt.Errorf("trace: time-series export requested but no sampler was attached")
+		}
+		write := rec.TS.WriteCSV
+		if strings.HasSuffix(tsPath, ".json") {
+			write = rec.TS.WriteJSON
+		}
+		if err := toFile(tsPath, write); err != nil {
+			return fmt.Errorf("trace: time series: %w", err)
+		}
+	}
+	return nil
+}
+
+func toFile(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Sample is one per-tick observation of the platform's aggregate state.
+// Fields mirror the quantities the experiments report, so a traced run
+// can be replayed as a time series without re-running the simulation.
+type Sample struct {
+	T              float64 // simulation time
+	Satisfaction   float64 // demand-weighted satisfaction in [0,1]
+	VIPs           int     // VIPs homed in the fabric
+	RIPs           int     // RIP entries across all switches
+	QueueDepth     int     // viprip.Manager pending requests
+	SwitchUtilMax  float64
+	SwitchUtilMean float64
+	LinkUtilMax    float64
+	LinkUtilMean   float64
+	FaultsActive   int // components currently anywhere in the failure lifecycle
+	Violations     int // invariant violations found by the last audit sweep
+}
+
+// Timeseries accumulates samples for CSV/JSON export. Unlike the event
+// ring it grows without bound: one sample per tick is a few dozen bytes,
+// negligible next to the event traffic it summarizes.
+type Timeseries struct {
+	Samples []Sample
+}
+
+// Add appends one sample.
+func (ts *Timeseries) Add(s Sample) {
+	if ts == nil {
+		return
+	}
+	ts.Samples = append(ts.Samples, s)
+}
+
+// Len returns the number of samples captured.
+func (ts *Timeseries) Len() int {
+	if ts == nil {
+		return 0
+	}
+	return len(ts.Samples)
+}
+
+// csvHeader lists the exported columns, in order.
+const csvHeader = "t,satisfaction,vips,rips,queue_depth,switch_util_max,switch_util_mean,link_util_max,link_util_mean,faults_active,violations"
+
+// WriteCSV emits the samples as CSV with a header row. Non-finite
+// values render as NaN / +Inf / -Inf (strconv's spelling), which
+// round-trips through standard CSV tooling.
+func (ts *Timeseries) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(csvHeader)
+	bw.WriteByte('\n')
+	if ts != nil {
+		for i := range ts.Samples {
+			s := &ts.Samples[i]
+			writeFloat(bw, s.T)
+			bw.WriteByte(',')
+			writeFloat(bw, s.Satisfaction)
+			bw.WriteByte(',')
+			bw.WriteString(strconv.Itoa(s.VIPs))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.Itoa(s.RIPs))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.Itoa(s.QueueDepth))
+			bw.WriteByte(',')
+			writeFloat(bw, s.SwitchUtilMax)
+			bw.WriteByte(',')
+			writeFloat(bw, s.SwitchUtilMean)
+			bw.WriteByte(',')
+			writeFloat(bw, s.LinkUtilMax)
+			bw.WriteByte(',')
+			writeFloat(bw, s.LinkUtilMean)
+			bw.WriteByte(',')
+			bw.WriteString(strconv.Itoa(s.FaultsActive))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.Itoa(s.Violations))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON emits the samples as a JSON array of objects with the CSV
+// column names as keys. encoding/json rejects NaN/Inf outright, so this
+// writer emits them as null instead of failing the whole export — the
+// same policy metrics.Table adopted for experiment dumps.
+func (ts *Timeseries) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[")
+	if ts != nil {
+		for i := range ts.Samples {
+			s := &ts.Samples[i]
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString("\n  {\"t\":")
+			writeJSONFloat(bw, s.T)
+			bw.WriteString(",\"satisfaction\":")
+			writeJSONFloat(bw, s.Satisfaction)
+			bw.WriteString(",\"vips\":")
+			bw.WriteString(strconv.Itoa(s.VIPs))
+			bw.WriteString(",\"rips\":")
+			bw.WriteString(strconv.Itoa(s.RIPs))
+			bw.WriteString(",\"queue_depth\":")
+			bw.WriteString(strconv.Itoa(s.QueueDepth))
+			bw.WriteString(",\"switch_util_max\":")
+			writeJSONFloat(bw, s.SwitchUtilMax)
+			bw.WriteString(",\"switch_util_mean\":")
+			writeJSONFloat(bw, s.SwitchUtilMean)
+			bw.WriteString(",\"link_util_max\":")
+			writeJSONFloat(bw, s.LinkUtilMax)
+			bw.WriteString(",\"link_util_mean\":")
+			writeJSONFloat(bw, s.LinkUtilMean)
+			bw.WriteString(",\"faults_active\":")
+			bw.WriteString(strconv.Itoa(s.FaultsActive))
+			bw.WriteString(",\"violations\":")
+			bw.WriteString(strconv.Itoa(s.Violations))
+			bw.WriteString("}")
+		}
+		if len(ts.Samples) > 0 {
+			bw.WriteByte('\n')
+		}
+	}
+	bw.WriteString("]\n")
+	return bw.Flush()
+}
+
+func writeFloat(bw *bufio.Writer, v float64) {
+	bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func writeJSONFloat(bw *bufio.Writer, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		bw.WriteString("null")
+		return
+	}
+	bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+}

@@ -4,10 +4,12 @@ import (
 	"cmp"
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 
 	"megadc/internal/cluster"
 	"megadc/internal/lbswitch"
+	"megadc/internal/trace"
 )
 
 // Policy selects the switch for a new VIP. The paper leaves the policy
@@ -62,7 +64,17 @@ var (
 	ErrNoSwitch = errors.New("viprip: no switch with spare capacity")
 	// ErrNoVIPForApp means a RIP request arrived for an app with no VIPs.
 	ErrNoVIPForApp = errors.New("viprip: application has no VIPs configured")
+	// ErrBadWeight rejects negative, zero, or non-finite RIP weights
+	// before they can reach switch weight sums and DNS shares. NaN slips
+	// through ordered comparisons (NaN < 0 is false), so the checks here
+	// must be explicit.
+	ErrBadWeight = errors.New("viprip: weight must be positive and finite")
 )
+
+// validWeight mirrors the switch-level rule: positive and finite.
+func validWeight(w float64) bool {
+	return w > 0 && !math.IsInf(w, 0) && !math.IsNaN(w)
+}
 
 // Manager is the serialized VIP/RIP configuration authority.
 type Manager struct {
@@ -74,7 +86,14 @@ type Manager struct {
 	queue     []*Request
 	seq       int64
 	Processed int64
+
+	tracer *trace.Recorder
 }
+
+// SetTracer attaches the flight recorder: every request's queue →
+// process → done transition and every direct configuration operation is
+// recorded. A nil recorder disables tracing.
+func (m *Manager) SetTracer(r *trace.Recorder) { m.tracer = r }
 
 // Request is one queued (re)configuration request. Submit requests with
 // Submit and drain with ProcessAll; Result and Err are filled when the
@@ -139,30 +158,45 @@ func (m *Manager) Submit(r *Request) {
 	r.seq = m.seq
 	m.seq++
 	m.queue = append(m.queue, r)
+	m.traceReq(trace.EvReqSubmit, r)
 }
 
 // Pending returns the number of queued, unprocessed requests.
 func (m *Manager) Pending() int { return len(m.queue) }
 
+// requestOrder is the paper's serialization contract: strictly higher
+// priority first; within a priority, submission (FIFO) order. The seq
+// comparison makes the order total, so the sort's stability is not
+// load-bearing and the contract survives any future refactor of the
+// queue representation.
+func requestOrder(a, b *Request) int {
+	if a.Priority != b.Priority {
+		return cmp.Compare(b.Priority, a.Priority)
+	}
+	return cmp.Compare(a.seq, b.seq)
+}
+
 // ProcessAll drains the queue, highest priority first (FIFO within a
 // priority), applying each request. It returns the processed requests in
-// execution order.
+// execution order. Requests submitted while the batch is being processed
+// (by callbacks or re-entrant manager use) land in the next batch, never
+// ahead of already-ordered work.
 func (m *Manager) ProcessAll() []*Request {
-	slices.SortStableFunc(m.queue, func(a, b *Request) int {
-		if a.Priority != b.Priority {
-			return cmp.Compare(b.Priority, a.Priority)
-		}
-		return cmp.Compare(a.seq, b.seq)
-	})
+	slices.SortStableFunc(m.queue, requestOrder)
 	out := m.queue
 	m.queue = nil
-	for _, r := range out {
+	for i, r := range out {
+		if i > 0 && requestOrder(out[i-1], r) > 0 {
+			// Enforce, not just assume, the serialization contract.
+			panic(fmt.Sprintf("viprip: queue order violated: %+v before %+v", out[i-1], r))
+		}
 		m.process(r)
 	}
 	return out
 }
 
 func (m *Manager) process(r *Request) {
+	m.traceReq(trace.EvReqProcess, r)
 	switch r.Op {
 	case OpAddVIP:
 		r.Result.VIP, r.Result.Switch, r.Err = m.AddVIP(r.App)
@@ -177,6 +211,33 @@ func (m *Manager) process(r *Request) {
 	}
 	r.Done = true
 	m.Processed++
+	m.traceReq(trace.EvReqDone, r)
+}
+
+// traceReq records one request-lifecycle transition. The refs name the
+// app plus whichever addresses the request carries (the result VIP once
+// processing assigned one); A/B carry priority and submission seq so a
+// timeline shows why the queue ordered the batch the way it did.
+func (m *Manager) traceReq(t trace.Type, r *Request) {
+	if m.tracer == nil {
+		return
+	}
+	vip := r.VIP
+	if vip == "" {
+		vip = r.Result.VIP
+	}
+	var vipRef, ripRef trace.Ref
+	if vip != "" {
+		vipRef = trace.VIP(vip)
+	}
+	if r.RIP != "" {
+		ripRef = trace.RIP(r.RIP)
+	}
+	if r.Err != nil {
+		m.tracer.RecordErr(t, float64(r.Priority), float64(r.seq), trace.App(r.App), vipRef, ripRef)
+		return
+	}
+	m.tracer.Record(t, float64(r.Priority), float64(r.seq), trace.App(r.App), vipRef, ripRef)
 }
 
 // AddVIP allocates an unused address, selects an underloaded switch per
@@ -196,6 +257,7 @@ func (m *Manager) AddVIP(app cluster.AppID) (lbswitch.VIP, lbswitch.SwitchID, er
 		m.vipPool.Free(addr)
 		return "", 0, err
 	}
+	m.tracer.Record(trace.EvAddVIP, 0, 0, trace.App(app), trace.VIP(vip), trace.SwitchRef(sw.ID))
 	return vip, sw.ID, nil
 }
 
@@ -206,6 +268,7 @@ func (m *Manager) DelVIP(vip lbswitch.VIP) error {
 	if err := m.fabric.DropVIP(vip, true); err != nil {
 		return err
 	}
+	m.tracer.Record(trace.EvDelVIP, 0, 0, trace.VIP(vip))
 	return m.vipPool.Free(string(vip))
 }
 
@@ -217,6 +280,9 @@ func (m *Manager) DelVIP(vip lbswitch.VIP) error {
 // under a specific VIP); otherwise the VIP on the least-utilized
 // eligible switch is chosen.
 func (m *Manager) AddRIP(app cluster.AppID, rip lbswitch.RIP, weight float64, preferred lbswitch.VIP) (lbswitch.VIP, lbswitch.SwitchID, error) {
+	if !validWeight(weight) {
+		return "", 0, fmt.Errorf("%w: %v for rip %s", ErrBadWeight, weight, rip)
+	}
 	if preferred != "" {
 		home, ok := m.fabric.HomeOf(preferred)
 		if !ok {
@@ -226,6 +292,7 @@ func (m *Manager) AddRIP(app cluster.AppID, rip lbswitch.RIP, weight float64, pr
 		if err := sw.AddRIP(preferred, rip, weight); err != nil {
 			return "", 0, err
 		}
+		m.tracer.Record(trace.EvAddRIP, weight, 0, trace.App(app), trace.VIP(preferred), trace.RIP(rip))
 		return preferred, home, nil
 	}
 	vips := m.fabric.VIPsOfApp(app)
@@ -265,6 +332,7 @@ func (m *Manager) AddRIP(app cluster.AppID, rip lbswitch.RIP, weight float64, pr
 	if err := m.fabric.Switch(home).AddRIP(vip, rip, weight); err != nil {
 		return "", 0, err
 	}
+	m.tracer.Record(trace.EvAddRIP, weight, 0, trace.App(app), trace.VIP(vip), trace.RIP(rip))
 	return vip, home, nil
 }
 
@@ -280,6 +348,7 @@ func (m *Manager) DelRIP(app cluster.AppID, rip lbswitch.RIP) error {
 		if n, err := sw.RemoveRIP(vip, rip); err == nil {
 			removed = true
 			m.fabric.BrokenConns += int64(n)
+			m.tracer.Record(trace.EvDelRIP, float64(n), 0, trace.App(app), trace.VIP(vip), trace.RIP(rip))
 		}
 	}
 	if !removed {
@@ -307,6 +376,16 @@ func (m *Manager) AdjustWeights(vip lbswitch.VIP, weights []float64) error {
 	if len(weights) != len(rips) {
 		return fmt.Errorf("viprip: %d weights for %d RIPs", len(weights), len(rips))
 	}
+	// Validate the whole vector before applying any of it: a bad weight
+	// discovered mid-loop would leave the group partially updated, which
+	// breaks the total-preservation contract and surfaces later as audit
+	// I2 share-sum violations. NaN also sails through the total check
+	// below (every NaN comparison is false), so reject it here.
+	for i, w := range weights {
+		if !validWeight(w) {
+			return fmt.Errorf("%w: %v for rip %s (index %d)", ErrBadWeight, w, rips[i], i)
+		}
+	}
 	var curTotal, newTotal float64
 	for i := range cur {
 		curTotal += cur[i]
@@ -324,6 +403,7 @@ func (m *Manager) AdjustWeights(vip lbswitch.VIP, weights []float64) error {
 			return err
 		}
 	}
+	m.tracer.Record(trace.EvAdjustWeights, curTotal, float64(len(rips)), trace.VIP(vip), trace.SwitchRef(home))
 	return nil
 }
 

@@ -2,11 +2,13 @@ package viprip
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"megadc/internal/lbswitch"
+	"megadc/internal/trace"
 )
 
 func TestIPPoolAllocFree(t *testing.T) {
@@ -412,5 +414,115 @@ func TestPropertyManagerRespectsLimits(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(14))}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestQueueInterleavedExactOrder is the regression test for the strict
+// queue contract: across interleaved submissions the completion order is
+// priority-descending with FIFO tie-breaking, exactly — not merely "highs
+// before lows". (sort.Slice's instability could historically reorder
+// equal-priority requests once the queue grew past the small-slice
+// threshold; requestOrder's seq tiebreak makes the order total and
+// ProcessAll enforces it.)
+func TestQueueInterleavedExactOrder(t *testing.T) {
+	m := newTestManager(t, 8, LeastVIPs)
+	prios := []Priority{
+		PriorityNormal, PriorityHigh, PriorityLow, PriorityNormal,
+		PriorityHigh, PriorityLow, PriorityNormal, PriorityHigh,
+		PriorityLow, PriorityNormal, PriorityHigh, PriorityNormal,
+	}
+	reqs := make([]*Request, len(prios))
+	for i, p := range prios {
+		reqs[i] = &Request{Op: OpAddVIP, App: 1, Priority: p}
+		m.Submit(reqs[i])
+	}
+	done := m.ProcessAll()
+	// Expected: all highs in submission order, then normals, then lows.
+	var want []*Request
+	for _, p := range []Priority{PriorityHigh, PriorityNormal, PriorityLow} {
+		for i, r := range reqs {
+			if prios[i] == p {
+				want = append(want, r)
+			}
+		}
+	}
+	if len(done) != len(want) {
+		t.Fatalf("len(done) = %d, want %d", len(done), len(want))
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion order wrong at %d: got app-prio %v, want %v",
+				i, done[i].Priority, want[i].Priority)
+		}
+	}
+}
+
+// TestQueueTraceTransitions asserts a traced request leaves the
+// queue→process→done event sequence in the flight recorder.
+func TestQueueTraceTransitions(t *testing.T) {
+	m := newTestManager(t, 2, LeastVIPs)
+	rec := trace.NewRecorder(64)
+	m.SetTracer(rec)
+	r := &Request{Op: OpAddVIP, App: 7, Priority: PriorityHigh}
+	m.Submit(r)
+	m.ProcessAll()
+	var types []trace.Type
+	for _, ev := range rec.Events() {
+		if ev.Touches(trace.App(7)) {
+			types = append(types, ev.Type)
+		}
+	}
+	// The AddVIP effect event nests inside the process→done bracket.
+	want := []trace.Type{trace.EvReqSubmit, trace.EvReqProcess, trace.EvAddVIP, trace.EvReqDone}
+	if len(types) != len(want) {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, types[i], want[i])
+		}
+	}
+}
+
+// TestAddRIPRejectsBadWeight is the regression test for the NaN-blind
+// weight check: `weight <= 0` is false for NaN, so a NaN weight used to
+// sail through into the switch tables.
+func TestAddRIPRejectsBadWeight(t *testing.T) {
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 0} {
+		m := newTestManager(t, 1, LeastVIPs)
+		vip, _, _ := m.AddVIP(1)
+		rip, _ := m.AllocRIP()
+		if _, _, err := m.AddRIP(1, rip, w, vip); !errors.Is(err, ErrBadWeight) {
+			t.Errorf("AddRIP weight %v: err = %v, want ErrBadWeight", w, err)
+		}
+	}
+}
+
+// TestAdjustWeightsRejectsBadWeight checks the up-front vector
+// validation: a bad weight anywhere in the vector rejects the whole
+// call, and — crucially — leaves every existing weight untouched (the
+// old per-RIP loop could fail midway, leaving a partially-applied vector
+// that silently changed the VIP's total weight).
+func TestAdjustWeightsRejectsBadWeight(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), -2, 0} {
+		m := newTestManager(t, 1, LeastVIPs)
+		vip, sw, _ := m.AddVIP(1)
+		r1, _ := m.AllocRIP()
+		r2, _ := m.AllocRIP()
+		m.AddRIP(1, r1, 1, vip)
+		m.AddRIP(1, r2, 3, vip)
+		// The first element alone is valid and, under a partial
+		// application, would have been written before the bad second
+		// element was noticed.
+		if err := m.AdjustWeights(vip, []float64{4 - bad, bad}); !errors.Is(err, ErrBadWeight) {
+			t.Fatalf("AdjustWeights with %v: err = %v, want ErrBadWeight", bad, err)
+		}
+		_, ws, err := m.Fabric().Switch(sw).Weights(vip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ws[0] != 1 || ws[1] != 3 {
+			t.Errorf("weights after rejected adjust = %v, want [1 3] (partial application!)", ws)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,19 +21,20 @@ type Trace struct {
 	max   float64
 }
 
-// NewTrace builds a trace from breakpoints. Times must be strictly
-// increasing and rates non-negative.
+// NewTrace builds a trace from breakpoints. Times must be finite and
+// strictly increasing; rates must be finite and non-negative. The
+// finiteness checks cannot be folded into the ordered comparisons: NaN
+// makes `times[i] <= times[i-1]` and `rates[i] < 0` both false, so a
+// single NaN breakpoint would slip through, poison RateAt's
+// interpolation, and leave MaxRate stuck at 0.
 func NewTrace(times, rates []float64) (*Trace, error) {
 	if len(times) == 0 || len(times) != len(rates) {
 		return nil, fmt.Errorf("workload: trace needs matching non-empty times and rates")
 	}
 	tr := &Trace{}
 	for i := range times {
-		if i > 0 && times[i] <= times[i-1] {
-			return nil, fmt.Errorf("workload: trace times not increasing at %d", i)
-		}
-		if rates[i] < 0 {
-			return nil, fmt.Errorf("workload: negative rate %v", rates[i])
+		if err := checkBreakpoint(i, times, rates[i]); err != nil {
+			return nil, err
 		}
 		tr.ts = append(tr.ts, times[i])
 		tr.rates = append(tr.rates, rates[i])
@@ -43,9 +45,31 @@ func NewTrace(times, rates []float64) (*Trace, error) {
 	return tr, nil
 }
 
+// checkBreakpoint validates breakpoint i of a trace under construction:
+// times[i] finite and greater than its predecessor, rate finite and
+// non-negative.
+func checkBreakpoint(i int, times []float64, rate float64) error {
+	if math.IsNaN(times[i]) || math.IsInf(times[i], 0) {
+		return fmt.Errorf("workload: non-finite time %v at %d", times[i], i)
+	}
+	if i > 0 && times[i] <= times[i-1] {
+		return fmt.Errorf("workload: trace times not increasing at %d", i)
+	}
+	if math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("workload: non-finite rate %v at %d", rate, i)
+	}
+	if rate < 0 {
+		return fmt.Errorf("workload: negative rate %v", rate)
+	}
+	return nil
+}
+
 // ParseTrace reads a trace from text: one "time rate" pair per line
 // (whitespace-separated); blank lines and lines starting with '#' are
-// skipped.
+// skipped. Every breakpoint is validated as it is read — strconv happily
+// parses "NaN" and "+Inf" tokens, so a malformed trace file is rejected
+// here with the offending line number rather than deep inside NewTrace
+// (where only the breakpoint index is known).
 func ParseTrace(r io.Reader) (*Trace, error) {
 	var times, rates []float64
 	sc := bufio.NewScanner(r)
@@ -70,6 +94,9 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 		}
 		times = append(times, t)
 		rates = append(rates, v)
+		if err := checkBreakpoint(len(times)-1, times, v); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -84,6 +84,65 @@ func TestParseTraceRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTraceNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name  string
+		times []float64
+		rates []float64
+	}{
+		{"nan rate", []float64{0, 60}, []float64{1, nan}},
+		{"+inf rate", []float64{0, 60}, []float64{inf, 1}},
+		{"-inf rate", []float64{0, 60}, []float64{1, math.Inf(-1)}},
+		{"nan time", []float64{0, nan}, []float64{1, 1}},
+		{"nan first time", []float64{nan, 60}, []float64{1, 1}},
+		{"+inf time", []float64{0, inf}, []float64{1, 1}},
+		{"-inf time", []float64{math.Inf(-1), 60}, []float64{1, 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewTrace(c.times, c.rates); err == nil {
+				t.Errorf("NewTrace(%v, %v) accepted non-finite breakpoint", c.times, c.rates)
+			}
+		})
+	}
+	// A valid trace keeps working.
+	tr, err := NewTrace([]float64{0, 60}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxRate() != 3 {
+		t.Errorf("MaxRate = %v, want 3", tr.MaxRate())
+	}
+}
+
+func TestParseTraceNonFinite(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine string
+	}{
+		{"nan rate", "0 1\n60 NaN\n", "line 2"},
+		{"inf rate", "# header\n0 +Inf\n", "line 2"},
+		{"negative inf rate", "0 1\n\n60 -Inf\n", "line 3"},
+		{"nan time", "0 1\nnan 2\n", "line 2"},
+		{"inf time", "Inf 2\n", "line 1"},
+		{"negative rate", "0 1\n60 -5\n", "line 2"},
+		{"non-increasing time", "0 1\n0 2\n", "line 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseTrace(strings.NewReader(c.src))
+			if err == nil {
+				t.Fatalf("ParseTrace(%q) accepted bad input", c.src)
+			}
+			if !strings.Contains(err.Error(), c.wantLine) {
+				t.Errorf("error %q does not name %s", err, c.wantLine)
+			}
+		})
+	}
+}
+
 func TestParseTraceErrors(t *testing.T) {
 	for _, src := range []string{"abc 1", "1 xyz", "1 2 3", "justone"} {
 		if _, err := ParseTrace(strings.NewReader(src)); err == nil {
