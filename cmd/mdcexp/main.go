@@ -1,5 +1,5 @@
 // Command mdcexp regenerates the reproduction's experiment tables:
-// E1–E14 (the paper's quantitative claims and proposed evaluations; see
+// E1–E15 (the paper's quantitative claims and proposed evaluations; see
 // DESIGN.md §4) plus the extension experiments X1–X4 (energy, multi-DC,
 // sessions, failures). Each experiment prints the same rows
 // EXPERIMENTS.md records.
@@ -25,13 +25,15 @@ import (
 	"time"
 
 	"megadc/internal/exp"
+	"megadc/internal/metrics"
+	"megadc/internal/obs"
 	"megadc/internal/profiling"
 	"megadc/internal/trace"
 )
 
 func main() {
 	var (
-		id          = flag.String("e", "all", "experiment id (e1..e14, x1..x4) or 'all'")
+		id          = flag.String("e", "all", "experiment id (e1..e15, x1..x4) or 'all'")
 		full        = flag.Bool("full", false, "run the larger configurations")
 		seed        = flag.Int64("seed", 1, "deterministic seed")
 		auditN      = flag.Int("audit", 10, "run the conservation-law auditor every N Propagate calls (0 disables)")
@@ -40,17 +42,16 @@ func main() {
 		asMD        = flag.Bool("md", false, "emit each table as GitHub-flavoured markdown")
 		useTrace    = flag.Bool("trace", false, "attach the flight recorder to every platform the experiments build")
 		traceEvents = flag.String("trace-events", "", "with -trace: write the event log to this file ('-' = stdout)")
-		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf     = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		obsFlags    = profiling.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	obsSession, err := obsFlags.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdcexp:", err)
 		os.Exit(1)
 	}
-	defer stopProf()
+	defer obsSession.Stop()
 
 	if *list {
 		for _, e := range exp.All() {
@@ -59,7 +60,8 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{Full: *full, Seed: *seed, AuditEvery: *auditN}
+	opts := exp.Options{Full: *full, Seed: *seed, AuditEvery: *auditN,
+		Registry: metrics.NewRegistry()}
 	if *useTrace {
 		opts.Trace = trace.NewRecorder(trace.DefaultRingSize)
 	} else if *traceEvents != "" {
@@ -84,6 +86,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mdcexp: %s: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		if obsSession.Obs != nil {
+			obsSession.Obs.Publish(opts.Registry, obs.Status{})
 		}
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)

@@ -21,6 +21,9 @@
 //	megadcsim -trace                   # flight-recorder tracing (DESIGN.md §10)
 //	megadcsim -trace -trace-events ev.log -trace-ts ts.csv   # export the artifacts
 //	megadcsim -demand-trace wl.txt     # drive app 0's demand from a workload trace file
+//	megadcsim -spans                   # control-plane latency histograms (DESIGN.md §11)
+//	megadcsim -serialize               # serialized switch-reconfiguration pipeline (queue waits)
+//	megadcsim -http localhost:8080     # live /metrics, /healthz, /audit, /debug/pprof/
 package main
 
 import (
@@ -34,8 +37,10 @@ import (
 	"megadc/internal/energy"
 	"megadc/internal/faults"
 	"megadc/internal/metrics"
+	"megadc/internal/obs"
 	"megadc/internal/profiling"
 	"megadc/internal/sessions"
+	"megadc/internal/spans"
 	"megadc/internal/trace"
 	"megadc/internal/workload"
 )
@@ -68,17 +73,22 @@ func main() {
 		traceEvents = flag.String("trace-events", "", "with -trace: write the event log to this file ('-' = stdout)")
 		traceTS     = flag.String("trace-ts", "", "with -trace: write the time series to this file (.json = JSON, else CSV; '-' = stdout)")
 		traceRing   = flag.Int("trace-ring", trace.DefaultRingSize, "with -trace: event ring capacity (older events are overwritten)")
-		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf     = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		useSpans    = flag.Bool("spans", false, "record control-plane latency histograms (queue waits, drains, fault latencies; DESIGN.md §11)")
+		serialize   = flag.Bool("serialize", false, "serialize switch reconfiguration through the VIP/RIP request queue (§IV queue waits become measurable)")
+		obsFlags    = profiling.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	obsSession, err := obsFlags.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "megadcsim:", err)
 		os.Exit(1)
 	}
-	defer stopProf()
+	defer obsSession.Stop()
+	stopProf := obsSession.Stop
+	if obsSession.Obs != nil {
+		fmt.Printf("observability: http://%s/metrics\n\n", obsSession.Obs.Addr())
+	}
 
 	topo := core.SmallTopology()
 	topo.Pods = *pods
@@ -91,6 +101,7 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.AuditEvery = *auditN
+	cfg.SerializeReconfig = *serialize
 	var rec *trace.Recorder
 	if *useTrace {
 		rec = trace.NewRecorder(*traceRing)
@@ -99,6 +110,16 @@ func main() {
 	} else if *traceEvents != "" || *traceTS != "" {
 		fmt.Fprintln(os.Stderr, "megadcsim: -trace-events/-trace-ts require -trace")
 		os.Exit(2)
+	}
+	// The metrics registry backs both the span histograms and the live
+	// /metrics page; span tracking rides on the flight recorder's event
+	// hook (a recorder is created implicitly when -spans is given
+	// without -trace).
+	reg := metrics.NewRegistry()
+	var tracker *spans.Tracker
+	if *useSpans {
+		tracker = spans.New(reg)
+		cfg.Spans = tracker
 	}
 	if *knobs != "" {
 		var ks []core.Knob
@@ -234,13 +255,48 @@ func main() {
 		fmt.Printf("flash crowd armed on app %d (10× at t=%.0fs)\n\n", *flash, *duration*0.25)
 	}
 
+	// Live observability: sync the registry and publish a consistent
+	// page from the simulation goroutine. The timer consumes no
+	// randomness, so it does not perturb the seeded run.
+	if mon != nil {
+		reg.RegisterAvailability("faults.availability", mon.Avail)
+	}
+	publish := func() {
+		p.PublishMetrics(reg)
+		if obsSession.Obs == nil {
+			return
+		}
+		st := obs.Status{
+			SimTime:         p.Eng.Now(),
+			AuditViolations: len(p.AuditViolations()),
+		}
+		if tracker != nil {
+			st.OpenLifecycles = tracker.OpenLifecycles()
+		}
+		if vs := p.AuditViolations(); len(vs) > 0 {
+			var sb strings.Builder
+			for _, v := range vs {
+				sb.WriteString(v.String())
+				sb.WriteByte('\n')
+			}
+			st.AuditReport = sb.String()
+		}
+		obsSession.Obs.Publish(reg, st)
+	}
+
 	p.Start()
 	reportEvery := *duration / 6
 	p.Eng.Every(reportEvery, reportEvery, func() bool {
 		report(p)
 		return p.Eng.Now() < *duration
 	})
+	const publishEvery = 30
+	p.Eng.Every(publishEvery, publishEvery, func() bool {
+		publish()
+		return p.Eng.Now() < *duration
+	})
 	p.Eng.RunUntil(*duration)
+	publish()
 
 	fmt.Println("=== final state ===")
 	report(p)
@@ -265,6 +321,9 @@ func main() {
 			av.MeanUptime(*duration), av.TotalOutages(), av.TotalDowntime(), av.TotalUnserved(),
 			ttr.Quantile(0.5), ttr.Quantile(0.95))
 	}
+	if tracker != nil {
+		printSpanSummary(reg)
+	}
 	if rec != nil {
 		if err := trace.ExportFiles(rec, *traceEvents, *traceTS); err != nil {
 			fmt.Fprintln(os.Stderr, "megadcsim:", err)
@@ -288,6 +347,25 @@ func main() {
 		fmt.Println("invariants: ok (audited)")
 	} else {
 		fmt.Println("invariants: ok")
+	}
+}
+
+// printSpanSummary prints every populated latency histogram: the
+// control-plane percentiles the span layer measured over the run.
+func printSpanSummary(reg *metrics.Registry) {
+	fmt.Println("control-plane latency (seconds):")
+	printed := false
+	reg.Each(func(name string, m any) {
+		h, ok := m.(*metrics.Histogram)
+		if !ok || h.Count() == 0 {
+			return
+		}
+		printed = true
+		fmt.Printf("  %-32s n=%-6d p50=%-8.2f p90=%-8.2f p99=%-8.2f max=%.2f\n",
+			name, h.Count(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max())
+	})
+	if !printed {
+		fmt.Println("  (no lifecycles completed)")
 	}
 }
 

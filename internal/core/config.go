@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"megadc/internal/spans"
 	"megadc/internal/trace"
 )
 
@@ -163,6 +164,25 @@ type Config struct {
 	// depth, utilizations, fault counts). Only consulted when Trace is
 	// set; 0 falls back to PodControlInterval.
 	TraceSampleEvery float64
+
+	// Spans, when non-nil, turns flight-recorder events into
+	// control-plane latency histograms (queue waits, drain durations,
+	// detect→repair latencies, DNS convergence — DESIGN.md §11). The
+	// platform subscribes it to the recorder's OnEvent hook, creating a
+	// recorder if Trace is nil. A pure observer: seeded runs end
+	// byte-identical with spans on or off
+	// (TestObservabilityDoesNotPerturb).
+	Spans *spans.Tracker
+
+	// SerializeReconfig routes inter-pod weight adjustments (knob F) and
+	// drain-driven VIP transfers (knob B) through the VIP/RIP request
+	// queue as an engine-driven serialized pipeline — the paper's single
+	// slow CSM configuration channel — instead of applying them inline.
+	// Each request occupies the pipeline for SwitchReconfigLatency;
+	// queued requests accumulate measurable queue wait. Off by default:
+	// the inline path keeps historical behavior (and historical traces)
+	// unchanged.
+	SerializeReconfig bool
 }
 
 // DefaultConfig returns the configuration used throughout the

@@ -9,6 +9,7 @@ import (
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
 	"megadc/internal/trace"
+	"megadc/internal/viprip"
 )
 
 // GlobalManager is the datacenter-scale resource manager (paper Section
@@ -429,21 +430,36 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 			g.p.Cfg.Trace.Record(trace.EvDrainForce, float64(conns), 0,
 				trace.VIP(vip), trace.SwitchRef(dst))
 		}
+		settle := func(err error, broken int64) {
+			switch {
+			case err == nil:
+				g.VIPTransfers++
+				g.DrainForceBreaks += broken
+				finish()
+			case errors.Is(err, lbswitch.ErrActiveConns) && retriesLeft > 0:
+				g.p.Cfg.Trace.Record(trace.EvDrainRetry, float64(retriesLeft), cfg.DrainMargin,
+					trace.VIP(vip), trace.SwitchRef(dst))
+				g.p.Eng.After(cfg.DrainMargin, func() { attemptFn(retriesLeft - 1) })
+			default:
+				g.FailedTransfers++
+				finish()
+			}
+		}
+		if g.p.VIPRIP.Serialized() {
+			// The transfer waits its turn in the single switch-
+			// configuration pipeline; broken connections are counted at
+			// apply time inside the manager.
+			g.p.VIPRIP.Submit(&viprip.Request{
+				Op: viprip.OpTransferVIP, App: app,
+				Priority: viprip.PriorityHigh,
+				VIP:      vip, Dst: dst, Force: retriesLeft == 0,
+				OnDone: func(r *viprip.Request) { settle(r.Err, r.Result.Broken) },
+			})
+			return
+		}
 		before := g.p.Fabric.BrokenConns
 		err := g.p.Fabric.TransferVIP(vip, dst, retriesLeft == 0)
-		switch {
-		case err == nil:
-			g.VIPTransfers++
-			g.DrainForceBreaks += g.p.Fabric.BrokenConns - before
-			finish()
-		case errors.Is(err, lbswitch.ErrActiveConns) && retriesLeft > 0:
-			g.p.Cfg.Trace.Record(trace.EvDrainRetry, float64(retriesLeft), cfg.DrainMargin,
-				trace.VIP(vip), trace.SwitchRef(dst))
-			g.p.Eng.After(cfg.DrainMargin, func() { attemptFn(retriesLeft - 1) })
-		default:
-			g.FailedTransfers++
-			finish()
-		}
+		settle(err, g.p.Fabric.BrokenConns-before)
 	}
 	var attemptRec func(int)
 	attemptRec = func(n int) { attempt(n, attemptRec) }
@@ -532,12 +548,35 @@ func (g *GlobalManager) interPodWeights() {
 			}
 			vip := vip
 			nw := newWeights
+			shifted := moved
+			cold := len(coldIdx)
+			swID := sw.ID
+			onApplied := func() {
+				g.p.Cfg.Trace.Record(trace.EvWeightShift, shifted, float64(cold),
+					trace.VIP(vip), trace.SwitchRef(swID))
+				g.InterPodAdjusts++
+				g.p.Propagate()
+			}
+			if g.p.VIPRIP.Serialized() {
+				// The serialized pipeline models the reconfiguration
+				// latency as the request's service time, so no extra
+				// After here — queue wait comes on top of it.
+				app, _ := sw.AppOf(vip)
+				g.p.VIPRIP.Submit(&viprip.Request{
+					Op: viprip.OpAdjustWeights, App: app,
+					Priority: viprip.PriorityNormal,
+					VIP:      vip, Weights: nw,
+					OnDone: func(r *viprip.Request) {
+						if r.Err == nil {
+							onApplied()
+						}
+					},
+				})
+				continue
+			}
 			g.p.Eng.After(cfg.SwitchReconfigLatency, func() {
 				if err := g.p.VIPRIP.AdjustWeights(vip, nw); err == nil {
-					g.p.Cfg.Trace.Record(trace.EvWeightShift, moved, float64(len(coldIdx)),
-						trace.VIP(vip), trace.SwitchRef(sw.ID))
-					g.InterPodAdjusts++
-					g.p.Propagate()
+					onApplied()
 				}
 			})
 		}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"megadc/internal/spans"
+)
+
+// TestObservabilityDoesNotPerturb runs the seeded chaos scenario with
+// and without the span layer (which implies a flight recorder) and
+// requires identical end state: spans and histograms are pure
+// observers. This is the acceptance guarantee that lets EXPERIMENTS.md
+// compare instrumented and bare runs.
+func TestObservabilityDoesNotPerturb(t *testing.T) {
+	const nOps = 60
+	plain := DefaultConfig()
+	plain.AuditEvery = 10
+	a := runPropagationScenario(t, plain, nOps)
+
+	obs := DefaultConfig()
+	obs.AuditEvery = 10
+	tr := spans.New(nil)
+	obs.Spans = tr
+	b := runPropagationScenario(t, obs, nOps)
+
+	if d := a.captureState().diff(b.captureState()); d != "" {
+		t.Fatalf("span layer perturbed the run: %s", d)
+	}
+	if sa, sb := a.TotalSatisfaction(), b.TotalSatisfaction(); sa != sb {
+		t.Fatalf("satisfaction differs with spans: %v != %v", sa, sb)
+	}
+
+	// The scenario injects faults and repairs them, so the fault span
+	// histograms must have fired.
+	var faultObs uint64
+	for _, kind := range []string{"server", "switch", "link"} {
+		faultObs += tr.Registry().Histogram("fault.inject_to_detect." + kind).Count()
+	}
+	if faultObs == 0 {
+		t.Error("no fault detection latencies recorded over a fault-heavy scenario")
+	}
+}
+
+// TestSerializedScenarioDeterminism runs the chaos scenario twice under
+// the serialized control plane and requires bit-identical state — the
+// queued pipeline is deterministic like everything else.
+func TestSerializedScenarioDeterminism(t *testing.T) {
+	const nOps = 60
+	run := func() (*Platform, *spans.Tracker) {
+		cfg := DefaultConfig()
+		cfg.AuditEvery = 10
+		cfg.SerializeReconfig = true
+		tr := spans.New(nil)
+		cfg.Spans = tr
+		return runPropagationScenario(t, cfg, nOps), tr
+	}
+	pa, ta := run()
+	pb, tb := run()
+	if d := pa.captureState().diff(pb.captureState()); d != "" {
+		t.Fatalf("serialized runs diverged: %s", d)
+	}
+	for _, name := range []string{
+		"viprip.queue_wait.normal", "viprip.queue_wait.high",
+		"viprip.service_time.normal", "viprip.service_time.high",
+	} {
+		ha, hb := ta.Registry().Histogram(name), tb.Registry().Histogram(name)
+		if ha.Count() != hb.Count() || ha.Sum() != hb.Sum() {
+			t.Errorf("%s differs across identical runs: count %d/%d sum %v/%v",
+				name, ha.Count(), hb.Count(), ha.Sum(), hb.Sum())
+		}
+	}
+}
+
+// TestPublishMetrics checks the registry page a binary would serve:
+// counters match the platform's ledgers exactly and repeated publishes
+// are idempotent for unchanged state.
+func TestPublishMetrics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AuditEvery = 10
+	cfg.Spans = spans.New(nil)
+	p := runPropagationScenario(t, cfg, 40)
+
+	reg := cfg.Spans.Registry()
+	p.PublishMetrics(reg)
+
+	if got := reg.Counter("viprip.processed").Value(); got != p.VIPRIP.Processed {
+		t.Errorf("viprip.processed = %d, want %d", got, p.VIPRIP.Processed)
+	}
+	if got := reg.Counter("fabric.broken_conns").Value(); got != p.Fabric.BrokenConns {
+		t.Errorf("fabric.broken_conns = %d, want %d", got, p.Fabric.BrokenConns)
+	}
+	if got := reg.Counter("dns.weight_changes").Value(); got != p.DNS.WeightChanges {
+		t.Errorf("dns.weight_changes = %d, want %d", got, p.DNS.WeightChanges)
+	}
+	sat := reg.Gauge("platform.satisfaction").Value()
+	if sat < 0 || sat > 1+1e-9 {
+		t.Errorf("satisfaction gauge out of range: %v", sat)
+	}
+
+	// Re-publishing without state change must not double-count.
+	before := reg.Counter("core.global_steps").Value()
+	p.PublishMetrics(reg)
+	if after := reg.Counter("core.global_steps").Value(); after != before {
+		t.Errorf("re-publish drifted a counter: %d -> %d", before, after)
+	}
+
+	// The registry enumerates every published metric with a stable kind.
+	names := reg.Names()
+	if len(names) < 15 {
+		t.Fatalf("registry holds only %d names", len(names))
+	}
+	seen := make(map[string]bool)
+	reg.Each(func(name string, m any) {
+		if seen[name] {
+			t.Errorf("duplicate name in Each: %s", name)
+		}
+		seen[name] = true
+	})
+	if len(seen) != len(names) {
+		t.Errorf("Each visited %d names, Names lists %d", len(seen), len(names))
+	}
+}

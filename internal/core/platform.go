@@ -11,6 +11,7 @@ import (
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
 	"megadc/internal/sim"
+	"megadc/internal/trace"
 	"megadc/internal/viprip"
 	"megadc/internal/workload"
 )
@@ -273,10 +274,37 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 	// Flight recorder: hand the simulation clock to the recorder and wire
 	// it into the substrates. When cfg.Trace is nil every Record call
 	// below and in the substrates is a nil-receiver no-op.
+	if cfg.Spans != nil && cfg.Trace == nil {
+		// The span layer is fed from recorder events, so spans without an
+		// explicit recorder get a default-sized one.
+		cfg.Trace = trace.NewRecorder(trace.DefaultRingSize)
+		p.Cfg.Trace = cfg.Trace
+	}
 	if cfg.Trace != nil {
 		cfg.Trace.Now = eng.Now
 		p.Fabric.SetTracer(cfg.Trace)
 		p.VIPRIP.SetTracer(cfg.Trace)
+	}
+
+	// Span layer: subscribe to recorder events and wrap the DNS change
+	// hook to track convergence windows (change bursts converge one TTL
+	// after their last change). Scheduling the close callback adds engine
+	// events but consumes no randomness, so seeded runs stay
+	// byte-identical (TestObservabilityDoesNotPerturb).
+	if sp := cfg.Spans; sp != nil {
+		cfg.Trace.OnEvent = sp.Handle
+		prevOnChange := p.DNS.OnChange
+		p.DNS.OnChange = func(app cluster.AppID) {
+			prevOnChange(app)
+			deadline := sp.DNSChanged(eng.Now(), p.DNS.TTL())
+			eng.At(deadline, func() { sp.CloseDNSWindow(deadline) })
+		}
+	}
+
+	// Serialized control plane: route queued reconfiguration through the
+	// single slow switch-configuration pipeline.
+	if cfg.SerializeReconfig {
+		p.VIPRIP.StartSerialized(eng, cfg.SwitchReconfigLatency)
 	}
 
 	p.Global = newGlobalManager(p)

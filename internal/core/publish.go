@@ -1,0 +1,72 @@
+package core
+
+import (
+	"megadc/internal/metrics"
+)
+
+// PublishMetrics syncs the platform's cumulative counters and current
+// observables into reg, under the DESIGN.md §11 naming convention. The
+// span histograms (queue waits, drain durations, fault latencies)
+// already live in the registry when Config.Spans records into it; this
+// call adds everything countable on top so one registry page describes
+// the whole run. Call it from the simulation goroutine (an engine timer
+// or after RunUntil) — metrics are not internally synchronized.
+func (p *Platform) PublishMetrics(reg *metrics.Registry) {
+	now := p.Eng.Now()
+	set := func(name string, v int64) {
+		c := reg.Counter(name)
+		c.Add(v - c.Value())
+	}
+
+	g := p.Global
+	set("core.exposure_changes", g.ExposureChanges)
+	set("core.vip_transfers", g.VIPTransfers)
+	set("core.failed_transfers", g.FailedTransfers)
+	set("core.server_transfers", g.ServerTransfers)
+	set("core.deployments", g.Deployments)
+	set("core.removals", g.Removals)
+	set("core.interpod_adjusts", g.InterPodAdjusts)
+	set("core.elephant_moves", g.ElephantMoves)
+	set("core.vip_recycles", g.VIPRecycles)
+	set("core.global_steps", g.Steps)
+	set("core.drain_force_breaks", g.DrainForceBreaks)
+
+	var resizes int64
+	for _, pm := range p.PodManagers() {
+		resizes += pm.Resizes
+	}
+	set("core.vm_resizes", resizes)
+
+	set("viprip.processed", p.VIPRIP.Processed)
+	set("fabric.transfers", p.Fabric.Transfers)
+	set("fabric.broken_conns", p.Fabric.BrokenConns)
+	set("dns.resolutions", p.DNS.Resolutions)
+	set("dns.weight_changes", p.DNS.WeightChanges)
+
+	reg.Gauge("platform.satisfaction").Set(now, p.TotalSatisfaction())
+	reg.Gauge("viprip.pending").Set(now, float64(p.VIPRIP.Pending()))
+	reg.Gauge("fabric.vips").Set(now, float64(p.Fabric.NumVIPs()))
+	reg.Gauge("fabric.rips").Set(now, float64(p.Fabric.NumRIPs()))
+
+	var swSum float64
+	sws := p.Fabric.Utilizations()
+	for _, u := range sws {
+		swSum += u
+	}
+	if len(sws) > 0 {
+		reg.Gauge("fabric.mean_utilization").Set(now, swSum/float64(len(sws)))
+	}
+	var lnSum float64
+	lns := p.Net.LinkUtilizations()
+	for _, u := range lns {
+		lnSum += u
+	}
+	if len(lns) > 0 {
+		reg.Gauge("net.mean_link_utilization").Set(now, lnSum/float64(len(lns)))
+	}
+
+	set("audit.violations", int64(len(p.AuditViolations())))
+	if sp := p.Cfg.Spans; sp != nil {
+		reg.Gauge("spans.open_lifecycles").Set(now, float64(sp.OpenLifecycles()))
+	}
+}

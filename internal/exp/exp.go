@@ -39,6 +39,10 @@ type Options struct {
 	// platforms in one experiment share the recorder, so the event log
 	// spans the whole run.
 	Trace *trace.Recorder
+	// Registry, when non-nil, accumulates the metrics instrumented
+	// experiments publish (E15's control-plane latency histograms,
+	// platform counters); cmd/mdcexp serves it live at -http.
+	Registry *metrics.Registry
 }
 
 // DefaultOptions returns the defaults used by cmd/mdcexp and the
@@ -91,6 +95,7 @@ func All() []Experiment {
 		{"e12", "VIP allocation space and policies", func(o Options) (*metrics.Table, error) { t, _, err := RunE12(o); return t, err }},
 		{"e13", "Policy conflict demonstration", func(o Options) (*metrics.Table, error) { t, _, err := RunE13(o); return t, err }},
 		{"e14", "Availability vs failure rate (MTBF/MTTR churn)", func(o Options) (*metrics.Table, error) { t, _, err := RunE14(o); return t, err }},
+		{"e15", "Control-plane latency vs churn rate (serialized reconfiguration)", func(o Options) (*metrics.Table, error) { t, _, err := RunE15(o); return t, err }},
 		{"x1", "Extension: energy consolidation (paper §VI direction)", func(o Options) (*metrics.Table, error) { t, _, err := RunX1(o); return t, err }},
 		{"x2", "Extension: multi-DC federation (paper §III-A remark)", func(o Options) (*metrics.Table, error) { t, _, err := RunX2(o); return t, err }},
 		{"x3", "Extension: discrete sessions under the drain protocol", func(o Options) (*metrics.Table, error) { t, _, err := RunX3(o); return t, err }},

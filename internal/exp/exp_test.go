@@ -9,8 +9,8 @@ func opts() Options { return Options{Seed: 1} }
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18 (e1..e14, x1..x4)", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19 (e1..e15, x1..x4)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -528,6 +528,65 @@ func TestE14Deterministic(t *testing.T) {
 	}
 	if tb1.String() != tb2.String() {
 		t.Fatalf("same seed produced different E14 tables:\n--- first ---\n%s\n--- second ---\n%s",
+			tb1.String(), tb2.String())
+	}
+}
+
+// TestE15LatencyPercentilesNonTrivial is the acceptance criterion for
+// the serialized control plane: the sweep must record real queue
+// waits, drain durations, and repair latencies at every churn rate.
+func TestE15LatencyPercentilesNonTrivial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	_, res, err := RunE15(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Reconfigs == 0 {
+			t.Errorf("MTBF %v: nothing went through the serialized pipeline", r.ServerMTBF)
+		}
+		if r.Drains == 0 {
+			t.Errorf("MTBF %v: no drain protocols completed", r.ServerMTBF)
+		}
+		if r.QueueP99 <= 0 {
+			t.Errorf("MTBF %v: queue p99 = %v, want > 0", r.ServerMTBF, r.QueueP99)
+		}
+		if r.DrainP50 <= 0 || r.DrainP99+1e-9 < r.DrainP50 {
+			t.Errorf("MTBF %v: drain percentiles inconsistent: p50=%v p99=%v",
+				r.ServerMTBF, r.DrainP50, r.DrainP99)
+		}
+		if r.RepairP50 <= 0 || r.RepairP99+1e-9 < r.RepairP50 {
+			t.Errorf("MTBF %v: repair percentiles inconsistent: p50=%v p99=%v",
+				r.ServerMTBF, r.RepairP50, r.RepairP99)
+		}
+		if r.QueueP99+1e-9 < r.QueueP50 {
+			t.Errorf("MTBF %v: queue p99 %v < p50 %v", r.ServerMTBF, r.QueueP99, r.QueueP50)
+		}
+	}
+}
+
+// TestE15Deterministic: same seed, same table, byte-for-byte — the
+// serialized pipeline and span layer preserve the repo's determinism
+// contract.
+func TestE15Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	tb1, _, err := RunE15(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, _, err := RunE15(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb1.String() != tb2.String() {
+		t.Fatalf("same seed produced different E15 tables:\n--- first ---\n%s\n--- second ---\n%s",
 			tb1.String(), tb2.String())
 	}
 }

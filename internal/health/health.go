@@ -45,6 +45,22 @@ func (s State) Failed() bool { return s != Healthy }
 // Detected reports whether the control plane knows about the failure.
 func (s State) Detected() bool { return s == FailedDetected || s == Repairing }
 
+// PhaseEdges classifies a state transition for latency accounting:
+// inject marks the fault entering the system (a healthy component going
+// dark), detect marks the control plane noticing (leaving
+// FailedUndetected for a detected state — some reactions jump straight
+// to Repairing in one transition), and repair marks the component
+// returning to service. A flap that clears before detection
+// (FailedUndetected→Healthy) reports repair without detect: the span
+// layer uses that to close the lifecycle without recording a
+// detection latency that never happened.
+func PhaseEdges(from, to State) (inject, detect, repair bool) {
+	inject = from == Healthy && to == FailedUndetected
+	detect = from == FailedUndetected && (to == FailedDetected || to == Repairing)
+	repair = from != Healthy && to == Healthy
+	return inject, detect, repair
+}
+
 // TransitionLabel renders a state change as "from→to" — the spelling
 // the tracing layer and violation timelines use for health events
 // (trace events carry the two states numerically; this maps them back

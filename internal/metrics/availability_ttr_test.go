@@ -1,0 +1,91 @@
+package metrics
+
+import "testing"
+
+// TTR percentile edge cases: the observability layer exports
+// Availability recovery quantiles unconditionally, so the degenerate
+// shapes (no outages, one outage, identical outages) must all produce
+// well-defined, finite values rather than panics or NaN.
+
+func TestTTRZeroObservations(t *testing.T) {
+	a := NewAvailability(0.95)
+	// Never-observed key and observed-but-never-down key both have an
+	// empty recovery sample.
+	a.Observe("up", 0, 100, 100)
+	a.Observe("up", 50, 100, 100)
+	a.Finalize(100)
+	for _, key := range []string{"up", "never-seen"} {
+		s := a.Recoveries(key)
+		if s.N() != 0 {
+			t.Fatalf("%q: expected empty TTR sample, got %d", key, s.N())
+		}
+		for _, q := range []float64{0, 0.5, 0.95, 1} {
+			if v := s.Quantile(q); v != 0 {
+				t.Fatalf("%q: empty TTR quantile(%v) = %v, want 0", key, q, v)
+			}
+		}
+	}
+	if all := a.AllRecoveries(); all.N() != 0 || all.Quantile(0.5) != 0 {
+		t.Fatalf("AllRecoveries on outage-free run: n=%d p50=%v", all.N(), all.Quantile(0.5))
+	}
+}
+
+func TestTTRSingleSample(t *testing.T) {
+	a := NewAvailability(0.95)
+	a.Observe("app", 0, 100, 100)
+	a.Observe("app", 10, 0, 100) // outage opens at t=10
+	a.Observe("app", 37, 100, 100)
+	a.Finalize(100)
+	s := a.Recoveries("app")
+	if s.N() != 1 {
+		t.Fatalf("expected 1 recovery, got %d", s.N())
+	}
+	// Every quantile of a single sample is that sample.
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if v := s.Quantile(q); v != 27 {
+			t.Fatalf("quantile(%v) = %v, want 27", q, v)
+		}
+	}
+}
+
+func TestTTRAllEqualSamples(t *testing.T) {
+	a := NewAvailability(0.95)
+	t0 := 0.0
+	a.Observe("app", t0, 100, 100)
+	for i := 0; i < 5; i++ {
+		down := t0 + 100
+		up := down + 40 // every outage lasts exactly 40 s
+		a.Observe("app", down, 0, 100)
+		a.Observe("app", up, 100, 100)
+		t0 = up
+	}
+	a.Finalize(t0 + 100)
+	s := a.Recoveries("app")
+	if s.N() != 5 {
+		t.Fatalf("expected 5 recoveries, got %d", s.N())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if v := s.Quantile(q); v != 40 {
+			t.Fatalf("quantile(%v) = %v, want 40 (all-equal sample)", q, v)
+		}
+	}
+	if got := a.Outages("app"); got != 5 {
+		t.Fatalf("outages = %d, want 5", got)
+	}
+}
+
+// An outage still open at Finalize contributes downtime but no TTR
+// sample: the service never recovered within the run, so a percentile
+// over recoveries must not see a synthetic observation.
+func TestTTROpenOutageExcluded(t *testing.T) {
+	a := NewAvailability(0.95)
+	a.Observe("app", 0, 100, 100)
+	a.Observe("app", 10, 0, 100)
+	a.Finalize(100)
+	if n := a.Recoveries("app").N(); n != 0 {
+		t.Fatalf("open outage produced %d TTR samples", n)
+	}
+	if d := a.Downtime("app"); d != 90 {
+		t.Fatalf("downtime = %v, want 90", d)
+	}
+}

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Histogram is a fixed-bucket latency histogram with log-spaced bounds,
+// built for deterministic aggregation: the quantile estimates derive
+// only from integer bucket counts and the exact min/max, so they are
+// invariant under any permutation of the observations and under any
+// order of Merge calls — two runs that observe the same multiset of
+// durations report bit-identical percentiles. The sum uses Neumaier
+// compensation, so Mean stays accurate across the ~12 decades the
+// default bucket scheme spans.
+//
+// The zero value is not ready to use; construct with NewHistogram.
+type Histogram struct {
+	bounds []float64 // ascending bucket upper bounds; one extra overflow bucket follows
+	counts []uint64  // len(bounds)+1; counts[len(bounds)] is the overflow bucket
+	count  uint64
+	sum    float64
+	comp   float64 // Neumaier compensation term
+	min    float64
+	max    float64
+}
+
+// DefaultLatencyBounds returns the bucket scheme used for control-plane
+// latency spans: powers of two from 2^-10 s (~1 ms, well under one
+// simulated tick) to 2^20 s (~12 days, beyond any experiment horizon).
+// Durations in the simulator are multiples of the scheduling tick, so
+// "tick buckets" at power-of-two spacing give ~1 significant figure of
+// resolution at every scale with 31 buckets.
+func DefaultLatencyBounds() []float64 {
+	bounds := make([]float64, 0, 31)
+	for e := -10; e <= 20; e++ {
+		bounds = append(bounds, math.Ldexp(1, e))
+	}
+	return bounds
+}
+
+// NewHistogram creates a histogram with the given ascending bucket
+// upper bounds; values above the last bound land in an implicit
+// overflow bucket. A nil or empty bounds slice selects
+// DefaultLatencyBounds. Bounds must be finite and strictly ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds()
+	} else {
+		bounds = slices.Clone(bounds)
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("metrics: histogram bound %d is not finite: %v", i, b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending: %v after %v", b, bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one duration. Negative, NaN, and infinite values are
+// rejected with a panic: a span layer that produces them has matched
+// lifecycle events incorrectly, and recording them would silently
+// poison every percentile downstream.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		panic(fmt.Sprintf("metrics: Histogram.Observe(%v): duration must be finite and non-negative", v))
+	}
+	idx, _ := slices.BinarySearch(h.bounds, v) // first bucket whose bound is >= v
+	h.counts[idx]++
+	h.count++
+	h.add(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// add accumulates v into the compensated sum (Neumaier's variant of
+// Kahan summation, correct even when the addend exceeds the sum).
+func (h *Histogram) add(v float64) {
+	t := h.sum + v
+	if math.Abs(h.sum) >= math.Abs(v) {
+		h.comp += (h.sum - t) + v
+	} else {
+		h.comp += (v - t) + h.sum
+	}
+	h.sum = t
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the compensated sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum + h.comp }
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.Sum() / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 for an empty histogram.
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 for an empty histogram.
+func (h *Histogram) Max() float64 { // exact, not a bucket bound
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// containing the target rank in the cumulative counts and interpolating
+// linearly inside it. The estimate is clamped to the exact [min, max],
+// so q=0 and q=1 are exact and a single-bucket histogram degrades
+// gracefully. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of [0,1]", q))
+	}
+	if h.count == 0 {
+		return 0
+	}
+	target := q * float64(h.count)
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < target {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.max
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		frac := (target - float64(prev)) / float64(c)
+		v := lo + frac*(hi-lo)
+		return math.Min(math.Max(v, h.min), h.max)
+	}
+	return h.max // unreachable unless counts desynced from count
+}
+
+// Buckets returns copies of the bucket upper bounds and counts (the
+// final count is the overflow bucket, whose bound is +Inf).
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	return slices.Clone(h.bounds), slices.Clone(h.counts)
+}
+
+// Merge adds o's observations into h. Both histograms must share the
+// exact bucket scheme; merging mismatched schemes would silently shift
+// every percentile, so that is an error. Merge order does not affect
+// counts, min/max, or quantiles.
+func (h *Histogram) Merge(o *Histogram) error {
+	if !slices.Equal(h.bounds, o.bounds) {
+		return fmt.Errorf("metrics: merging histograms with different bucket schemes (%d vs %d bounds)",
+			len(h.bounds), len(o.bounds))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.add(o.Sum())
+	if o.count > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy, for merge-without-mutation
+// aggregation (e.g. combining per-priority histograms into a total).
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.bounds = slices.Clone(h.bounds)
+	c.counts = slices.Clone(h.counts)
+	return &c
+}

@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram: count=%d sum=%v mean=%v", h.Count(), h.Sum(), h.Mean())
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram min/max: %v/%v", h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty histogram quantile(%v) = %v", q, v)
+		}
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(3.5)
+	if h.Count() != 1 || h.Sum() != 3.5 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if v := h.Quantile(q); v != 3.5 {
+			t.Fatalf("quantile(%v) = %v, want 3.5", q, v)
+		}
+	}
+	if h.Min() != 3.5 || h.Max() != 3.5 {
+		t.Fatalf("min/max: %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramAllEqual(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(7)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 7 {
+			t.Fatalf("quantile(%v) = %v, want 7", q, v)
+		}
+	}
+	if h.Sum() != 7000 {
+		t.Fatalf("sum = %v, want 7000", h.Sum())
+	}
+}
+
+func TestHistogramZeroDuration(t *testing.T) {
+	// Same-tick lifecycles produce zero-length spans; they must count.
+	h := NewHistogram(nil)
+	h.Observe(0)
+	h.Observe(0)
+	if h.Count() != 2 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("zero durations: count=%d max=%v p50=%v", h.Count(), h.Max(), h.Quantile(0.5))
+	}
+}
+
+func TestHistogramRejectsBadValues(t *testing.T) {
+	for _, v := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Observe(%v) did not panic", v)
+				}
+			}()
+			NewHistogram(nil).Observe(v)
+		}()
+	}
+}
+
+func TestHistogramQuantilesMonotone(t *testing.T) {
+	h := NewHistogram(nil)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		h.Observe(rng.ExpFloat64() * 100)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%v gives %v after %v", q, v, prev)
+		}
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("quantile(%v)=%v outside [min,max]=[%v,%v]", q, v, h.Min(), h.Max())
+		}
+		prev = v
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// With power-of-two buckets the interpolated estimate must stay
+	// within one bucket width (a factor of 2) of the exact quantile.
+	h := NewHistogram(nil)
+	var exact []float64
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		v := rng.ExpFloat64() * 50
+		h.Observe(v)
+		exact = append(exact, v)
+	}
+	var s Sample
+	for _, v := range exact {
+		s.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got, want := h.Quantile(q), s.Quantile(q)
+		if got < want/2 || got > want*2 {
+			t.Errorf("quantile(%v) = %v, exact %v: off by more than a bucket", q, got, want)
+		}
+	}
+}
+
+// TestHistogramPermutationInvariant is the determinism contract: the
+// same multiset of observations, inserted in any order, yields
+// bit-identical counts, min/max, and quantiles. Sums are checked with
+// exactly representable values (multiples of 0.25), where even the
+// floating-point sum is order-independent.
+func TestHistogramPermutationInvariant(t *testing.T) {
+	base := make([]float64, 0, 2000)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		base = append(base, float64(rng.Intn(1<<14))*0.25)
+	}
+	build := func(vals []float64) *Histogram {
+		h := NewHistogram(nil)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	ref := build(base)
+	for trial := 0; trial < 5; trial++ {
+		perm := append([]float64(nil), base...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		h := build(perm)
+		if h.Count() != ref.Count() || h.Min() != ref.Min() || h.Max() != ref.Max() {
+			t.Fatalf("trial %d: count/min/max diverged", trial)
+		}
+		if h.Sum() != ref.Sum() {
+			t.Fatalf("trial %d: sum %v != %v on representable values", trial, h.Sum(), ref.Sum())
+		}
+		_, rc := ref.Buckets()
+		_, hc := h.Buckets()
+		for i := range rc {
+			if rc[i] != hc[i] {
+				t.Fatalf("trial %d: bucket %d count %d != %d", trial, i, hc[i], rc[i])
+			}
+		}
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			if h.Quantile(q) != ref.Quantile(q) {
+				t.Fatalf("trial %d: quantile(%v) %v != %v", trial, q, h.Quantile(q), ref.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestHistogramMergeDeterminism: merging shards in any order equals
+// observing everything in one histogram, for counts and quantiles, and
+// for sums on exactly representable values.
+func TestHistogramMergeDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shards := make([]*Histogram, 8)
+	all := NewHistogram(nil)
+	for i := range shards {
+		shards[i] = NewHistogram(nil)
+		for j := 0; j < 500; j++ {
+			v := float64(rng.Intn(1<<12)) * 0.25
+			shards[i].Observe(v)
+			all.Observe(v)
+		}
+	}
+	mergeIn := func(order []int) *Histogram {
+		m := NewHistogram(nil)
+		for _, i := range order {
+			if err := m.Merge(shards[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m
+	}
+	fwd := mergeIn([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	rev := mergeIn([]int{7, 6, 5, 4, 3, 2, 1, 0})
+	for _, m := range []*Histogram{fwd, rev} {
+		if m.Count() != all.Count() || m.Min() != all.Min() || m.Max() != all.Max() {
+			t.Fatalf("merged count/min/max != direct")
+		}
+		if m.Sum() != all.Sum() {
+			t.Fatalf("merged sum %v != direct %v on representable values", m.Sum(), all.Sum())
+		}
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			if m.Quantile(q) != all.Quantile(q) {
+				t.Fatalf("merged quantile(%v) %v != direct %v", q, m.Quantile(q), all.Quantile(q))
+			}
+		}
+	}
+	if fwd.Sum() != rev.Sum() {
+		t.Fatalf("merge order changed sum: %v vs %v", fwd.Sum(), rev.Sum())
+	}
+}
+
+func TestHistogramMergeSchemeMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 4})
+	b := NewHistogram([]float64{1, 2, 4, 8})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched bucket schemes must error")
+	}
+}
+
+func TestRegistryKinds(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	if r.Counter("a.count") != c {
+		t.Fatal("lazy counter not memoized")
+	}
+	r.Gauge("a.gauge")
+	r.Histogram("a.hist")
+	r.RegisterAvailability("a.avail", NewAvailability(0.95))
+	want := []string{"a.avail", "a.count", "a.gauge", "a.hist"}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names[%d] = %q, want %q (sorted order)", i, got[i], want[i])
+		}
+	}
+	var visited []string
+	r.Each(func(name string, m any) { visited = append(visited, name) })
+	if len(visited) != 4 {
+		t.Fatalf("Each visited %v", visited)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind collision did not panic")
+			}
+		}()
+		r.Gauge("a.count")
+	}()
+}

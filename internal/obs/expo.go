@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+
+	"megadc/internal/metrics"
+)
+
+// namePrefix namespaces every exported series.
+const namePrefix = "megadc_"
+
+// mangle turns a registry name ("viprip.queue_wait.high") into a
+// Prometheus metric name ("megadc_viprip_queue_wait_high"). Registry
+// names are lowercase dot paths by convention, so the mapping is a
+// plain character substitution.
+func mangle(name string) string {
+	return namePrefix + strings.NewReplacer(".", "_", "-", "_", " ", "_").Replace(name)
+}
+
+// writeSample emits one exposition line, skipping non-finite values
+// entirely: NaN or Inf must never appear raw in the output, matching
+// the metrics.Table JSON policy (where they render as null).
+func writeSample(w *bytes.Buffer, name, labels string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if labels == "" {
+		fmt.Fprintf(w, "%s %v\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %v\n", name, labels, v)
+}
+
+// summaryQuantiles are the percentiles exported for every histogram.
+var summaryQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.9", 0.9},
+	{"0.99", 0.99},
+}
+
+// RenderExposition renders reg in the Prometheus text exposition
+// format (version 0.0.4). Metrics appear in sorted registry-name
+// order, so the output is byte-stable for a given registry state
+// (golden-tested). Counters export as counter, gauges as gauge,
+// histograms as summary (quantile series plus _sum/_count/_max), and
+// availability trackers as per-key gauge families.
+func RenderExposition(reg *metrics.Registry) []byte {
+	var b bytes.Buffer
+	reg.Each(func(name string, m any) {
+		pn := mangle(name)
+		switch m := m.(type) {
+		case *metrics.Counter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", pn)
+			fmt.Fprintf(&b, "%s %d\n", pn, m.Value())
+
+		case *metrics.Gauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", pn)
+			writeSample(&b, pn, "", m.Value())
+
+		case *metrics.Histogram:
+			fmt.Fprintf(&b, "# TYPE %s summary\n", pn)
+			if m.Count() > 0 {
+				for _, sq := range summaryQuantiles {
+					writeSample(&b, pn, `quantile="`+sq.label+`"`, m.Quantile(sq.q))
+				}
+			}
+			writeSample(&b, pn+"_sum", "", m.Sum())
+			writeSample(&b, pn+"_count", "", float64(m.Count()))
+			if m.Count() > 0 {
+				fmt.Fprintf(&b, "# TYPE %s_max gauge\n", pn)
+				writeSample(&b, pn+"_max", "", m.Max())
+			}
+
+		case *metrics.Availability:
+			fmt.Fprintf(&b, "# TYPE %s_downtime_seconds gauge\n", pn)
+			for _, key := range m.Keys() {
+				writeSample(&b, pn+"_downtime_seconds", `key="`+escapeLabel(key)+`"`, m.Downtime(key))
+			}
+			fmt.Fprintf(&b, "# TYPE %s_outages gauge\n", pn)
+			for _, key := range m.Keys() {
+				writeSample(&b, pn+"_outages", `key="`+escapeLabel(key)+`"`, float64(m.Outages(key)))
+			}
+			fmt.Fprintf(&b, "# TYPE %s_ttr_seconds summary\n", pn)
+			for _, key := range m.Keys() {
+				rec := m.Recoveries(key)
+				if rec.N() == 0 {
+					continue
+				}
+				kl := `key="` + escapeLabel(key) + `"`
+				for _, sq := range summaryQuantiles {
+					writeSample(&b, pn+"_ttr_seconds", kl+`,quantile="`+sq.label+`"`, rec.Quantile(sq.q))
+				}
+				writeSample(&b, pn+"_ttr_seconds_sum", kl, rec.Sum())
+				writeSample(&b, pn+"_ttr_seconds_count", kl, float64(rec.N()))
+			}
+		}
+	})
+	return b.Bytes()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}

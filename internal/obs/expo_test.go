@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"megadc/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry with every metric kind, including
+// the edge cases the exposition policy exists for: an empty histogram,
+// a NaN gauge (must be skipped, never emitted raw), and an
+// availability key with no recoveries.
+func goldenRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.Counter("core.vip_transfers").Add(7)
+	reg.Counter("core.failed_transfers") // zero-valued
+	reg.Gauge("platform.satisfaction").Set(0, 0.75)
+	reg.Gauge("net.mean_link_utilization").Set(0, math.NaN())
+
+	h := reg.Histogram("viprip.queue_wait.high")
+	for _, v := range []float64{1, 2, 3, 4, 5, 6, 7, 8} {
+		h.Observe(v)
+	}
+	reg.Histogram("viprip.queue_wait.low") // never observed
+
+	a := metrics.NewAvailability(0.95)
+	a.Observe("app-a", 0, 100, 100)
+	a.Observe("app-a", 10, 10, 100) // outage opens
+	a.Observe("app-a", 40, 100, 100)
+	a.Observe("app-b", 0, 50, 100) // outage never recovers
+	a.Finalize(60)
+	reg.RegisterAvailability("faults.availability", a)
+	return reg
+}
+
+// TestExpositionGolden pins the exposition output byte-for-byte:
+// stable sorted ordering, the NaN-skip policy, and the exact
+// summary/gauge/counter shapes. Regenerate with -update-golden after
+// an intentional format change.
+func TestExpositionGolden(t *testing.T) {
+	got := RenderExposition(goldenRegistry())
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if err := ValidateExposition(got); err != nil {
+		t.Errorf("golden exposition fails its own validator: %v", err)
+	}
+	if bytes.Contains(got, []byte("NaN")) || bytes.Contains(got, []byte("Inf")) {
+		t.Error("exposition leaked a non-finite value")
+	}
+	// The NaN gauge's TYPE line survives but its sample must not.
+	if !bytes.Contains(got, []byte("# TYPE megadc_net_mean_link_utilization gauge")) {
+		t.Error("NaN gauge family missing entirely")
+	}
+	if bytes.Contains(got, []byte("\nmegadc_net_mean_link_utilization ")) {
+		t.Error("NaN gauge emitted a sample line")
+	}
+}
+
+// TestExpositionDeterministic renders twice from independently built
+// registries and requires identical bytes — the ordering is the sorted
+// registry names, not map iteration order.
+func TestExpositionDeterministic(t *testing.T) {
+	a := RenderExposition(goldenRegistry())
+	b := RenderExposition(goldenRegistry())
+	if !bytes.Equal(a, b) {
+		t.Error("exposition differs across identical registries")
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"undeclared sample":  "megadc_x 1\n",
+		"nan value":          "# TYPE megadc_x gauge\nmegadc_x NaN\n",
+		"inf value":          "# TYPE megadc_x gauge\nmegadc_x +Inf\n",
+		"bad name":           "# TYPE 0bad counter\n0bad 1\n",
+		"bad type":           "# TYPE megadc_x matrix\nmegadc_x 1\n",
+		"garbage line":       "# TYPE megadc_x gauge\nmegadc_x one\n",
+		"duplicate families": "# TYPE megadc_x gauge\n# TYPE megadc_x gauge\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition([]byte(text)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, text)
+		}
+	}
+	ok := "# TYPE megadc_q summary\nmegadc_q{quantile=\"0.5\"} 2\nmegadc_q_sum 4\nmegadc_q_count 2\n"
+	if err := ValidateExposition([]byte(ok)); err != nil {
+		t.Errorf("validator rejected valid summary: %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks text against the Prometheus text
+// exposition format: every line is a # TYPE/# HELP comment or a sample
+// whose metric name is legal, whose family was TYPE-declared first,
+// and whose value parses as a finite float (NaN/Inf must never be
+// emitted raw — the renderer drops such samples, and CI fails the run
+// if one leaks through). Returns nil for valid input, or an error
+// naming the first offending line.
+func ValidateExposition(text []byte) error {
+	var (
+		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$`)
+		types    = map[string]bool{"counter": true, "gauge": true, "summary": true, "histogram": true, "untyped": true}
+		declared = map[string]bool{}
+	)
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment: %q", lineNo, line)
+				}
+				if !nameRe.MatchString(fields[2]) {
+					return fmt.Errorf("line %d: illegal metric name %q", lineNo, fields[2])
+				}
+				if !types[fields[3]] {
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				if declared[fields[2]] {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				declared[fields[2]] = true
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line: %q", lineNo, line)
+		}
+		name := m[1]
+		// A summary's quantile series and _sum/_count/_max children
+		// belong to a declared parent family.
+		family := name
+		for _, suffix := range []string{"_sum", "_count", "_max", "_bucket"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && declared[base] {
+				family = base
+				break
+			}
+		}
+		if !declared[family] {
+			return fmt.Errorf("line %d: sample %q without a TYPE declaration", lineNo, name)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: unparseable value %q: %v", lineNo, m[3], err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("line %d: non-finite value emitted raw: %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("scanning exposition: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package obs serves a live, read-only observability endpoint for a
+// running simulation: Prometheus text exposition at /metrics, a JSON
+// health summary at /healthz, the latest invariant-audit report at
+// /audit, and net/http/pprof under /debug/pprof/.
+//
+// The server never touches simulation state. The simulation goroutine
+// renders complete response pages with Publish (typically from an
+// engine timer, plus once after the run ends) and the HTTP handlers
+// serve whichever page was published last via an atomic pointer swap.
+// Scrapes therefore see a consistent snapshot from a single simulated
+// instant, and a seeded run with the server attached ends
+// byte-identical to the same run without it
+// (core.TestObservabilityDoesNotPerturb covers the span layer; the
+// server adds only the Publish timer, which consumes no randomness).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"megadc/internal/metrics"
+)
+
+// Status is the run summary Publish renders into /healthz and /audit.
+type Status struct {
+	SimTime         float64 // current simulated time (seconds)
+	AuditViolations int     // violations accumulated so far
+	OpenLifecycles  int     // span lifecycles currently open
+	AuditReport     string  // latest audit report, "" when clean
+}
+
+// page is one immutable published snapshot.
+type page struct {
+	metrics []byte
+	healthz []byte
+	audit   []byte
+}
+
+// Server is the observability endpoint. Create with Start, feed with
+// Publish, shut down with Close.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	page atomic.Pointer[page]
+}
+
+// Start listens on addr (e.g. "localhost:8080", ":0" for an ephemeral
+// port) and serves the observability endpoints. An initial empty page
+// is published so scrapes before the first Publish see valid, empty
+// exposition rather than a 500.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln}
+	s.page.Store(&page{
+		metrics: []byte{},
+		healthz: renderHealthz(Status{}),
+		audit:   []byte("no audit report published\n"),
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(s.page.Load().metrics)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(s.page.Load().healthz)
+	})
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(s.page.Load().audit)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the address the server is listening on.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Publish renders the registry and status into fresh response pages
+// and swaps them in atomically. Call from the simulation goroutine
+// only: it reads live metrics, which are not synchronized against the
+// goroutine mutating them.
+func (s *Server) Publish(reg *metrics.Registry, st Status) {
+	audit := st.AuditReport
+	if audit == "" {
+		audit = fmt.Sprintf("audit clean at t=%v (%d violations total)\n",
+			st.SimTime, st.AuditViolations)
+	}
+	s.page.Store(&page{
+		metrics: RenderExposition(reg),
+		healthz: renderHealthz(st),
+		audit:   []byte(audit),
+	})
+}
+
+func renderHealthz(st Status) []byte {
+	b, _ := json.Marshal(map[string]any{
+		"status":           "ok",
+		"sim_time":         st.SimTime,
+		"audit_violations": st.AuditViolations,
+		"open_lifecycles":  st.OpenLifecycles,
+	})
+	return append(b, '\n')
+}
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"megadc/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServerRoundTrip(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Before any Publish: valid empty pages, not errors.
+	code, body := get(t, s.URL()+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics before publish: %d", code)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("initial exposition invalid: %v", err)
+	}
+
+	reg := metrics.NewRegistry()
+	reg.Counter("core.vip_transfers").Add(3)
+	reg.Histogram("viprip.queue_wait.high").Observe(2.5)
+	s.Publish(reg, Status{SimTime: 120, AuditViolations: 1, OpenLifecycles: 2,
+		AuditReport: "I4.SWITCH_LOAD_SUM: drift"})
+
+	code, body = get(t, s.URL()+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("published exposition invalid: %v\n%s", err, body)
+	}
+	if !strings.Contains(string(body), "megadc_core_vip_transfers 3") {
+		t.Errorf("counter missing from exposition:\n%s", body)
+	}
+	if !strings.Contains(string(body), `megadc_viprip_queue_wait_high{quantile="0.99"}`) {
+		t.Errorf("histogram quantiles missing:\n%s", body)
+	}
+
+	code, body = get(t, s.URL()+"/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz: %d", code)
+	}
+	var h map[string]any
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if h["sim_time"] != 120.0 || h["audit_violations"] != 1.0 {
+		t.Errorf("healthz fields wrong: %v", h)
+	}
+
+	code, body = get(t, s.URL()+"/audit")
+	if code != 200 || !strings.Contains(string(body), "I4.SWITCH_LOAD_SUM") {
+		t.Errorf("/audit: %d %q", code, body)
+	}
+
+	// pprof index answers.
+	code, _ = get(t, s.URL()+"/debug/pprof/")
+	if code != 200 {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+}

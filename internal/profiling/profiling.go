@@ -1,15 +1,78 @@
-// Package profiling wires the standard -cpuprofile/-memprofile flags
-// into the commands, so `mdcexp` and `megadcsim` runs can be fed
-// straight to `go tool pprof` when chasing propagation or placement
-// hot spots.
+// Package profiling wires the standard observability flags —
+// -cpuprofile, -memprofile, and -http — into the commands through one
+// setup/teardown path: RegisterFlags installs the flags with identical
+// help text on every binary, Flags.Start opens the profiles and the
+// live obs endpoint together, and Session.Stop tears both down. Runs
+// can be fed straight to `go tool pprof` (the obs server also exposes
+// /debug/pprof/ for live profiling of long runs).
 package profiling
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"megadc/internal/obs"
 )
+
+// Flags holds the shared observability flag values. Populate with
+// RegisterFlags so every command documents them identically.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	HTTPAddr   string
+}
+
+// RegisterFlags installs -cpuprofile, -memprofile, and -http on fs
+// with the canonical help text.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&f.HTTPAddr, "http", "", "serve live observability on this address (/metrics, /healthz, /audit, /debug/pprof/)")
+	return f
+}
+
+// Session is a running observability setup: CPU/heap profiles plus the
+// optional live HTTP endpoint. Obs is nil when -http was not given.
+type Session struct {
+	Obs      *obs.Server
+	stopProf func()
+}
+
+// Start opens everything the flags ask for. On error nothing is left
+// running.
+func (f *Flags) Start() (*Session, error) {
+	stopProf, err := Start(f.CPUProfile, f.MemProfile)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{stopProf: stopProf}
+	if f.HTTPAddr != "" {
+		srv, err := obs.Start(f.HTTPAddr)
+		if err != nil {
+			stopProf()
+			return nil, err
+		}
+		s.Obs = srv
+	}
+	return s, nil
+}
+
+// Stop finishes the profiles and shuts down the obs server. Safe to
+// call more than once.
+func (s *Session) Stop() {
+	if s.stopProf != nil {
+		s.stopProf()
+		s.stopProf = nil
+	}
+	if s.Obs != nil {
+		s.Obs.Close()
+		s.Obs = nil
+	}
+}
 
 // Start begins CPU profiling to cpuPath and arranges a heap profile at
 // memPath; either may be empty to skip that profile. The returned stop

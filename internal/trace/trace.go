@@ -267,6 +267,13 @@ type Recorder struct {
 	// TS, when non-nil, collects per-tick samples (see Timeseries).
 	TS *Timeseries
 
+	// OnEvent, when non-nil, observes every event as it is recorded
+	// (after it lands in the ring). The span layer (internal/spans)
+	// subscribes here to turn point events into duration distributions.
+	// The callback must treat the event as read-only and must not touch
+	// simulation state: it runs inside the hot protocol paths.
+	OnEvent func(*Event)
+
 	buf  []Event
 	next uint64 // total events ever recorded; buf slot is next % len(buf)
 }
@@ -332,8 +339,12 @@ func (r *Recorder) record(t Type, errFlag uint8, a, b float64, refs []Ref) {
 		n = len(e.Refs)
 	}
 	copy(e.Refs[:], refs[:n])
-	r.buf[r.next%uint64(len(r.buf))] = e
+	slot := &r.buf[r.next%uint64(len(r.buf))]
+	*slot = e
 	r.next++
+	if r.OnEvent != nil {
+		r.OnEvent(slot)
+	}
 }
 
 // Events returns the retained events oldest-first as a fresh slice.

@@ -9,6 +9,7 @@ import (
 
 	"megadc/internal/cluster"
 	"megadc/internal/lbswitch"
+	"megadc/internal/sim"
 	"megadc/internal/trace"
 )
 
@@ -87,6 +88,12 @@ type Manager struct {
 	seq       int64
 	Processed int64
 
+	// Serialized mode (StartSerialized): the engine-driven pump that
+	// models the paper's single slow CSM configuration pipeline.
+	eng         *sim.Engine
+	serviceTime float64
+	inflight    *Request
+
 	tracer *trace.Recorder
 }
 
@@ -102,9 +109,18 @@ type Request struct {
 	Op       Op
 	App      cluster.AppID
 	Priority Priority
-	VIP      lbswitch.VIP // DelVIP: which VIP; AddRIP: optional preferred VIP
-	RIP      lbswitch.RIP // AddRIP/DelRIP
-	Weight   float64      // AddRIP
+	VIP      lbswitch.VIP      // DelVIP/AdjustWeights/TransferVIP: which VIP; AddRIP: optional preferred VIP
+	RIP      lbswitch.RIP      // AddRIP/DelRIP
+	Weight   float64           // AddRIP
+	Weights  []float64         // AdjustWeights
+	Dst      lbswitch.SwitchID // TransferVIP
+	Force    bool              // TransferVIP
+
+	// OnDone, when non-nil, runs after the request has been applied
+	// (with Result and Err filled). In serialized mode this is how
+	// callers continue a protocol across the asynchronous completion
+	// (e.g. the drain's retry ladder).
+	OnDone func(*Request)
 
 	seq    int64
 	Result Result
@@ -121,12 +137,15 @@ const (
 	OpDelVIP
 	OpAddRIP
 	OpDelRIP
+	OpAdjustWeights
+	OpTransferVIP
 )
 
 // Result carries the outcome of a processed request.
 type Result struct {
 	VIP    lbswitch.VIP
 	Switch lbswitch.SwitchID
+	Broken int64 // TransferVIP: connections broken by a forced transfer
 }
 
 // NewManager creates a manager over the fabric with the given IP pools
@@ -153,16 +172,78 @@ func (m *Manager) AllocRIP() (lbswitch.RIP, error) {
 // FreeRIP returns a RIP address to the pool.
 func (m *Manager) FreeRIP(rip lbswitch.RIP) error { return m.ripPool.Free(string(rip)) }
 
-// Submit enqueues a request for serialized processing.
+// Submit enqueues a request for serialized processing. In serialized
+// mode (StartSerialized) the pump starts immediately if the pipeline is
+// idle; otherwise the request waits its priority turn.
 func (m *Manager) Submit(r *Request) {
 	r.seq = m.seq
 	m.seq++
 	m.queue = append(m.queue, r)
 	m.traceReq(trace.EvReqSubmit, r)
+	if m.eng != nil {
+		m.pump()
+	}
 }
 
-// Pending returns the number of queued, unprocessed requests.
-func (m *Manager) Pending() int { return len(m.queue) }
+// Pending returns the number of queued, unprocessed requests (including
+// the one occupying the serialized pipeline).
+func (m *Manager) Pending() int {
+	n := len(m.queue)
+	if m.inflight != nil {
+		n++
+	}
+	return n
+}
+
+// StartSerialized switches the manager from batch processing
+// (ProcessAll) to the paper's serialized control plane: submitted
+// requests are popped one at a time, highest priority first (FIFO
+// within a priority), and each occupies the single CSM configuration
+// pipeline for serviceTime simulated seconds before its effect lands.
+// Under churn the queue wait — not server capacity — is what bounds
+// elasticity; the span layer measures exactly this gap (submit →
+// process) per priority class.
+func (m *Manager) StartSerialized(eng *sim.Engine, serviceTime float64) {
+	if eng == nil {
+		panic("viprip: StartSerialized(nil engine)")
+	}
+	if serviceTime < 0 {
+		panic(fmt.Sprintf("viprip: negative service time %v", serviceTime))
+	}
+	m.eng, m.serviceTime = eng, serviceTime
+	m.pump()
+}
+
+// Serialized reports whether the manager runs the engine-driven pump.
+func (m *Manager) Serialized() bool { return m.eng != nil }
+
+// pump pops the best-ordered request and occupies the pipeline with it.
+// The request's effect (and its OnDone continuation) lands serviceTime
+// later; completion re-pumps, so the pipeline never idles while work is
+// queued.
+func (m *Manager) pump() {
+	if m.inflight != nil || len(m.queue) == 0 {
+		return
+	}
+	best := 0
+	for i := 1; i < len(m.queue); i++ {
+		if requestOrder(m.queue[i], m.queue[best]) < 0 {
+			best = i
+		}
+	}
+	r := m.queue[best]
+	m.queue = append(m.queue[:best], m.queue[best+1:]...)
+	m.inflight = r
+	m.traceReq(trace.EvReqProcess, r)
+	m.eng.After(m.serviceTime, func() {
+		m.apply(r)
+		m.inflight = nil
+		if r.OnDone != nil {
+			r.OnDone(r)
+		}
+		m.pump()
+	})
+}
 
 // requestOrder is the paper's serialization contract: strictly higher
 // priority first; within a priority, submission (FIFO) order. The seq
@@ -182,6 +263,12 @@ func requestOrder(a, b *Request) int {
 // (by callbacks or re-entrant manager use) land in the next batch, never
 // ahead of already-ordered work.
 func (m *Manager) ProcessAll() []*Request {
+	if m.eng != nil {
+		// Batch-draining a serialized queue would double-process the
+		// pump's in-flight work and erase every queue wait; the two
+		// modes must not be mixed.
+		panic("viprip: ProcessAll on a serialized manager (see StartSerialized)")
+	}
 	slices.SortStableFunc(m.queue, requestOrder)
 	out := m.queue
 	m.queue = nil
@@ -197,6 +284,16 @@ func (m *Manager) ProcessAll() []*Request {
 
 func (m *Manager) process(r *Request) {
 	m.traceReq(trace.EvReqProcess, r)
+	m.apply(r)
+	if r.OnDone != nil {
+		r.OnDone(r)
+	}
+}
+
+// apply executes the request's operation and marks it done. In batch
+// mode this runs at processing time; in serialized mode it runs when
+// the pipeline finishes, serviceTime after processing began.
+func (m *Manager) apply(r *Request) {
 	switch r.Op {
 	case OpAddVIP:
 		r.Result.VIP, r.Result.Switch, r.Err = m.AddVIP(r.App)
@@ -206,6 +303,15 @@ func (m *Manager) process(r *Request) {
 		r.Result.VIP, r.Result.Switch, r.Err = m.AddRIP(r.App, r.RIP, r.Weight, r.VIP)
 	case OpDelRIP:
 		r.Err = m.DelRIP(r.App, r.RIP)
+	case OpAdjustWeights:
+		r.Err = m.AdjustWeights(r.VIP, r.Weights)
+	case OpTransferVIP:
+		before := m.fabric.BrokenConns
+		r.Err = m.fabric.TransferVIP(r.VIP, r.Dst, r.Force)
+		r.Result.Broken = m.fabric.BrokenConns - before
+		if r.Err == nil {
+			r.Result.VIP, r.Result.Switch = r.VIP, r.Dst
+		}
 	default:
 		r.Err = fmt.Errorf("viprip: unknown op %d", r.Op)
 	}

@@ -1,0 +1,41 @@
+// Command promlint validates Prometheus text exposition read from
+// stdin (or a file argument) against the format rules the obs renderer
+// promises: legal names, TYPE-declared families, finite values. CI
+// pipes a live /metrics scrape through it and fails the build on any
+// malformed output.
+//
+//	curl -s localhost:8080/metrics | go run ./tools/promlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"megadc/internal/obs"
+)
+
+func main() {
+	var (
+		text []byte
+		err  error
+	)
+	if len(os.Args) > 1 {
+		text, err = os.ReadFile(os.Args[1])
+	} else {
+		text, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(2)
+	}
+	if len(text) == 0 {
+		fmt.Fprintln(os.Stderr, "promlint: empty exposition")
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(text); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}
