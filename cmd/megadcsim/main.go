@@ -23,6 +23,9 @@
 //	megadcsim -demand-trace wl.txt     # drive app 0's demand from a workload trace file
 //	megadcsim -spans                   # control-plane latency histograms (DESIGN.md §11)
 //	megadcsim -serialize               # serialized switch-reconfiguration pipeline (queue waits)
+//	megadcsim -ctrl                    # fallible async control plane (DESIGN.md §12)
+//	megadcsim -ctrl -ctrl-delay 2 -ctrl-loss 0.05   # delayed, lossy control messages
+//	megadcsim -ctrl -churn -ctrl-partition-mtbf 1200  # pod partitions with the churn
 //	megadcsim -http localhost:8080     # live /metrics, /healthz, /audit, /debug/pprof/
 package main
 
@@ -34,6 +37,7 @@ import (
 
 	"megadc/internal/cluster"
 	"megadc/internal/core"
+	"megadc/internal/ctrlplane"
 	"megadc/internal/energy"
 	"megadc/internal/faults"
 	"megadc/internal/metrics"
@@ -75,6 +79,14 @@ func main() {
 		traceRing   = flag.Int("trace-ring", trace.DefaultRingSize, "with -trace: event ring capacity (older events are overwritten)")
 		useSpans    = flag.Bool("spans", false, "record control-plane latency histograms (queue waits, drains, fault latencies; DESIGN.md §11)")
 		serialize   = flag.Bool("serialize", false, "serialize switch reconfiguration through the VIP/RIP request queue (§IV queue waits become measurable)")
+		useCtrl     = flag.Bool("ctrl", false, "route control decisions over the fallible async message bus (DESIGN.md §12)")
+		ctrlDelay   = flag.Float64("ctrl-delay", 0, "with -ctrl: mean one-way control-message delay (s)")
+		ctrlJitter  = flag.Float64("ctrl-jitter", 0, "with -ctrl: uniform delay jitter added per message (s)")
+		ctrlLoss    = flag.Float64("ctrl-loss", 0, "with -ctrl: per-message loss probability [0,1]")
+		ctrlDup     = flag.Float64("ctrl-dup", 0, "with -ctrl: per-message duplication probability [0,1]")
+		ctrlSnap    = flag.Float64("ctrl-snapshot", 0, "with -ctrl: pod-utilization snapshot period for the global manager (s; 0 = live reads)")
+		partMTBF    = flag.Float64("ctrl-partition-mtbf", 0, "with -ctrl and -churn: mean time between pod control-plane partitions (s; 0 disables)")
+		partMTTR    = flag.Float64("ctrl-partition-mttr", 120, "with -ctrl and -churn: mean partition duration before heal (s)")
 		obsFlags    = profiling.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -120,6 +132,20 @@ func main() {
 	if *useSpans {
 		tracker = spans.New(reg)
 		cfg.Spans = tracker
+	}
+	if *useCtrl {
+		cfg.Ctrl.Enable = true
+		cfg.Ctrl.Default = ctrlplane.LinkConfig{
+			Delay:    *ctrlDelay,
+			Jitter:   *ctrlJitter,
+			LossProb: *ctrlLoss,
+			DupProb:  *ctrlDup,
+		}
+		cfg.Ctrl.SnapshotEvery = *ctrlSnap
+		cfg.Ctrl.Registry = reg
+	} else if *ctrlDelay != 0 || *ctrlJitter != 0 || *ctrlLoss != 0 || *ctrlDup != 0 || *ctrlSnap != 0 || *partMTBF != 0 {
+		fmt.Fprintln(os.Stderr, "megadcsim: -ctrl-* flags require -ctrl")
+		os.Exit(2)
 	}
 	if *knobs != "" {
 		var ks []core.Knob
@@ -221,6 +247,9 @@ func main() {
 		if *churnFlap {
 			fc.Flap = faults.FlapConfig{MTBF: 3 * *churnMTBF, Cycles: 3, Down: 2, Up: 8}
 		}
+		if *partMTBF > 0 {
+			fc.Partition = faults.Class{MTBF: *partMTBF, MTTR: *partMTTR}
+		}
 		inj = faults.New(p, fc)
 		mon = faults.NewMonitor(p, 0.95, 10)
 		inj.Start(*duration)
@@ -317,9 +346,24 @@ func main() {
 		fmt.Printf("churn: %d faults (%d server, %d switch, %d link, %d flap cycles), %d detected, %d repaired, %d skipped\n",
 			inj.Faults(), inj.ServerFaults, inj.SwitchFaults, inj.LinkFaults, inj.FlapCycles,
 			inj.Detections, inj.Repairs, inj.Skipped)
+		if inj.PodPartitions > 0 || inj.PartitionHeals > 0 {
+			fmt.Printf("partitions: %d opened, %d healed\n", inj.PodPartitions, inj.PartitionHeals)
+		}
 		fmt.Printf("availability: mean uptime %.4f, %d outages, %.0f s total downtime, %.0f core·s unserved, TTR p50=%.0fs p95=%.0fs\n",
 			av.MeanUptime(*duration), av.TotalOutages(), av.TotalDowntime(), av.TotalUnserved(),
 			ttr.Quantile(0.5), ttr.Quantile(0.95))
+	}
+	if b := p.Ctrl(); b.Enabled() {
+		var deferred, reconciled, dropped int64
+		for _, pm := range p.PodManagers() {
+			deferred += pm.Deferred
+			reconciled += pm.Reconciled
+			dropped += pm.DroppedStale
+		}
+		fmt.Printf("ctrlplane: sent=%d casts=%d delivered=%d retries=%d dropped=%d deduped=%d "+
+			"dead_letters=%d stale_writes=%d deferred=%d reconciled=%d dropped_stale=%d\n",
+			b.Sent, b.Casts, b.Delivered, b.Retries, b.Dropped, b.Deduped,
+			b.DeadLetters, p.DNS.StaleWrites, deferred, reconciled, dropped)
 	}
 	if tracker != nil {
 		printSpanSummary(reg)

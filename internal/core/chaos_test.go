@@ -6,14 +6,17 @@ import (
 	"testing/quick"
 
 	"megadc/internal/cluster"
+	"megadc/internal/ctrlplane"
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
 )
 
 // TestPropertyChaos runs random event sequences — demand changes,
 // deploys, removals, exposure flips, VIP transfers, component
-// failures, repairs, delayed detections, and link flaps — against a
-// platform with all control loops running, and checks that every
+// failures, repairs, delayed detections, link flaps, and control-plane
+// message faults (dropped, duplicated, and delayed control messages,
+// pod partitions and heals) — against a platform with all control
+// loops running over a fallible message bus, and checks that every
 // invariant holds after every event, that the platform never panics,
 // and that the invariants still hold after everything is repaired.
 // This is the repository's failure-injection umbrella test.
@@ -29,6 +32,10 @@ func TestPropertyChaos(t *testing.T) {
 		// Run the conservation-law auditor on every Propagate; any
 		// accumulated violation fails the run below.
 		cfg.AuditOnChange = true
+		// Route control decisions over the fallible bus with a small
+		// delivery delay, so message faults below have a window to hit.
+		cfg.Ctrl.Enable = true
+		cfg.Ctrl.Default = ctrlplane.LinkConfig{Delay: 0.5}
 		p, err := NewPlatform(topo, cfg)
 		if err != nil {
 			return false
@@ -47,7 +54,7 @@ func TestPropertyChaos(t *testing.T) {
 		for _, op := range ops {
 			p.Eng.RunFor(15)
 			app := apps[rng.Intn(len(apps))]
-			switch op % 12 {
+			switch op % 16 {
 			case 0: // demand spike
 				p.SetAppDemand(app, Demand{CPU: rng.Float64() * 30, Mbps: rng.Float64() * 400})
 			case 1: // demand drop
@@ -155,18 +162,39 @@ func TestPropertyChaos(t *testing.T) {
 						p.Eng.After(5, func() { p.RepairLink(id) })
 					}
 				}
+			case 12: // drop the next control message (retries recover it)
+				p.Ctrl().DropNext++
+			case 13: // duplicate the next control message (dedup absorbs it)
+				p.Ctrl().DupNext++
+			case 14: // delay the next control message well past its timeout
+				p.Ctrl().DelayNext = 30
+			case 15: // toggle a control-plane partition on a random pod
+				pod := ctrlplane.Pod(rng.Intn(topo.Pods))
+				switch {
+				case p.Ctrl().Partitioned(pod):
+					p.Ctrl().Heal(pod)
+				case p.Ctrl().ConnectedPods(topo.Pods) > 1:
+					p.Ctrl().Partition(pod)
+				}
 			}
 			if err := p.CheckInvariants(); err != nil {
-				t.Logf("invariant after op %d: %v", op%12, err)
+				t.Logf("invariant after op %d: %v", op%16, err)
 				return false
 			}
 			if rep := p.Audit(); !rep.OK() {
-				t.Logf("audit after op %d: %v", op%12, rep.Err())
+				t.Logf("audit after op %d: %v", op%16, rep.Err())
 				return false
 			}
 		}
-		// Repair every outstanding failure, let the loops settle, and
-		// check that the platform converges back to a healthy state.
+		// Heal every control-plane partition (triggering deferred-op
+		// reconciliation), repair every outstanding failure, let the
+		// loops settle, and check that the platform converges back to a
+		// healthy state.
+		for i := 0; i < topo.Pods; i++ {
+			if p.Ctrl().Partitioned(ctrlplane.Pod(i)) {
+				p.Ctrl().Heal(ctrlplane.Pod(i))
+			}
+		}
 		for _, id := range p.Cluster.ServerIDs() {
 			if !p.Cluster.Server(id).Serving() {
 				p.RepairServer(id)

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"megadc/internal/ctrlplane"
 	"megadc/internal/spans"
 	"megadc/internal/trace"
 )
@@ -183,6 +184,17 @@ type Config struct {
 	// the inline path keeps historical behavior (and historical traces)
 	// unchanged.
 	SerializeReconfig bool
+
+	// Ctrl configures the fallible asynchronous control plane (DESIGN.md
+	// §12): when Ctrl.Enable is set, every control RPC between the global
+	// manager, pod managers, and the viprip/dnsctl pipeline traverses a
+	// deterministic message bus with configurable per-link delay, seeded
+	// jitter, loss, duplication, and partition windows, at-least-once
+	// retry with exponential backoff, idempotency keys, and typed dead
+	// letters. Disabled (the default), control stays synchronous; enabled
+	// with all-zero link configs, runs are byte-identical to the
+	// synchronous path (TestSyncEquivalence).
+	Ctrl ctrlplane.Config
 }
 
 // DefaultConfig returns the configuration used throughout the
@@ -211,6 +223,7 @@ func DefaultConfig() Config {
 		CostAwareExposure:     false, // opt-in: interacts with balance objectives
 		CostShiftCeiling:      0.70,
 		RecycleUnusedVIPs:     true,
+		Ctrl:                  ctrlplane.DefaultConfig(),
 	}
 	for k := range c.Knobs {
 		c.Knobs[k] = true
@@ -250,6 +263,9 @@ func (c *Config) Validate() error {
 	}
 	if c.AuditEvery < 0 {
 		return fmt.Errorf("core: AuditEvery must be >= 0, got %d", c.AuditEvery)
+	}
+	if err := c.Ctrl.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

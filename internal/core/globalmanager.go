@@ -6,11 +6,16 @@ import (
 	"slices"
 
 	"megadc/internal/cluster"
+	"megadc/internal/ctrlplane"
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
 	"megadc/internal/trace"
 	"megadc/internal/viprip"
 )
+
+// errDeadLetter marks a drain step whose control message exhausted its
+// retry cap; the drain settles as a failed transfer.
+var errDeadLetter = errors.New("core: control-plane message dead-lettered")
 
 // GlobalManager is the datacenter-scale resource manager (paper Section
 // III-A). It monitors every pod, LB switch, and access link, and
@@ -36,7 +41,20 @@ type GlobalManager struct {
 
 	pendingServer map[cluster.ServerID]bool
 	pendingDeploy map[cluster.AppID]bool
-	draining      map[lbswitch.VIP]bool
+
+	// draining maps each VIP under an active knob-B drain to that drain's
+	// instance token (from drainSeq). Every completion path of the drain
+	// protocol re-checks the token, so a stale completion — a retried
+	// Force whose original settled, or a dead letter racing a delivered
+	// transfer — can neither double-count (I4.BROKEN_ACCOUNTED) nor
+	// re-expose a VIP someone else is draining (I1.EXPOSED_HOMED).
+	draining map[lbswitch.VIP]int64
+	drainSeq int64
+
+	// podSnap holds the last pod-utilization snapshot received over the
+	// control plane; podUtil reads it instead of live state when the
+	// stale-snapshot regime (Cfg.Ctrl.SnapshotEvery) is on.
+	podSnap map[cluster.PodID]float64
 }
 
 func newGlobalManager(p *Platform) *GlobalManager {
@@ -44,8 +62,22 @@ func newGlobalManager(p *Platform) *GlobalManager {
 		p:             p,
 		pendingServer: make(map[cluster.ServerID]bool),
 		pendingDeploy: make(map[cluster.AppID]bool),
-		draining:      make(map[lbswitch.VIP]bool),
+		draining:      make(map[lbswitch.VIP]int64),
+		podSnap:       make(map[cluster.PodID]float64),
 	}
+}
+
+// podUtil returns the pod utilization the global manager acts on: the
+// last snapshot cast over the control plane under the stale-snapshot
+// regime (live state until the first snapshot lands), live state
+// otherwise.
+func (g *GlobalManager) podUtil(id cluster.PodID) float64 {
+	if g.p.ctrl.Enabled() && g.p.Cfg.Ctrl.SnapshotEvery > 0 {
+		if u, ok := g.podSnap[id]; ok {
+			return u
+		}
+	}
+	return g.p.pods[id].Utilization()
 }
 
 // Step runs one global control iteration. The knobs are tried
@@ -169,18 +201,26 @@ func (g *GlobalManager) shiftExposureOffLink(vipStr string, hot netmodel.LinkID)
 	perCold := delta / float64(len(coldIdx))
 	traffic := g.p.Net.VIPTraffic(vipStr)
 	g.p.Eng.After(cfg.DNSUpdateLatency, func() {
-		if err := g.p.DNS.SetWeight(app, vipStr, newHot); err != nil {
-			return
-		}
-		g.p.Cfg.Trace.Record(trace.EvUnexpose, newHot, delta,
-			trace.VIP(vip), trace.App(app), trace.Link(hot))
-		for _, i := range coldIdx {
-			g.p.DNS.SetWeight(app, dnsVIPs[i], weights[i]+perCold)
-			g.p.Cfg.Trace.Record(trace.EvExpose, weights[i]+perCold, perCold,
-				trace.VIP(dnsVIPs[i]), trace.App(app))
-		}
-		g.ExposureChanges++
-		g.p.Propagate()
+		// The weight set travels as one message; the generation captured
+		// at send time makes a reordered retry that arrives after some
+		// other decision rewrote this app's record abort instead of
+		// clobbering it. On the synchronous path the generation trivially
+		// matches and the guard is free.
+		gen := g.p.DNS.Gen(app)
+		g.p.ctrl.Call(ctrlplane.Global, ctrlplane.DNS, "exposure-shift", func() {
+			if err := g.p.DNS.SetWeightIfGen(app, vipStr, newHot, gen); err != nil {
+				return
+			}
+			g.p.Cfg.Trace.Record(trace.EvUnexpose, newHot, delta,
+				trace.VIP(vip), trace.App(app), trace.Link(hot))
+			for _, i := range coldIdx {
+				g.p.DNS.SetWeight(app, dnsVIPs[i], weights[i]+perCold)
+				g.p.Cfg.Trace.Record(trace.EvExpose, weights[i]+perCold, perCold,
+					trace.VIP(dnsVIPs[i]), trace.App(app))
+			}
+			g.ExposureChanges++
+			g.p.Propagate()
+		})
 	})
 	return traffic / 2
 }
@@ -240,16 +280,19 @@ func (g *GlobalManager) costAwareExposure() {
 		}
 		delta := weights[hotIdx] / 2
 		g.p.Eng.After(cfg.DNSUpdateLatency, func() {
-			if err := g.p.DNS.SetWeight(app, dnsVIPs[hotIdx], weights[hotIdx]-delta); err != nil {
-				return
-			}
-			g.p.DNS.SetWeight(app, dnsVIPs[cheapIdx], weights[cheapIdx]+delta)
-			g.p.Cfg.Trace.Record(trace.EvUnexpose, weights[hotIdx]-delta, delta,
-				trace.VIP(dnsVIPs[hotIdx]), trace.App(app))
-			g.p.Cfg.Trace.Record(trace.EvExpose, weights[cheapIdx]+delta, delta,
-				trace.VIP(dnsVIPs[cheapIdx]), trace.App(app))
-			g.ExposureChanges++
-			g.p.Propagate()
+			gen := g.p.DNS.Gen(app)
+			g.p.ctrl.Call(ctrlplane.Global, ctrlplane.DNS, "cost-shift", func() {
+				if err := g.p.DNS.SetWeightIfGen(app, dnsVIPs[hotIdx], weights[hotIdx]-delta, gen); err != nil {
+					return
+				}
+				g.p.DNS.SetWeight(app, dnsVIPs[cheapIdx], weights[cheapIdx]+delta)
+				g.p.Cfg.Trace.Record(trace.EvUnexpose, weights[hotIdx]-delta, delta,
+					trace.VIP(dnsVIPs[hotIdx]), trace.App(app))
+				g.p.Cfg.Trace.Record(trace.EvExpose, weights[cheapIdx]+delta, delta,
+					trace.VIP(dnsVIPs[cheapIdx]), trace.App(app))
+				g.ExposureChanges++
+				g.p.Propagate()
+			})
 		})
 		return // one shift per step
 	}
@@ -336,7 +379,7 @@ func (g *GlobalManager) balanceSwitches() {
 			if excess <= 0 {
 				break
 			}
-			if g.draining[vip] {
+			if g.draining[vip] != 0 {
 				continue
 			}
 			dst := g.pickTransferTarget(sw, vip)
@@ -389,7 +432,9 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 	if !ok {
 		return
 	}
-	g.draining[vip] = true
+	g.drainSeq++
+	token := g.drainSeq
+	g.draining[vip] = token
 	g.p.Suppress(vip, true)
 	cfg := &g.p.Cfg
 	vips, ws, err := g.p.DNS.Weights(app)
@@ -404,24 +449,52 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 			restoreWeight = ws[i]
 		}
 	}
-	finish := func() {
-		// The VIP can lose its fabric home mid-drain (a detected switch
-		// failure with no healthy target drops it outright). Restoring
-		// its DNS weight then would expose a dead address
-		// (I1.EXPOSED_HOMED); keep it at zero until a rehome reconciles
-		// exposure.
-		restored := 0.0
-		if _, homed := g.p.Fabric.HomeOf(vip); homed {
-			restored = restoreWeight
+	// mine reports whether this drain instance still owns the VIP. Every
+	// asynchronous completion below checks it first: over a faulty
+	// control plane a step's message can settle twice (at-least-once:
+	// a delivered transfer whose acks were all lost still dead-letters),
+	// and without the token a stale completion would re-expose the VIP
+	// (violating I1.EXPOSED_HOMED if it lost its home) or double-count
+	// VIPTransfers/DrainForceBreaks (violating I4.BROKEN_ACCOUNTED —
+	// every broken connection accounted exactly once).
+	mine := func() bool { return g.draining[vip] == token }
+	abort := func() {
+		if !mine() {
+			return
 		}
-		g.p.DNS.SetWeight(app, string(vip), restored)
-		g.p.Cfg.Trace.Record(trace.EvDrainFinish, restored, 0,
-			trace.VIP(vip), trace.App(app))
 		delete(g.draining, vip)
 		g.p.Suppress(vip, false)
-		g.p.Propagate()
+	}
+	finish := func() {
+		g.p.ctrl.CallWithDeadLetter(ctrlplane.Global, ctrlplane.DNS, "drain-restore", func() {
+			if !mine() {
+				return
+			}
+			// The VIP can lose its fabric home mid-drain (a detected switch
+			// failure with no healthy target drops it outright). Restoring
+			// its DNS weight then would expose a dead address
+			// (I1.EXPOSED_HOMED); keep it at zero until a rehome reconciles
+			// exposure.
+			restored := 0.0
+			if _, homed := g.p.Fabric.HomeOf(vip); homed {
+				restored = restoreWeight
+			}
+			g.p.DNS.SetWeight(app, string(vip), restored)
+			g.p.Cfg.Trace.Record(trace.EvDrainFinish, restored, 0,
+				trace.VIP(vip), trace.App(app))
+			delete(g.draining, vip)
+			g.p.Suppress(vip, false)
+			g.p.Propagate()
+		}, func() {
+			// Restore undeliverable: release the drain without touching
+			// exposure — the VIP stays hidden until reconciliation.
+			abort()
+		})
 	}
 	attempt := func(retriesLeft int, attemptFn func(int)) {
+		if !mine() {
+			return
+		}
 		if retriesLeft == 0 && g.p.Cfg.Trace.Enabled() {
 			conns := 0
 			if h, ok := g.p.Fabric.HomeOf(vip); ok {
@@ -430,7 +503,15 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 			g.p.Cfg.Trace.Record(trace.EvDrainForce, float64(conns), 0,
 				trace.VIP(vip), trace.SwitchRef(dst))
 		}
+		// settled makes the attempt's outcome single-shot: the transfer
+		// message's apply path and its dead-letter path can both fire
+		// (at-least-once), but only the first one counts.
+		settled := false
 		settle := func(err error, broken int64) {
+			if settled || !mine() {
+				return
+			}
+			settled = true
 			switch {
 			case err == nil:
 				g.VIPTransfers++
@@ -445,35 +526,48 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 				finish()
 			}
 		}
-		if g.p.VIPRIP.Serialized() {
-			// The transfer waits its turn in the single switch-
-			// configuration pipeline; broken connections are counted at
-			// apply time inside the manager.
-			g.p.VIPRIP.Submit(&viprip.Request{
-				Op: viprip.OpTransferVIP, App: app,
-				Priority: viprip.PriorityHigh,
-				VIP:      vip, Dst: dst, Force: retriesLeft == 0,
-				OnDone: func(r *viprip.Request) { settle(r.Err, r.Result.Broken) },
-			})
-			return
-		}
-		before := g.p.Fabric.BrokenConns
-		err := g.p.Fabric.TransferVIP(vip, dst, retriesLeft == 0)
-		settle(err, g.p.Fabric.BrokenConns-before)
+		g.p.ctrl.CallWithDeadLetter(ctrlplane.Global, ctrlplane.CSM, "vip-transfer", func() {
+			if g.p.VIPRIP.Serialized() {
+				// The transfer waits its turn in the single switch-
+				// configuration pipeline; broken connections are counted at
+				// apply time inside the manager.
+				g.p.VIPRIP.Submit(&viprip.Request{
+					Op: viprip.OpTransferVIP, App: app,
+					Priority: viprip.PriorityHigh,
+					VIP:      vip, Dst: dst, Force: retriesLeft == 0,
+					OnDone: func(r *viprip.Request) { settle(r.Err, r.Result.Broken) },
+				})
+				return
+			}
+			before := g.p.Fabric.BrokenConns
+			err := g.p.Fabric.TransferVIP(vip, dst, retriesLeft == 0)
+			settle(err, g.p.Fabric.BrokenConns-before)
+		}, func() {
+			settle(errDeadLetter, 0)
+		})
 	}
 	var attemptRec func(int)
 	attemptRec = func(n int) { attempt(n, attemptRec) }
 
 	g.p.Eng.After(cfg.DNSUpdateLatency, func() {
-		if err := g.p.DNS.SetWeight(app, string(vip), 0); err != nil {
-			delete(g.draining, vip)
-			g.p.Suppress(vip, false)
-			return
-		}
-		g.p.Cfg.Trace.Record(trace.EvDrainStart, restoreWeight, g.p.DNS.TTL()+cfg.DrainMargin,
-			trace.VIP(vip), trace.SwitchRef(home), trace.SwitchRef(dst))
-		g.p.Propagate()
-		g.p.Eng.After(g.p.DNS.TTL()+cfg.DrainMargin, func() { attemptRec(2) })
+		g.p.ctrl.CallWithDeadLetter(ctrlplane.Global, ctrlplane.DNS, "drain-hide", func() {
+			if !mine() {
+				return
+			}
+			if err := g.p.DNS.SetWeight(app, string(vip), 0); err != nil {
+				delete(g.draining, vip)
+				g.p.Suppress(vip, false)
+				return
+			}
+			g.p.Cfg.Trace.Record(trace.EvDrainStart, restoreWeight, g.p.DNS.TTL()+cfg.DrainMargin,
+				trace.VIP(vip), trace.SwitchRef(home), trace.SwitchRef(dst))
+			g.p.Propagate()
+			g.p.Eng.After(g.p.DNS.TTL()+cfg.DrainMargin, func() { attemptRec(2) })
+		}, func() {
+			// The hide never reached DNS: the VIP was never actually
+			// drained, so just release it.
+			abort()
+		})
 	})
 }
 
@@ -488,7 +582,7 @@ func (g *GlobalManager) interPodWeights() {
 	cfg := &g.p.Cfg
 	podUtil := make(map[cluster.PodID]float64)
 	for _, id := range g.p.podOrder {
-		podUtil[id] = g.p.pods[id].Utilization()
+		podUtil[id] = g.podUtil(id)
 	}
 	for _, sw := range g.p.Fabric.Switches() {
 		if !sw.Serving() {
@@ -562,22 +656,26 @@ func (g *GlobalManager) interPodWeights() {
 				// latency as the request's service time, so no extra
 				// After here — queue wait comes on top of it.
 				app, _ := sw.AppOf(vip)
-				g.p.VIPRIP.Submit(&viprip.Request{
-					Op: viprip.OpAdjustWeights, App: app,
-					Priority: viprip.PriorityNormal,
-					VIP:      vip, Weights: nw,
-					OnDone: func(r *viprip.Request) {
-						if r.Err == nil {
-							onApplied()
-						}
-					},
+				g.p.ctrl.Call(ctrlplane.Global, ctrlplane.CSM, "inter-pod-weights", func() {
+					g.p.VIPRIP.Submit(&viprip.Request{
+						Op: viprip.OpAdjustWeights, App: app,
+						Priority: viprip.PriorityNormal,
+						VIP:      vip, Weights: nw,
+						OnDone: func(r *viprip.Request) {
+							if r.Err == nil {
+								onApplied()
+							}
+						},
+					})
 				})
 				continue
 			}
 			g.p.Eng.After(cfg.SwitchReconfigLatency, func() {
-				if err := g.p.VIPRIP.AdjustWeights(vip, nw); err == nil {
-					onApplied()
-				}
+				g.p.ctrl.Call(ctrlplane.Global, ctrlplane.CSM, "inter-pod-weights", func() {
+					if err := g.p.VIPRIP.AdjustWeights(vip, nw); err == nil {
+						onApplied()
+					}
+				})
 			})
 		}
 	}
@@ -592,8 +690,7 @@ func (g *GlobalManager) interPodWeights() {
 func (g *GlobalManager) deployToRelievePods() {
 	cfg := &g.p.Cfg
 	for _, podID := range g.p.podOrder {
-		pm := g.p.pods[podID]
-		if pm.Utilization() <= cfg.PodOverloadUtil {
+		if g.podUtil(podID) <= cfg.PodOverloadUtil {
 			continue
 		}
 		app, ok := g.hottestApp(podID)
@@ -608,12 +705,14 @@ func (g *GlobalManager) deployToRelievePods() {
 		g.pendingDeploy[app] = true
 		g.p.Eng.After(cfg.VMDeployLatency, func() {
 			delete(g.pendingDeploy, app)
-			if vm, err := g.p.DeployInstanceFor(app, target, vip); err == nil {
-				g.p.Cfg.Trace.Record(trace.EvDeploy, float64(vm.ID), 0,
-					trace.App(app), trace.Pod(target), trace.VIP(vip))
-				g.Deployments++
-				g.p.Propagate()
-			}
+			g.p.ctrl.Call(ctrlplane.Global, ctrlplane.Pod(int(target)), "deploy", func() {
+				if vm, err := g.p.DeployInstanceFor(app, target, vip); err == nil {
+					g.p.Cfg.Trace.Record(trace.EvDeploy, float64(vm.ID), 0,
+						trace.App(app), trace.Pod(target), trace.VIP(vip))
+					g.Deployments++
+					g.p.Propagate()
+				}
+			})
 		})
 	}
 }
@@ -636,13 +735,15 @@ func (g *GlobalManager) removeIdleInstances() {
 			if vm.State == cluster.VMRunning && vm.Demand.CPU < 1e-6 && a.NumInstances() > g.p.Cfg.VIPsPerApp {
 				vmID := vmID
 				g.p.Eng.After(g.p.Cfg.SwitchReconfigLatency, func() {
-					if g.p.Cluster.VM(vmID) == nil {
-						return
-					}
-					if err := g.p.RemoveInstance(vmID); err == nil {
-						g.Removals++
-						g.p.Propagate()
-					}
+					g.p.ctrl.Call(ctrlplane.Global, ctrlplane.CSM, "remove-instance", func() {
+						if g.p.Cluster.VM(vmID) == nil {
+							return
+						}
+						if err := g.p.RemoveInstance(vmID); err == nil {
+							g.Removals++
+							g.p.Propagate()
+						}
+					})
 				})
 				break // at most one removal per app per step
 			}
@@ -658,7 +759,7 @@ func (g *GlobalManager) removeIdleInstances() {
 func (g *GlobalManager) transferServersToRelievePods() {
 	cfg := &g.p.Cfg
 	for _, podID := range g.p.podOrder {
-		if g.p.pods[podID].Utilization() <= cfg.PodOverloadUtil {
+		if g.podUtil(podID) <= cfg.PodOverloadUtil {
 			continue
 		}
 		donor, ok := g.pickDonorPod(podID)
@@ -683,7 +784,7 @@ func (g *GlobalManager) pickDonorPod(recipient cluster.PodID) (cluster.PodID, bo
 		if id == recipient {
 			continue
 		}
-		if u := g.p.pods[id].Utilization(); u < bestU {
+		if u := g.podUtil(id); u < bestU {
 			best, bestU = id, u
 		}
 	}
@@ -727,27 +828,29 @@ func (g *GlobalManager) vacateAndTransfer(srv cluster.ServerID, donor, recipient
 	nVMs := server.NumVMs()
 	latency := g.p.Cfg.VacateLatencyPerVM*float64(nVMs) + g.p.Cfg.VMMigrateLatency
 	g.p.Eng.After(latency, func() {
-		defer delete(g.pendingServer, srv)
-		server := g.p.Cluster.Server(srv)
-		if server == nil || server.Pod != donor {
-			return
-		}
-		for _, vmID := range server.VMIDs() {
-			vm := g.p.Cluster.VM(vmID)
-			dst := g.rehomeTarget(donor, srv, vm.Slice)
-			if dst == cluster.ServerID(-1) {
-				return // cannot fully vacate; abandon
-			}
-			if err := g.p.Cluster.MigrateVM(vmID, dst); err != nil {
+		delete(g.pendingServer, srv)
+		g.p.ctrl.Call(ctrlplane.Global, ctrlplane.Pod(int(donor)), "server-transfer", func() {
+			server := g.p.Cluster.Server(srv)
+			if server == nil || server.Pod != donor {
 				return
 			}
-		}
-		if err := g.p.Cluster.TransferServer(srv, recipient); err == nil {
-			g.p.Cfg.Trace.Record(trace.EvServerTransfer, float64(nVMs), 0,
-				trace.Server(srv), trace.Pod(donor), trace.Pod(recipient))
-			g.ServerTransfers++
-			g.p.Propagate()
-		}
+			for _, vmID := range server.VMIDs() {
+				vm := g.p.Cluster.VM(vmID)
+				dst := g.rehomeTarget(donor, srv, vm.Slice)
+				if dst == cluster.ServerID(-1) {
+					return // cannot fully vacate; abandon
+				}
+				if err := g.p.Cluster.MigrateVM(vmID, dst); err != nil {
+					return
+				}
+			}
+			if err := g.p.Cluster.TransferServer(srv, recipient); err == nil {
+				g.p.Cfg.Trace.Record(trace.EvServerTransfer, float64(nVMs), 0,
+					trace.Server(srv), trace.Pod(donor), trace.Pod(recipient))
+				g.ServerTransfers++
+				g.p.Propagate()
+			}
+		})
 	})
 }
 
@@ -900,7 +1003,7 @@ func (g *GlobalManager) coldestPodWithRoom(exclude cluster.PodID, slice cluster.
 		if g.p.emptiestServer(id, slice) == nil {
 			continue
 		}
-		if u := g.p.pods[id].Utilization(); u < bestU {
+		if u := g.podUtil(id); u < bestU {
 			best, bestU = id, u
 		}
 	}

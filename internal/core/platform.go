@@ -7,6 +7,7 @@ import (
 
 	"megadc/internal/audit"
 	"megadc/internal/cluster"
+	"megadc/internal/ctrlplane"
 	"megadc/internal/dnsctl"
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
@@ -90,6 +91,11 @@ type Platform struct {
 	// SwitchHier is non-nil when the topology enabled Section V-A switch
 	// pods; new VIP allocations then go through it.
 	SwitchHier *viprip.Hierarchy
+
+	// ctrl is the control-plane message bus (nil unless Cfg.Ctrl.Enable);
+	// all its methods are nil-safe, so call sites route through it
+	// unconditionally.
+	ctrl *ctrlplane.Bus
 
 	pods       map[cluster.PodID]*PodManager
 	podOrder   []cluster.PodID
@@ -307,9 +313,35 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 		p.VIPRIP.StartSerialized(eng, cfg.SwitchReconfigLatency)
 	}
 
+	// Fallible asynchronous control plane (DESIGN.md §12): manager
+	// decisions travel as at-least-once messages over a seeded, faultable
+	// bus. The bus seeds its own RNG (defaulting to the topology seed) so
+	// engine randomness is never perturbed, and pods reconcile their
+	// deferred local decisions when their partition heals.
+	if cfg.Ctrl.Enable {
+		ctrlCfg := cfg.Ctrl
+		if ctrlCfg.Seed == 0 {
+			ctrlCfg.Seed = topo.Seed
+		}
+		p.ctrl = ctrlplane.New(eng, ctrlCfg)
+		p.ctrl.SetTracer(cfg.Trace)
+		p.ctrl.OnHeal = func(ep ctrlplane.Endpoint) {
+			if id, ok := ctrlplane.PodOf(ep); ok {
+				if pm := p.pods[cluster.PodID(id)]; pm != nil {
+					pm.Reconcile()
+				}
+			}
+		}
+	}
+
 	p.Global = newGlobalManager(p)
 	return p, nil
 }
+
+// Ctrl returns the control-plane message bus. Nil when the synchronous
+// control plane is in effect — every Bus method is nil-safe, so callers
+// need not check.
+func (p *Platform) Ctrl() *ctrlplane.Bus { return p.ctrl }
 
 // Pod returns the pod manager for the given pod.
 func (p *Platform) Pod(id cluster.PodID) *PodManager { return p.pods[id] }
@@ -634,6 +666,23 @@ func (p *Platform) Start() {
 		p.Global.Step()
 		return true
 	})
+	// Stale-snapshot regime: each pod manager periodically casts its
+	// utilization to the global manager (best-effort, no retries — the
+	// next cast supersedes a lost one), and global inter-pod decisions
+	// read the last-received snapshot instead of live state.
+	if p.ctrl.Enabled() && p.Cfg.Ctrl.SnapshotEvery > 0 {
+		for _, id := range p.podOrder {
+			id := id
+			pm := p.pods[id]
+			p.Eng.Every(0, p.Cfg.Ctrl.SnapshotEvery, func() bool {
+				util := pm.Utilization()
+				p.ctrl.Cast(ctrlplane.Pod(int(id)), ctrlplane.Global, "util-snapshot", func() {
+					p.Global.podSnap[id] = util
+				})
+				return true
+			})
+		}
+	}
 	// The time-series sampler is engine-scheduled so an untraced run
 	// carries no sampling branch anywhere near the Propagate hot path.
 	if p.Cfg.Trace != nil && p.Cfg.Trace.TS != nil {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"megadc/internal/cluster"
+	"megadc/internal/ctrlplane"
 	"megadc/internal/lbswitch"
 	"megadc/internal/placement"
 	"megadc/internal/trace"
@@ -26,6 +27,14 @@ type PodManager struct {
 	Defrags       int64
 	Steps         int64
 
+	// Degraded-operation counters (DESIGN.md §12): decisions queued while
+	// the pod was partitioned from the control plane, and their fate at
+	// reconciliation — re-issued against fresh state, or dropped because
+	// the condition that motivated them no longer holds.
+	Deferred     int64
+	Reconciled   int64
+	DroppedStale int64
+
 	// LastDecision is the wall-clock cost of the most recent Step — the
 	// quantity the paper worries grows with pod size ("too many servers
 	// and applications in the pod ... slows down its resource allocation
@@ -34,7 +43,28 @@ type PodManager struct {
 
 	pendingVM     map[cluster.VMID]bool
 	pendingDeploy map[cluster.AppID]bool
+
+	// deferred queues the pod's non-local decisions (weight adjustments,
+	// scale-outs — anything needing the CSM pipeline) made while
+	// partitioned, FIFO, for Reconcile to replay after the heal. Pod-local
+	// knobs (resize, defrag) keep running on local state throughout.
+	deferred []deferredOp
 }
+
+// deferredOp is one queued degraded-mode decision.
+type deferredOp struct {
+	kind deferredKind
+	vip  lbswitch.VIP  // opWeights: the VIP whose weights wanted adjusting
+	app  cluster.AppID // opScaleOut: the overloaded app
+	hint lbswitch.VIP  // opScaleOut: the VIP the new instance should serve
+}
+
+type deferredKind int
+
+const (
+	opWeights deferredKind = iota
+	opScaleOut
+)
 
 // resizeDeadband is the relative slack within which knob E leaves a
 // slice alone, and weightDeadband the relative slack for knob F weight
@@ -316,9 +346,26 @@ func (pm *PodManager) adjustIntraPodWeights() {
 }
 
 func (pm *PodManager) adjustVIP(sw *lbswitch.Switch, vip lbswitch.VIP) {
+	newWeights, ok := pm.desiredWeights(sw, vip)
+	if !ok {
+		return
+	}
+	if pm.degraded() {
+		// Partitioned from the CSM pipeline: queue the intent (not the
+		// weights — they are recomputed against fresh state at
+		// reconciliation) and keep serving on the current configuration.
+		pm.deferOp(deferredOp{kind: opWeights, vip: vip})
+		return
+	}
+	pm.issueWeights(vip, newWeights)
+}
+
+// desiredWeights computes the knob-F intra-pod weight redistribution for
+// vip, returning ok=false when nothing exceeds the deadband.
+func (pm *PodManager) desiredWeights(sw *lbswitch.Switch, vip lbswitch.VIP) ([]float64, bool) {
 	rips, weights, err := sw.Weights(vip)
 	if err != nil {
-		return
+		return nil, false
 	}
 	var inPod []int
 	var inPodTotal, capTotal float64
@@ -342,7 +389,7 @@ func (pm *PodManager) adjustVIP(sw *lbswitch.Switch, vip lbswitch.VIP) {
 		capTotal += caps[i]
 	}
 	if len(inPod) < 2 || inPodTotal <= 0 || capTotal <= 0 {
-		return
+		return nil, false
 	}
 	newWeights := append([]float64(nil), weights...)
 	changed := false
@@ -357,7 +404,7 @@ func (pm *PodManager) adjustVIP(sw *lbswitch.Switch, vip lbswitch.VIP) {
 		newWeights[i] = w
 	}
 	if !changed {
-		return
+		return nil, false
 	}
 	// Renormalize exactly to preserve the full total against float drift.
 	var oldTotal, newTotal float64
@@ -371,11 +418,19 @@ func (pm *PodManager) adjustVIP(sw *lbswitch.Switch, vip lbswitch.VIP) {
 			newWeights[i] *= k
 		}
 	}
+	return newWeights, true
+}
+
+// issueWeights enacts a knob-F adjustment through the CSM pipeline after
+// the reconfiguration latency.
+func (pm *PodManager) issueWeights(vip lbswitch.VIP, newWeights []float64) {
 	pm.p.Eng.After(pm.p.Cfg.SwitchReconfigLatency, func() {
-		if err := pm.p.VIPRIP.AdjustWeights(vip, newWeights); err == nil {
-			pm.WeightAdjusts++
-			pm.p.Propagate()
-		}
+		pm.p.ctrl.Call(ctrlplane.Pod(int(pm.pod)), ctrlplane.CSM, "intra-weights", func() {
+			if err := pm.p.VIPRIP.AdjustWeights(vip, newWeights); err == nil {
+				pm.WeightAdjusts++
+				pm.p.Propagate()
+			}
+		})
 	})
 }
 
@@ -430,25 +485,136 @@ func (pm *PodManager) localScaleOut() {
 		}
 	}
 	for _, h := range hots {
-		h := h
-		if pm.pendingDeploy[h.app] {
-			continue // a deployment for this app is already in flight
+		if pm.degraded() {
+			// Degraded mode refuses new placements: existing VIPs keep
+			// serving, the intent is queued for reconciliation.
+			pm.deferOp(deferredOp{kind: opScaleOut, app: h.app, hint: h.vip})
+			continue
 		}
-		slice := pm.defaultSlice(h.app)
-		if pm.p.emptiestServer(pm.pod, slice) == nil {
-			continue // no room locally; the global manager's problem
-		}
-		pm.pendingDeploy[h.app] = true
-		pm.p.Eng.After(pm.p.Cfg.VMDeployLatency, func() {
-			delete(pm.pendingDeploy, h.app)
-			if vm, err := pm.p.DeployInstanceFor(h.app, pm.pod, h.vip); err == nil {
-				pm.p.Cfg.Trace.Record(trace.EvScaleOut, float64(vm.ID), h.overload,
-					trace.App(h.app), trace.Pod(pm.pod), trace.VIP(h.vip))
+		pm.tryScaleOut(h.app, h.vip, h.overload)
+	}
+}
+
+// tryScaleOut starts one local scale-out deployment for app, reporting
+// whether a deployment was actually issued.
+func (pm *PodManager) tryScaleOut(app cluster.AppID, vip lbswitch.VIP, overload float64) bool {
+	if pm.pendingDeploy[app] {
+		return false // a deployment for this app is already in flight
+	}
+	slice := pm.defaultSlice(app)
+	if pm.p.emptiestServer(pm.pod, slice) == nil {
+		return false // no room locally; the global manager's problem
+	}
+	pm.pendingDeploy[app] = true
+	pm.p.Eng.After(pm.p.Cfg.VMDeployLatency, func() {
+		delete(pm.pendingDeploy, app)
+		pm.p.ctrl.Call(ctrlplane.Pod(int(pm.pod)), ctrlplane.CSM, "local-deploy", func() {
+			if vm, err := pm.p.DeployInstanceFor(app, pm.pod, vip); err == nil {
+				pm.p.Cfg.Trace.Record(trace.EvScaleOut, float64(vm.ID), overload,
+					trace.App(app), trace.Pod(pm.pod), trace.VIP(vip))
 				pm.LocalDeploys++
 				pm.p.Propagate()
 			}
 		})
+	})
+	return true
+}
+
+// degraded reports whether this pod manager is partitioned from the
+// control plane. Degraded pods serve their existing VIPs and keep the
+// pod-local knobs (resize, defrag) running, but queue every decision
+// that needs the CSM pipeline or the global manager.
+func (pm *PodManager) degraded() bool {
+	return pm.p.ctrl.Partitioned(ctrlplane.Pod(int(pm.pod)))
+}
+
+// deferOp queues one degraded-mode decision, deduplicating on intent
+// (kind + target) so a long partition doesn't queue the same adjustment
+// every control step; the freshest VIP hint wins.
+func (pm *PodManager) deferOp(op deferredOp) {
+	for i, q := range pm.deferred {
+		if q.kind == op.kind && q.vip == op.vip && q.app == op.app {
+			pm.deferred[i].hint = op.hint
+			return
+		}
 	}
+	pm.deferred = append(pm.deferred, op)
+	pm.Deferred++
+}
+
+// Reconcile replays the pod's deferred decisions after its partition
+// heals, FIFO, validating each against fresh state: weight adjustments
+// recompute the knob-F redistribution (the deadband decides whether the
+// divergence still matters), scale-outs re-check that the application is
+// still overloaded. Intents whose motivating condition disappeared
+// during the partition are dropped as stale rather than blindly applied.
+func (pm *PodManager) Reconcile() {
+	if len(pm.deferred) == 0 {
+		return
+	}
+	queue := pm.deferred
+	pm.deferred = nil
+	for _, op := range queue {
+		reissued := false
+		switch op.kind {
+		case opWeights:
+			reissued = pm.reissueWeights(op.vip)
+		case opScaleOut:
+			reissued = pm.reissueScaleOut(op.app, op.hint)
+		}
+		if reissued {
+			pm.Reconciled++
+		} else {
+			pm.DroppedStale++
+		}
+	}
+}
+
+func (pm *PodManager) reissueWeights(vip lbswitch.VIP) bool {
+	home, ok := pm.p.Fabric.HomeOf(vip)
+	if !ok {
+		return false // the VIP moved on (dropped, or mid-transfer)
+	}
+	sw := pm.p.Fabric.Switch(home)
+	if sw == nil || !sw.Serving() {
+		return false
+	}
+	newWeights, ok := pm.desiredWeights(sw, vip)
+	if !ok {
+		return false // converged on its own while we were away
+	}
+	pm.issueWeights(vip, newWeights)
+	return true
+}
+
+func (pm *PodManager) reissueScaleOut(app cluster.AppID, hint lbswitch.VIP) bool {
+	pd := pm.p.Cluster.Pod(pm.pod)
+	if pd == nil {
+		return false
+	}
+	worst := 0.0
+	vip := hint
+	for _, sid := range pd.ServerIDs() {
+		srv := pm.p.Cluster.Server(sid)
+		for _, vmID := range srv.VMIDs() {
+			vm := pm.p.Cluster.VM(vmID)
+			if vm.App != app || vm.State != cluster.VMRunning {
+				continue
+			}
+			if ov := vm.Overload(); ov > worst {
+				worst = ov
+				if rip, ok := pm.p.RIPForVM(vmID); ok {
+					if v, ok := pm.p.VIPOfRIP(rip); ok {
+						vip = v
+					}
+				}
+			}
+		}
+	}
+	if worst <= 1+resizeDeadband {
+		return false // the overload resolved itself during the partition
+	}
+	return pm.tryScaleOut(app, vip, worst)
 }
 
 // BuildPlacementProblem converts the pod's current state into a

@@ -31,17 +31,39 @@ func (p *Platform) PublishMetrics(reg *metrics.Registry) {
 	set("core.global_steps", g.Steps)
 	set("core.drain_force_breaks", g.DrainForceBreaks)
 
-	var resizes int64
+	var resizes, deferred, reconciled, droppedStale int64
 	for _, pm := range p.PodManagers() {
 		resizes += pm.Resizes
+		deferred += pm.Deferred
+		reconciled += pm.Reconciled
+		droppedStale += pm.DroppedStale
 	}
 	set("core.vm_resizes", resizes)
+	set("pod.deferred_ops", deferred)
+	set("pod.reconciled_ops", reconciled)
+	set("pod.dropped_stale_ops", droppedStale)
 
 	set("viprip.processed", p.VIPRIP.Processed)
+	set("viprip.requeues", p.VIPRIP.Requeues)
 	set("fabric.transfers", p.Fabric.Transfers)
 	set("fabric.broken_conns", p.Fabric.BrokenConns)
 	set("dns.resolutions", p.DNS.Resolutions)
 	set("dns.weight_changes", p.DNS.WeightChanges)
+	set("dns.stale_writes", p.DNS.StaleWrites)
+
+	if b := p.ctrl; b.Enabled() {
+		set("rpc.sent", b.Sent)
+		set("rpc.casts", b.Casts)
+		set("rpc.delivered", b.Delivered)
+		set("rpc.deduped", b.Deduped)
+		set("rpc.dropped", b.Dropped)
+		set("rpc.duplicates", b.Duplicates)
+		set("rpc.retries", b.Retries)
+		set("rpc.acks", b.Acks)
+		set("rpc.dead_letters", b.DeadLetters)
+		set("rpc.partitions", b.Partitions)
+		set("rpc.heals", b.Heals)
+	}
 
 	reg.Gauge("platform.satisfaction").Set(now, p.TotalSatisfaction())
 	reg.Gauge("viprip.pending").Set(now, float64(p.VIPRIP.Pending()))

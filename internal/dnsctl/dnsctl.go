@@ -26,6 +26,7 @@ var (
 	ErrNoVIP     = errors.New("dnsctl: VIP not registered for application")
 	ErrNoExposed = errors.New("dnsctl: application has no exposed VIPs")
 	ErrDupVIP    = errors.New("dnsctl: VIP already registered")
+	ErrStaleGen  = errors.New("dnsctl: record changed since the write was issued")
 )
 
 type exposure struct {
@@ -45,8 +46,12 @@ type DNS struct {
 
 	// Resolutions counts queries answered; WeightChanges counts exposure
 	// reconfigurations (an agility/complexity output for E4/E5).
+	// StaleWrites counts SetWeightIfGen calls rejected because the record
+	// moved on — delayed or reordered control-plane writes that would
+	// have clobbered a newer decision.
 	Resolutions   int64
 	WeightChanges int64
+	StaleWrites   int64
 
 	// OnChange, when set, is called after any change to an application's
 	// record (VIP registered/unregistered, weight changed). The platform
@@ -141,6 +146,20 @@ func (d *DNS) SetWeight(app cluster.AppID, vip string, weight float64) error {
 		}
 	}
 	return fmt.Errorf("%w: %s", ErrNoVIP, vip)
+}
+
+// SetWeightIfGen is SetWeight conditioned on the record's generation:
+// the write only lands if app's record still has the generation the
+// caller observed when it issued the write. A message-bus write that was
+// delayed or reordered past another change returns ErrStaleGen instead
+// of clobbering the newer decision (optimistic concurrency for the
+// asynchronous control plane).
+func (d *DNS) SetWeightIfGen(app cluster.AppID, vip string, weight float64, gen int64) error {
+	if d.Gen(app) != gen {
+		d.StaleWrites++
+		return fmt.Errorf("%w: app %d gen %d != %d", ErrStaleGen, app, d.Gen(app), gen)
+	}
+	return d.SetWeight(app, vip, weight)
 }
 
 // ExposeOnly sets weight 1 on the listed VIPs and 0 on all of app's

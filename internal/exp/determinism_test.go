@@ -2,6 +2,27 @@ package exp
 
 import "testing"
 
+// TestE16Deterministic runs the fallible-control-plane sweep twice
+// in-process with identical options and byte-compares the rendered
+// tables. e16 exercises every seeded random stream the control bus
+// adds (loss, jitter, duplication, retry backoff) on top of the
+// engine's, so any cross-contamination between the two RNGs — or any
+// map-order dependence in the degraded/reconcile paths — flips a cell.
+func TestE16Deterministic(t *testing.T) {
+	o := Options{Seed: 1, AuditEvery: 10}
+	tb1, _, err := RunE16(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, _, err := RunE16(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := tb1.String(), tb2.String(); a != b {
+		t.Fatalf("e16 output differs across identical runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
 // TestX2Deterministic runs the multi-DC federation experiment twice
 // in-process with identical options and byte-compares the rendered
 // result tables. x2 crosses every layer the map-order fixes touched

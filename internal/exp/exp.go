@@ -96,6 +96,7 @@ func All() []Experiment {
 		{"e13", "Policy conflict demonstration", func(o Options) (*metrics.Table, error) { t, _, err := RunE13(o); return t, err }},
 		{"e14", "Availability vs failure rate (MTBF/MTTR churn)", func(o Options) (*metrics.Table, error) { t, _, err := RunE14(o); return t, err }},
 		{"e15", "Control-plane latency vs churn rate (serialized reconfiguration)", func(o Options) (*metrics.Table, error) { t, _, err := RunE15(o); return t, err }},
+		{"e16", "Satisfaction and oscillation under a fallible control plane (delay × loss × staleness)", func(o Options) (*metrics.Table, error) { t, _, err := RunE16(o); return t, err }},
 		{"x1", "Extension: energy consolidation (paper §VI direction)", func(o Options) (*metrics.Table, error) { t, _, err := RunX1(o); return t, err }},
 		{"x2", "Extension: multi-DC federation (paper §III-A remark)", func(o Options) (*metrics.Table, error) { t, _, err := RunX2(o); return t, err }},
 		{"x3", "Extension: discrete sessions under the drain protocol", func(o Options) (*metrics.Table, error) { t, _, err := RunX3(o); return t, err }},

@@ -16,6 +16,7 @@ package faults
 import (
 	"megadc/internal/cluster"
 	"megadc/internal/core"
+	"megadc/internal/ctrlplane"
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
 	"megadc/internal/sim"
@@ -64,6 +65,15 @@ type Config struct {
 	Link   Class
 	Flap   FlapConfig
 
+	// Partition drives control-plane partitions of whole pods: the pod
+	// manager keeps running on its last-acknowledged snapshot while every
+	// control message to or from it is dropped, until the partition heals
+	// and the bus's OnHeal hook triggers reconciliation. DetectDelay is
+	// unused — a partition is a message-plane event, not a component
+	// health transition. Requires the platform's control bus
+	// (Config.Ctrl.Enable); with the bus disabled the class is inert.
+	Partition Class
+
 	// MinHealthyServers/Switches/Links are per-class serving floors: a
 	// fault that would leave fewer serving components than the floor is
 	// skipped (and the component's next failure rescheduled), so churn
@@ -71,6 +81,9 @@ type Config struct {
 	MinHealthyServers  int
 	MinHealthySwitches int
 	MinHealthyLinks    int
+	// MinConnectedPods is the partition floor: a partition that would
+	// leave fewer reachable pods is skipped.
+	MinConnectedPods int
 }
 
 // DefaultConfig returns moderate churn: servers fail most often,
@@ -81,9 +94,11 @@ func DefaultConfig() Config {
 		Switch:             Class{MTBF: 8000, MTTR: 300, DetectDelay: 10},
 		Link:               Class{MTBF: 6000, MTTR: 240, DetectDelay: 5},
 		Flap:               FlapConfig{MTBF: 0, Cycles: 3, Down: 2, Up: 8},
+		Partition:          Class{MTBF: 0, MTTR: 120},
 		MinHealthyServers:  2,
 		MinHealthySwitches: 1,
 		MinHealthyLinks:    1,
+		MinConnectedPods:   1,
 	}
 }
 
@@ -102,8 +117,12 @@ type Injector struct {
 	LinkFaults   int64
 	FlapEpisodes int64
 	FlapCycles   int64
-	Detections   int64
-	Repairs      int64
+	// PodPartitions/PartitionHeals count control-plane partition windows
+	// opened and closed on the platform's message bus.
+	PodPartitions  int64
+	PartitionHeals int64
+	Detections     int64
+	Repairs        int64
 	// Skipped counts faults suppressed by the min-healthy floors.
 	Skipped int64
 }
@@ -140,6 +159,12 @@ func (in *Injector) Start(stopAt float64) {
 		for _, l := range in.p.Net.Links() {
 			id := l.ID
 			in.p.Eng.After(in.exp(in.cfg.Flap.MTBF), func() { in.flapLink(id, in.cfg.Flap.Cycles) })
+		}
+	}
+	if in.cfg.Partition.enabled() && in.p.Ctrl().Enabled() {
+		for _, pm := range in.p.PodManagers() {
+			id := int(pm.PodID())
+			in.p.Eng.After(in.exp(in.cfg.Partition.MTBF), func() { in.partitionPod(id) })
 		}
 	}
 }
@@ -277,6 +302,32 @@ func (in *Injector) faultLink(id netmodel.LinkID) {
 		if err := in.p.RepairLink(id); err == nil {
 			in.Repairs++
 		}
+		reschedule()
+	})
+}
+
+// partitionPod opens a control-plane partition window around one pod:
+// every bus message to or from the pod is dropped until the window
+// heals after Exponential(MTTR). Healing fires the bus's OnHeal hook,
+// which the platform wires to the pod manager's reconciliation.
+func (in *Injector) partitionPod(id int) {
+	if in.p.Eng.Now() >= in.stopAt {
+		return
+	}
+	cl := in.cfg.Partition
+	reschedule := func() { in.p.Eng.After(in.exp(cl.MTBF), func() { in.partitionPod(id) }) }
+	bus := in.p.Ctrl()
+	ep := ctrlplane.Pod(id)
+	if bus.Partitioned(ep) || bus.ConnectedPods(len(in.p.PodManagers())) <= in.cfg.MinConnectedPods {
+		in.Skipped++
+		reschedule()
+		return
+	}
+	bus.Partition(ep)
+	in.PodPartitions++
+	in.p.Eng.After(in.exp(cl.MTTR), func() {
+		bus.Heal(ep)
+		in.PartitionHeals++
 		reschedule()
 	})
 }

@@ -52,8 +52,17 @@ type Federation struct {
 	// ShiftStep is the share fraction moved per hot DC per Step.
 	ShiftStep float64
 
+	// SnapshotEvery, when positive, makes Step steer on DC-utilization
+	// snapshots refreshed at this period instead of live reads — the
+	// cross-DC analogue of the control bus's stale pod snapshots
+	// (core.Config.Ctrl.SnapshotEvery). 0 keeps the synchronous
+	// behaviour: every Step sees current utilization.
+	SnapshotEvery float64
+
 	// Shifts counts share adjustments (experiment output).
 	Shifts int64
+
+	utilSnap []float64
 }
 
 // New returns an empty federation on the given engine.
@@ -185,10 +194,7 @@ func (f *Federation) Utilization(dc *DC) float64 {
 // the hot share moves to the cold DCs, split evenly. Shares always sum
 // to 1 — the cross-DC analogue of weight-preserving RIP adjustment.
 func (f *Federation) Step() {
-	utils := make([]float64, len(f.dcs))
-	for i, dc := range f.dcs {
-		utils[i] = f.Utilization(dc)
-	}
+	utils := f.currentUtils()
 	// Deterministic app order.
 	ids := make([]FedAppID, 0, len(f.apps))
 	for id := range f.apps {
@@ -226,10 +232,35 @@ func (f *Federation) Step() {
 	}
 }
 
-// Start schedules the federation loop and every DC's own control loops.
+// currentUtils returns the utilizations Step steers on: the last
+// snapshot when SnapshotEvery is set (and at least one refresh has
+// happened), live reads otherwise.
+func (f *Federation) currentUtils() []float64 {
+	if f.SnapshotEvery > 0 && f.utilSnap != nil {
+		return f.utilSnap
+	}
+	utils := make([]float64, len(f.dcs))
+	for i, dc := range f.dcs {
+		utils[i] = f.Utilization(dc)
+	}
+	return utils
+}
+
+// Start schedules the federation loop, the utilization snapshotter when
+// SnapshotEvery is set, and every DC's own control loops.
 func (f *Federation) Start(interval float64) {
 	for _, dc := range f.dcs {
 		dc.P.Start()
+	}
+	if f.SnapshotEvery > 0 {
+		f.Eng.Every(0, f.SnapshotEvery, func() bool {
+			snap := make([]float64, len(f.dcs))
+			for i, dc := range f.dcs {
+				snap[i] = f.Utilization(dc)
+			}
+			f.utilSnap = snap
+			return true
+		})
 	}
 	f.Eng.Every(interval, interval, func() bool {
 		f.Step()

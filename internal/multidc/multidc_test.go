@@ -148,6 +148,43 @@ func TestFederationWithControlLoopsEndToEnd(t *testing.T) {
 	}
 }
 
+// TestStaleSnapshotsDelaySteering pins the SnapshotEvery semantics:
+// the federation steers on the utilization it saw at the last snapshot,
+// so a demand spike between snapshots is invisible to Step until the
+// snapshot refreshes — and with SnapshotEvery unset, Step reacts to the
+// same spike immediately.
+func TestStaleSnapshotsDelaySteering(t *testing.T) {
+	run := func(snapEvery float64) (shiftsBeforeRefresh, shiftsAfter int64) {
+		f, _, _ := newFed(t)
+		f.SnapshotEvery = snapEvery
+		id, err := f.OnboardApp("a", slice(), 4, core.Demand{CPU: 10, Mbps: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Start(10)
+		f.Eng.RunUntil(5)
+		// Spike right after t=0: the t=0 snapshot saw a cold world.
+		f.SetDemand(id, core.Demand{CPU: 110, Mbps: 400})
+		// Steps at t=10..90 run against the stale (or live) view; the
+		// snapshotter refreshes at multiples of SnapshotEvery.
+		f.Eng.RunUntil(95)
+		shiftsBeforeRefresh = f.Shifts
+		f.Eng.RunUntil(400)
+		return shiftsBeforeRefresh, f.Shifts
+	}
+	liveBefore, _ := run(0)
+	if liveBefore == 0 {
+		t.Fatal("live steering never reacted to the spike")
+	}
+	staleBefore, staleAfter := run(100)
+	if staleBefore != 0 {
+		t.Errorf("stale steering shifted %d times before the snapshot refreshed", staleBefore)
+	}
+	if staleAfter == 0 {
+		t.Error("steering never caught up after the snapshot refreshed")
+	}
+}
+
 func TestSetDemandErrors(t *testing.T) {
 	f, _, _ := newFed(t)
 	if err := f.SetDemand(99, core.Demand{CPU: 1}); err == nil {

@@ -20,6 +20,7 @@
 //	fault.inject_to_detect.{server,switch,link}
 //	fault.detect_to_repair.{server,switch,link}
 //	dns.convergence                        first change of a burst → last change + TTL
+//	rpc.rtt                                control call sent → ack received
 package spans
 
 import (
@@ -54,6 +55,7 @@ type Tracker struct {
 	reqProcT   map[int64]float64
 	drainT     map[string]float64
 	faults     map[compKey]faultOpen
+	rpcT       map[int64]float64
 
 	// DNS convergence window: a burst of DNS changes converges when the
 	// TTL after the *last* change of the burst expires.
@@ -73,6 +75,7 @@ func New(reg *metrics.Registry) *Tracker {
 		reqProcT:   make(map[int64]float64),
 		drainT:     make(map[string]float64),
 		faults:     make(map[compKey]faultOpen),
+		rpcT:       make(map[int64]float64),
 	}
 }
 
@@ -129,6 +132,31 @@ func (s *Tracker) Handle(e *trace.Event) {
 			delete(s.reqProcT, seq)
 			s.hist("viprip.service_time." + priorityClass(viprip.Priority(e.A))).Observe(e.T - t0)
 		}
+
+	case trace.EvReqRequeue:
+		// The request's in-service slot ended without an effect (its switch
+		// failed mid-flight); Submit will re-open the lifecycle under a
+		// fresh seq, so drop the old one instead of leaking it.
+		delete(s.reqProcT, int64(e.B))
+
+	case trace.EvRPCSend:
+		// A carries the message ID, B the attempt number. Only the first
+		// attempt of an acked call opens the RTT lifecycle; retries reuse
+		// it and casts (B == 0) have no lifecycle at all.
+		if e.B == 1 {
+			s.rpcT[int64(e.A)] = e.T
+		}
+
+	case trace.EvRPCAck:
+		id := int64(e.A)
+		if t0, ok := s.rpcT[id]; ok {
+			delete(s.rpcT, id)
+			s.hist("rpc.rtt").Observe(e.T - t0)
+		}
+
+	case trace.EvRPCDeadLetter:
+		// The call gave up: close the lifecycle without an RTT to report.
+		delete(s.rpcT, int64(e.A))
 
 	case trace.EvDrainStart:
 		if vip := e.Refs[0]; vip.Kind == trace.KindVIP {
@@ -210,7 +238,7 @@ func (s *Tracker) CloseDNSWindow(deadline float64) {
 // (queued requests, active drains, unrepaired faults, plus an unclosed
 // DNS window) — an observability self-check.
 func (s *Tracker) OpenLifecycles() int {
-	n := len(s.reqSubmitT) + len(s.reqProcT) + len(s.drainT) + len(s.faults)
+	n := len(s.reqSubmitT) + len(s.reqProcT) + len(s.drainT) + len(s.faults) + len(s.rpcT)
 	if s.dnsOpen {
 		n++
 	}

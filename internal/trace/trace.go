@@ -161,6 +161,28 @@ const (
 
 	// Audit sweep outcome (A = violation count).
 	EvAudit
+
+	// Control-plane message bus (internal/ctrlplane). A carries the
+	// message ID; B carries the attempt number (EvRPCSend/EvRPCRetry/
+	// EvRPCDrop), the delivery latency (EvRPCDeliver), the round-trip
+	// time (EvRPCAck), or the attempt count (EvRPCDeadLetter). Casts
+	// record EvRPCSend with B=0 — no lifecycle, nothing acks them.
+	EvRPCSend
+	EvRPCDeliver
+	EvRPCDrop
+	EvRPCRetry
+	EvRPCAck
+	EvRPCDeadLetter
+
+	// Control-plane partition windows (ref 0 names the endpoint when it
+	// is a pod).
+	EvPartition
+	EvHeal
+
+	// viprip serialized pipeline: the in-service request's switch failed
+	// mid-flight and the request was resubmitted (A = priority, B = the
+	// seq the request held before resubmission).
+	EvReqRequeue
 )
 
 var typeNames = [...]string{
@@ -190,6 +212,15 @@ var typeNames = [...]string{
 	EvServerTransfer: "server-transfer",
 	EvHealth:         "health",
 	EvAudit:          "audit",
+	EvRPCSend:        "rpc-send",
+	EvRPCDeliver:     "rpc-deliver",
+	EvRPCDrop:        "rpc-drop",
+	EvRPCRetry:       "rpc-retry",
+	EvRPCAck:         "rpc-ack",
+	EvRPCDeadLetter:  "rpc-dead-letter",
+	EvPartition:      "partition",
+	EvHeal:           "heal",
+	EvReqRequeue:     "req-requeue",
 }
 
 func (t Type) String() string {

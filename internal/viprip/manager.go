@@ -70,7 +70,18 @@ var (
 	// through ordered comparisons (NaN < 0 is false), so the checks here
 	// must be explicit.
 	ErrBadWeight = errors.New("viprip: weight must be positive and finite")
+	// ErrSwitchFailedMidFlight marks a serialized request whose target
+	// switch went down while the request occupied the pipeline and stayed
+	// down through every resubmission (maxRequeues).
+	ErrSwitchFailedMidFlight = errors.New("viprip: switch failed while the request was in service")
 )
+
+// maxRequeues bounds how often a serialized request whose switch failed
+// in service is resubmitted before it fails with
+// ErrSwitchFailedMidFlight. Each resubmission takes a fresh seq, so the
+// retry goes to the back of its priority class (requestOrder) — it must
+// not jump ahead of work that queued while it was in flight.
+const maxRequeues = 3
 
 // validWeight mirrors the switch-level rule: positive and finite.
 func validWeight(w float64) bool {
@@ -87,6 +98,10 @@ type Manager struct {
 	queue     []*Request
 	seq       int64
 	Processed int64
+	// Requeues counts serialized requests resubmitted because their
+	// switch failed while they were in service (E15's churn pressure made
+	// visible; see pump).
+	Requeues int64
 
 	// Serialized mode (StartSerialized): the engine-driven pump that
 	// models the paper's single slow CSM configuration pipeline.
@@ -122,10 +137,11 @@ type Request struct {
 	// (e.g. the drain's retry ladder).
 	OnDone func(*Request)
 
-	seq    int64
-	Result Result
-	Err    error
-	Done   bool
+	seq      int64
+	requeues int // resubmissions after a mid-flight switch failure
+	Result   Result
+	Err      error
+	Done     bool
 }
 
 // Op is the request operation type.
@@ -236,13 +252,67 @@ func (m *Manager) pump() {
 	m.inflight = r
 	m.traceReq(trace.EvReqProcess, r)
 	m.eng.After(m.serviceTime, func() {
-		m.apply(r)
 		m.inflight = nil
+		// The pipeline's switch can fail while the request is in service.
+		// The request must not vanish: it is resubmitted (back of its
+		// priority class — a fresh seq keeps requestOrder honest) up to
+		// maxRequeues times, then surfaces a typed error.
+		if m.switchFailedMidFlight(r) {
+			if r.requeues < maxRequeues {
+				r.requeues++
+				m.Requeues++
+				m.traceReq(trace.EvReqRequeue, r)
+				m.Submit(r)
+				m.pump()
+				return
+			}
+			r.Err = fmt.Errorf("%w: op %d vip %s after %d resubmissions",
+				ErrSwitchFailedMidFlight, r.Op, r.VIP, r.requeues)
+			r.Done = true
+			m.Processed++
+			m.traceReq(trace.EvReqDone, r)
+			if r.OnDone != nil {
+				r.OnDone(r)
+			}
+			m.pump()
+			return
+		}
+		m.apply(r)
 		if r.OnDone != nil {
 			r.OnDone(r)
 		}
 		m.pump()
 	})
+}
+
+// switchFailedMidFlight reports whether the serialized request's target
+// switch stopped serving while the request occupied the pipeline. Only
+// operations bound to a specific configured switch are affected;
+// placement ops (AddVIP, unpreferred AddRIP) pick their switch at apply
+// time, and a VIP that lost its home entirely surfaces the normal
+// ErrVIPUnknown from apply instead.
+func (m *Manager) switchFailedMidFlight(r *Request) bool {
+	down := func(vip lbswitch.VIP) bool {
+		home, ok := m.fabric.HomeOf(vip)
+		if !ok {
+			return false
+		}
+		sw := m.fabric.Switch(home)
+		return sw != nil && !sw.Serving()
+	}
+	switch r.Op {
+	case OpDelVIP, OpAdjustWeights:
+		return down(r.VIP)
+	case OpTransferVIP:
+		if down(r.VIP) {
+			return true
+		}
+		dst := m.fabric.Switch(r.Dst)
+		return dst != nil && !dst.Serving()
+	case OpAddRIP:
+		return r.VIP != "" && down(r.VIP)
+	}
+	return false
 }
 
 // requestOrder is the paper's serialization contract: strictly higher
