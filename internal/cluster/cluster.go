@@ -165,33 +165,29 @@ var (
 // Cluster is the registry of pods, servers, applications, and VMs, and the
 // home of all state-mutating primitives. Higher layers (pod managers, the
 // global manager) sequence these primitives and attach latencies.
+//
+// IDs are assigned densely in creation order and never reused, so the
+// registries are flat slices indexed by ID (nil = removed) instead of
+// maps: every lookup on the demand-propagation hot path is a slice
+// index, and ID-ordered iteration needs no sort (DESIGN.md §13).
 type Cluster struct {
-	pods    map[PodID]*Pod
-	servers map[ServerID]*Server
-	apps    map[AppID]*Application
-	vms     map[VMID]*VM
+	pods    []*Pod
+	servers []*Server
+	apps    []*Application
+	vms     []*VM
 
-	nextPod    PodID
-	nextServer ServerID
-	nextApp    AppID
-	nextVM     VMID
+	numVMs int // live (non-nil) entries in vms
 }
 
 // New returns an empty cluster.
 func New() *Cluster {
-	return &Cluster{
-		pods:    make(map[PodID]*Pod),
-		servers: make(map[ServerID]*Server),
-		apps:    make(map[AppID]*Application),
-		vms:     make(map[VMID]*VM),
-	}
+	return &Cluster{}
 }
 
 // AddPod creates a new empty pod.
 func (c *Cluster) AddPod() *Pod {
-	p := &Pod{ID: c.nextPod, servers: make(map[ServerID]*Server)}
-	c.nextPod++
-	c.pods[p.ID] = p
+	p := &Pod{ID: PodID(len(c.pods)), servers: make(map[ServerID]*Server)}
+	c.pods = append(c.pods, p)
 	return p
 }
 
@@ -201,93 +197,120 @@ func (c *Cluster) AddServer(pod PodID, capacity Resources) (*Server, error) {
 	if !capacity.NonNegative() {
 		return nil, fmt.Errorf("%w: negative capacity %v", ErrBadState, capacity)
 	}
-	s := &Server{ID: c.nextServer, Pod: NoPod, Capacity: capacity, vms: make(map[VMID]*VM)}
-	c.nextServer++
-	c.servers[s.ID] = s
+	s := &Server{ID: ServerID(len(c.servers)), Pod: NoPod, Capacity: capacity, vms: make(map[VMID]*VM)}
 	if pod != NoPod {
-		p, ok := c.pods[pod]
-		if !ok {
-			delete(c.servers, s.ID)
+		p := c.Pod(pod)
+		if p == nil {
 			return nil, fmt.Errorf("%w: pod %d", ErrNotFound, pod)
 		}
 		s.Pod = pod
 		p.servers[s.ID] = s
 	}
+	c.servers = append(c.servers, s)
 	return s, nil
 }
 
 // AddApp registers an application with a default per-instance slice.
 func (c *Cluster) AddApp(name string, defaultSlice Resources) *Application {
-	a := &Application{ID: c.nextApp, Name: name, DefaultSlice: defaultSlice, vms: make(map[VMID]*VM)}
-	c.nextApp++
-	c.apps[a.ID] = a
+	a := &Application{ID: AppID(len(c.apps)), Name: name, DefaultSlice: defaultSlice, vms: make(map[VMID]*VM)}
+	c.apps = append(c.apps, a)
 	return a
 }
 
 // Pod returns the pod with the given ID, or nil.
-func (c *Cluster) Pod(id PodID) *Pod { return c.pods[id] }
+func (c *Cluster) Pod(id PodID) *Pod {
+	if id < 0 || int(id) >= len(c.pods) {
+		return nil
+	}
+	return c.pods[id]
+}
 
 // Server returns the server with the given ID, or nil.
-func (c *Cluster) Server(id ServerID) *Server { return c.servers[id] }
+func (c *Cluster) Server(id ServerID) *Server {
+	if id < 0 || int(id) >= len(c.servers) {
+		return nil
+	}
+	return c.servers[id]
+}
 
 // App returns the application with the given ID, or nil.
-func (c *Cluster) App(id AppID) *Application { return c.apps[id] }
+func (c *Cluster) App(id AppID) *Application {
+	if id < 0 || int(id) >= len(c.apps) {
+		return nil
+	}
+	return c.apps[id]
+}
 
 // VM returns the VM with the given ID, or nil.
-func (c *Cluster) VM(id VMID) *VM { return c.vms[id] }
+func (c *Cluster) VM(id VMID) *VM {
+	if id < 0 || int(id) >= len(c.vms) {
+		return nil
+	}
+	return c.vms[id]
+}
+
+// NumApps returns the number of registered applications.
+func (c *Cluster) NumApps() int { return len(c.apps) }
+
+// NumServers returns the number of servers in the cluster.
+func (c *Cluster) NumServers() int { return len(c.servers) }
 
 // PodIDs returns all pod IDs in ascending order.
 func (c *Cluster) PodIDs() []PodID {
 	ids := make([]PodID, 0, len(c.pods))
-	for id := range c.pods {
-		ids = append(ids, id)
+	for _, p := range c.pods {
+		if p != nil {
+			ids = append(ids, p.ID)
+		}
 	}
-	slices.Sort(ids)
 	return ids
 }
 
 // AppIDs returns all application IDs in ascending order.
 func (c *Cluster) AppIDs() []AppID {
 	ids := make([]AppID, 0, len(c.apps))
-	for id := range c.apps {
-		ids = append(ids, id)
+	for _, a := range c.apps {
+		if a != nil {
+			ids = append(ids, a.ID)
+		}
 	}
-	slices.Sort(ids)
 	return ids
 }
 
 // ServerIDs returns all server IDs in ascending order.
 func (c *Cluster) ServerIDs() []ServerID {
 	ids := make([]ServerID, 0, len(c.servers))
-	for id := range c.servers {
-		ids = append(ids, id)
+	for _, s := range c.servers {
+		if s != nil {
+			ids = append(ids, s.ID)
+		}
 	}
-	slices.Sort(ids)
 	return ids
 }
 
 // VMIDs returns all VM IDs in ascending order.
 func (c *Cluster) VMIDs() []VMID {
-	ids := make([]VMID, 0, len(c.vms))
-	for id := range c.vms {
-		ids = append(ids, id)
+	ids := make([]VMID, 0, c.numVMs)
+	for _, v := range c.vms {
+		if v != nil {
+			ids = append(ids, v.ID)
+		}
 	}
-	slices.Sort(ids)
 	return ids
 }
 
 // NumVMs returns the number of live VMs in the cluster.
-func (c *Cluster) NumVMs() int { return len(c.vms) }
+func (c *Cluster) NumVMs() int { return c.numVMs }
 
 // PlaceVM creates a VM instance of app on server with the given slice.
 // The new VM starts in VMDeploying state; call Start to begin serving.
 func (c *Cluster) PlaceVM(app AppID, server ServerID, slice Resources) (*VM, error) {
-	a, ok := c.apps[app]
-	if !ok {
+	a := c.App(app)
+	if a == nil {
 		return nil, fmt.Errorf("%w: app %d", ErrNotFound, app)
 	}
-	s, ok := c.servers[server]
-	if !ok {
+	s := c.Server(server)
+	if s == nil {
 		return nil, fmt.Errorf("%w: server %d", ErrNotFound, server)
 	}
 	if !slice.NonNegative() {
@@ -296,9 +319,9 @@ func (c *Cluster) PlaceVM(app AppID, server ServerID, slice Resources) (*VM, err
 	if !s.used.Add(slice).Fits(s.Capacity) {
 		return nil, fmt.Errorf("%w: server %d free %v, slice %v", ErrInsufficient, server, s.Free(), slice)
 	}
-	v := &VM{ID: c.nextVM, App: app, Server: server, Slice: slice, State: VMDeploying}
-	c.nextVM++
-	c.vms[v.ID] = v
+	v := &VM{ID: VMID(len(c.vms)), App: app, Server: server, Slice: slice, State: VMDeploying}
+	c.vms = append(c.vms, v)
+	c.numVMs++
 	a.vms[v.ID] = v
 	s.vms[v.ID] = v
 	s.used = s.used.Add(slice)
@@ -307,8 +330,8 @@ func (c *Cluster) PlaceVM(app AppID, server ServerID, slice Resources) (*VM, err
 
 // Start transitions a deploying VM to running.
 func (c *Cluster) Start(vm VMID) error {
-	v, ok := c.vms[vm]
-	if !ok {
+	v := c.VM(vm)
+	if v == nil {
 		return fmt.Errorf("%w: vm %d", ErrNotFound, vm)
 	}
 	if v.State != VMDeploying && v.State != VMMigrating {
@@ -318,17 +341,19 @@ func (c *Cluster) Start(vm VMID) error {
 	return nil
 }
 
-// RemoveVM stops and deletes a VM, releasing its slice.
+// RemoveVM stops and deletes a VM, releasing its slice. The VM's ID is
+// never reused.
 func (c *Cluster) RemoveVM(vm VMID) error {
-	v, ok := c.vms[vm]
-	if !ok {
+	v := c.VM(vm)
+	if v == nil {
 		return fmt.Errorf("%w: vm %d", ErrNotFound, vm)
 	}
 	s := c.servers[v.Server]
 	s.used = s.used.Sub(v.Slice)
 	delete(s.vms, vm)
 	delete(c.apps[v.App].vms, vm)
-	delete(c.vms, vm)
+	c.vms[vm] = nil
+	c.numVMs--
 	v.State = VMStopped
 	return nil
 }
@@ -336,8 +361,8 @@ func (c *Cluster) RemoveVM(vm VMID) error {
 // ResizeVM hot-adjusts the VM's hard slice (paper knob E, Section IV-E).
 // Growth must fit in the server's free capacity.
 func (c *Cluster) ResizeVM(vm VMID, slice Resources) error {
-	v, ok := c.vms[vm]
-	if !ok {
+	v := c.VM(vm)
+	if v == nil {
 		return fmt.Errorf("%w: vm %d", ErrNotFound, vm)
 	}
 	if !slice.NonNegative() {
@@ -357,12 +382,12 @@ func (c *Cluster) ResizeVM(vm VMID, slice Resources) error {
 // is responsible for modeling migration latency; the state change here is
 // atomic. The VM keeps serving (live migration) and ends in VMRunning.
 func (c *Cluster) MigrateVM(vm VMID, to ServerID) error {
-	v, ok := c.vms[vm]
-	if !ok {
+	v := c.VM(vm)
+	if v == nil {
 		return fmt.Errorf("%w: vm %d", ErrNotFound, vm)
 	}
-	dst, ok := c.servers[to]
-	if !ok {
+	dst := c.Server(to)
+	if dst == nil {
 		return fmt.Errorf("%w: server %d", ErrNotFound, to)
 	}
 	if to == v.Server {
@@ -384,12 +409,12 @@ func (c *Cluster) MigrateVM(vm VMID, to ServerID) error {
 // This is the paper's server-transfer knob (Section IV-C); transferring a
 // loaded server is exactly the elephant-pod mitigation of Section IV-C/D.
 func (c *Cluster) TransferServer(server ServerID, to PodID) error {
-	s, ok := c.servers[server]
-	if !ok {
+	s := c.Server(server)
+	if s == nil {
 		return fmt.Errorf("%w: server %d", ErrNotFound, server)
 	}
-	dst, ok := c.pods[to]
-	if !ok {
+	dst := c.Pod(to)
+	if dst == nil {
 		return fmt.Errorf("%w: pod %d", ErrNotFound, to)
 	}
 	if s.Pod == to {
@@ -408,7 +433,7 @@ func (c *Cluster) TransferServer(server ServerID, to PodID) error {
 // on map iteration order, or identically seeded runs diverge at the
 // last bit.
 func (c *Cluster) PodUsed(pod PodID) Resources {
-	p := c.pods[pod]
+	p := c.Pod(pod)
 	if p == nil {
 		return Resources{}
 	}
@@ -421,7 +446,7 @@ func (c *Cluster) PodUsed(pod PodID) Resources {
 
 // PodCapacity returns the summed capacity of the pod's servers.
 func (c *Cluster) PodCapacity(pod PodID) Resources {
-	p := c.pods[pod]
+	p := c.Pod(pod)
 	if p == nil {
 		return Resources{}
 	}
@@ -439,7 +464,7 @@ func (c *Cluster) PodUtilization(pod PodID) float64 {
 
 // PodDemand returns the summed client demand on VMs hosted in the pod.
 func (c *Cluster) PodDemand(pod PodID) Resources {
-	p := c.pods[pod]
+	p := c.Pod(pod)
 	if p == nil {
 		return Resources{}
 	}
@@ -455,7 +480,7 @@ func (c *Cluster) PodDemand(pod PodID) Resources {
 
 // PodNumVMs returns the number of VMs hosted in the pod.
 func (c *Cluster) PodNumVMs(pod PodID) int {
-	p := c.pods[pod]
+	p := c.Pod(pod)
 	if p == nil {
 		return 0
 	}
@@ -469,7 +494,7 @@ func (c *Cluster) PodNumVMs(pod PodID) int {
 // AppVMsInPod returns the IDs of app's VMs hosted in pod, ascending.
 // An application "covers" a pod when this is non-empty (paper III-A).
 func (c *Cluster) AppVMsInPod(app AppID, pod PodID) []VMID {
-	a := c.apps[app]
+	a := c.App(app)
 	if a == nil {
 		return nil
 	}
@@ -521,7 +546,8 @@ func absf(x float64) float64 {
 // agree. It returns the first violation found, or nil. Tests and the
 // simulation harness call this after mutation sequences.
 func (c *Cluster) CheckInvariants() error {
-	for id, s := range c.servers {
+	for i, s := range c.servers {
+		id := ServerID(i)
 		var sum Resources
 		for vid, v := range s.vms {
 			if v.Server != id {
@@ -542,19 +568,24 @@ func (c *Cluster) CheckInvariants() error {
 			}
 		}
 	}
-	for pid, p := range c.pods {
+	for i, p := range c.pods {
+		pid := PodID(i)
 		for sid, s := range p.servers {
 			if s.Pod != pid {
 				return fmt.Errorf("pod %d lists server %d which claims pod %d", pid, sid, s.Pod)
 			}
 		}
 	}
-	for vid, v := range c.vms {
-		a := c.apps[v.App]
+	for i, v := range c.vms {
+		if v == nil {
+			continue // removed VM; its ID is retired, never reused
+		}
+		vid := VMID(i)
+		a := c.App(v.App)
 		if a == nil || a.vms[vid] == nil {
 			return fmt.Errorf("vm %d claims app %d but app does not list it", vid, v.App)
 		}
-		s := c.servers[v.Server]
+		s := c.Server(v.Server)
 		if s == nil || s.vms[vid] == nil {
 			return fmt.Errorf("vm %d claims server %d but server does not list it", vid, v.Server)
 		}

@@ -22,6 +22,7 @@ import (
 	"megadc/internal/audit"
 	"megadc/internal/cluster"
 	"megadc/internal/health"
+	"megadc/internal/ids"
 	"megadc/internal/lbswitch"
 	"megadc/internal/trace"
 )
@@ -94,16 +95,26 @@ func (p *Platform) auditVIPRIP(rep *audit.Report) {
 	if err := p.Fabric.CheckInvariants(); err != nil {
 		rep.Add("lbswitch", "I1.FABRIC", "consistent switch tables", err.Error(), "")
 	}
-	rips := make([]lbswitch.RIP, 0, len(p.ripToVM))
-	for rip := range p.ripToVM {
-		rips = append(rips, rip)
+	// Reports sort by external RIP string, not intern index, so the
+	// violation order never depends on interning history.
+	rips := make([]lbswitch.RIP, 0, len(p.ripVM))
+	for ri, vm := range p.ripVM {
+		if vm < 0 {
+			continue
+		}
+		rips = append(rips, p.ripIx.Key(ids.Index(ri)))
 	}
 	slices.Sort(rips)
 	for _, rip := range rips {
-		vm := p.ripToVM[rip]
-		if back, ok := p.vmToRIP[vm]; !ok || back != rip {
+		ri, _ := p.ripIx.Lookup(rip)
+		vm := p.ripVM[ri]
+		if int(vm) >= len(p.vmRIP) || p.vmRIP[vm] != ri {
+			back := lbswitch.RIP("")
+			if int(vm) < len(p.vmRIP) && p.vmRIP[vm] != ids.None {
+				back = p.ripIx.Key(p.vmRIP[vm])
+			}
 			rep.Addf("viprip", "I1.RIP_VM_BIJECTION",
-				fmt.Sprintf("vmToRIP[%d] == %s", vm, rip), string(back),
+				fmt.Sprintf("vmRIP[%d] == %s", vm, rip), string(back),
 				"rip %s", rip)
 		}
 		if p.Cluster.VM(vm) == nil {
@@ -111,28 +122,31 @@ func (p *Platform) auditVIPRIP(rep *audit.Report) {
 				"every indexed RIP backs a live VM", "VM missing from cluster",
 				"rip %s -> vm %d", rip, vm)
 		}
-		if _, ok := p.ripHomeVIP[rip]; !ok {
+		if p.ripHome[ri] == ids.None {
 			rep.Addf("viprip", "I1.RIP_HOME_KNOWN",
-				"every indexed RIP has a home VIP", "no ripHomeVIP entry",
+				"every indexed RIP has a home VIP", "no home-VIP entry",
 				"rip %s", rip)
 		}
 	}
-	vms := make([]cluster.VMID, 0, len(p.vmToRIP))
-	for vm := range p.vmToRIP {
-		vms = append(vms, vm)
-	}
-	slices.Sort(vms)
-	for _, vm := range vms {
-		rip := p.vmToRIP[vm]
-		if back, ok := p.ripToVM[rip]; !ok || back != vm {
+	for vmi, ri := range p.vmRIP {
+		if ri == ids.None {
+			continue
+		}
+		vm := cluster.VMID(vmi)
+		rip := p.ripIx.Key(ri)
+		if int(ri) >= len(p.ripVM) || p.ripVM[ri] != vm {
+			back := cluster.VMID(-1)
+			if int(ri) < len(p.ripVM) {
+				back = p.ripVM[ri]
+			}
 			rep.Addf("viprip", "I1.RIP_VM_BIJECTION",
-				fmt.Sprintf("ripToVM[%s] == %d", rip, vm), fmt.Sprintf("%d", back),
+				fmt.Sprintf("ripVM[%s] == %d", rip, vm), fmt.Sprintf("%d", back),
 				"vm %d", vm)
 		}
 	}
 	// Every VM placed through the platform serves through a RIP.
 	for _, vmID := range p.Cluster.VMIDs() {
-		if _, ok := p.vmToRIP[vmID]; !ok {
+		if int(vmID) >= len(p.vmRIP) || p.vmRIP[vmID] == ids.None {
 			rep.Addf("viprip", "I1.VM_HAS_RIP",
 				"every placed VM has a RIP", "no RIP configured",
 				"vm %d", vmID)
@@ -147,15 +161,22 @@ func (p *Platform) auditVIPRIP(rep *audit.Report) {
 				continue
 			}
 			for _, rip := range swRIPs {
-				if _, ok := p.ripToVM[rip]; !ok {
+				ri, known := p.ripIx.Lookup(rip)
+				if known && (int(ri) >= len(p.ripVM) || p.ripVM[ri] < 0) {
+					known = false
+				}
+				if !known {
 					rep.Addf("viprip", "I1.NO_ORPHAN_RIP",
 						"every switch-configured RIP is registered", "unknown RIP",
 						"switch %d vip %s rip %s", sw.ID, vip, rip)
+					continue
 				}
-				if home, ok := p.ripHomeVIP[rip]; ok && home != vip {
-					rep.Addf("viprip", "I1.RIP_HOME_MATCH",
-						fmt.Sprintf("rip %s configured under its home VIP %s", rip, home),
-						string(vip), "switch %d", sw.ID)
+				if hi := p.ripHome[ri]; hi != ids.None {
+					if home := p.vipIx.Key(hi); home != vip {
+						rep.Addf("viprip", "I1.RIP_HOME_MATCH",
+							fmt.Sprintf("rip %s configured under its home VIP %s", rip, home),
+							string(vip), "switch %d", sw.ID)
+					}
 				}
 			}
 		}
@@ -215,6 +236,7 @@ func (p *Platform) auditDNS(rep *audit.Report) {
 			}
 		}
 		gen := p.DNS.Gen(app)
+		p.auditLastGen = growSlice(p.auditLastGen, int(app)+1)
 		if last := p.auditLastGen[app]; gen < last {
 			rep.Addf("dnsctl", "I2.GEN_MONOTONE",
 				fmt.Sprintf("generation >= %d", last), fmt.Sprintf("%d", gen),
@@ -324,17 +346,21 @@ func (p *Platform) auditCapacity(rep *audit.Report) {
 // sessions.Driver.Audit, which sees the outcome counters.)
 func (p *Platform) auditConservation(rep *audit.Report) {
 	vips := make([]lbswitch.VIP, 0, len(p.vipOwner))
-	for vip := range p.vipOwner {
-		vips = append(vips, vip)
+	for vi, owner := range p.vipOwner {
+		if owner < 0 {
+			continue
+		}
+		vips = append(vips, p.vipIx.Key(ids.Index(vi)))
 	}
 	slices.Sort(vips)
 	for _, vip := range vips {
-		sess := p.sessVIP[vip]
+		vi, _ := p.vipIx.Lookup(vip)
+		sess := p.sessVIP.get(vi)
 		if sess < 0 {
 			rep.Addf("core", "I4.SESS_NONNEG",
 				"session overlay >= 0", fmt.Sprintf("%v", sess), "vip %s", vip)
 		}
-		want := p.fluidTraffic[vip] + sess
+		want := p.fluidTraffic.get(vi) + sess
 		got := p.Net.VIPTraffic(string(vip))
 		if math.Float64bits(got) != math.Float64bits(want) {
 			rep.Addf("core", "I4.VIP_TRAFFIC_SUM",
@@ -342,7 +368,7 @@ func (p *Platform) auditConservation(rep *audit.Report) {
 				fmt.Sprintf("%v", got), "vip %s", vip)
 		}
 		if home, ok := p.Fabric.HomeOf(vip); ok {
-			wantSw := p.fluidSwLoad[vip] + sess
+			wantSw := p.fluidSwLoad.get(vi) + sess
 			gotSw := p.Fabric.Switch(home).VIPLoad(vip)
 			if math.Float64bits(gotSw) != math.Float64bits(wantSw) {
 				rep.Addf("core", "I4.SWITCH_LOAD_SUM",
@@ -351,21 +377,21 @@ func (p *Platform) auditConservation(rep *audit.Report) {
 			}
 		}
 	}
-	vms := make([]cluster.VMID, 0, len(p.vmToRIP))
-	for vm := range p.vmToRIP {
-		vms = append(vms, vm)
-	}
-	slices.Sort(vms)
-	for _, vmID := range vms {
+	for vmi, ri := range p.vmRIP {
+		if ri == ids.None {
+			continue
+		}
+		vmID := cluster.VMID(vmi)
 		vm := p.Cluster.VM(vmID)
 		if vm == nil {
 			continue // I1.RIP_LIVE_VM already flagged it
 		}
-		if !p.sessVM[vmID].NonNegative() {
+		sess := p.sessVM.get(ids.Index(vmi))
+		if !sess.NonNegative() {
 			rep.Addf("core", "I4.SESS_NONNEG",
-				"session overlay >= 0", p.sessVM[vmID].String(), "vm %d", vmID)
+				"session overlay >= 0", sess.String(), "vm %d", vmID)
 		}
-		want := p.sessVM[vmID].Add(p.fluidVM[vmID])
+		want := sess.Add(p.fluidVM.get(ids.Index(vmi)))
 		if !sameBits(vm.Demand, want) {
 			rep.Addf("core", "I4.VM_DEMAND_SUM",
 				fmt.Sprintf("VM demand == session+fluid == %v", want),

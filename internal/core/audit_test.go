@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"megadc/internal/cluster"
+	"megadc/internal/ids"
 	"megadc/internal/lbswitch"
 )
 
@@ -39,9 +40,11 @@ func TestAuditCleanPlatform(t *testing.T) {
 func TestAuditDetectsCorruption(t *testing.T) {
 	t.Run("I1.RIP_VM_BIJECTION", func(t *testing.T) {
 		p, _ := auditTestPlatform(t)
-		for _, rip := range p.vmToRIP {
-			delete(p.ripToVM, rip)
-			break
+		for _, ri := range p.vmRIP {
+			if ri != ids.None {
+				p.ripVM[ri] = -1 // forward half of the binding gone
+				break
+			}
 		}
 		if rep := p.Audit(); !rep.Has("I1.RIP_VM_BIJECTION") {
 			t.Fatalf("missing I1.RIP_VM_BIJECTION, got:\n%s", rep)
@@ -59,6 +62,7 @@ func TestAuditDetectsCorruption(t *testing.T) {
 	})
 	t.Run("I2.GEN_MONOTONE", func(t *testing.T) {
 		p, app := auditTestPlatform(t)
+		p.auditLastGen = growSlice(p.auditLastGen, int(app)+1)
 		p.auditLastGen[app] = p.DNS.Gen(app) + 5
 		if rep := p.Audit(); !rep.Has("I2.GEN_MONOTONE") {
 			t.Fatalf("missing I2.GEN_MONOTONE, got:\n%s", rep)
@@ -76,15 +80,19 @@ func TestAuditDetectsCorruption(t *testing.T) {
 	t.Run("I4.VIP_TRAFFIC_SUM", func(t *testing.T) {
 		p, app := auditTestPlatform(t)
 		vip := p.Fabric.VIPsOfApp(app)[0]
-		p.fluidTraffic[vip] += 1 // ledger no longer matches the network
+		vi := p.vipIndex(vip)
+		p.fluidTraffic.set(vi, p.fluidTraffic.get(vi)+1) // ledger no longer matches the network
 		if rep := p.Audit(); !rep.Has("I4.VIP_TRAFFIC_SUM") {
 			t.Fatalf("missing I4.VIP_TRAFFIC_SUM, got:\n%s", rep)
 		}
 	})
 	t.Run("I4.VM_DEMAND_SUM", func(t *testing.T) {
 		p, _ := auditTestPlatform(t)
-		for vmID := range p.vmToRIP {
-			if vm := p.Cluster.VM(vmID); vm != nil {
+		for vmi, ri := range p.vmRIP {
+			if ri == ids.None {
+				continue
+			}
+			if vm := p.Cluster.VM(cluster.VMID(vmi)); vm != nil {
 				vm.Demand.CPU += 0.5
 				break
 			}
@@ -124,7 +132,8 @@ func TestAuditHookAccumulates(t *testing.T) {
 		t.Fatalf("clean onboarding accumulated violations: %v", p.AuditViolations())
 	}
 	vip := p.Fabric.VIPsOfApp(a.ID)[0]
-	p.fluidTraffic[vip] += 3
+	vi := p.vipIndex(vip)
+	p.fluidTraffic.set(vi, p.fluidTraffic.get(vi)+3)
 	p.Propagate() // no dirty apps: the corruption survives and the hook sees it
 	vs := p.AuditViolations()
 	if len(vs) == 0 {

@@ -250,3 +250,47 @@ func TestPropagateWorkerCountInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestPropagateDirtyWorkerCountInvariance pins the same contract on the
+// incremental path: a dirty-set recompute wide enough to fan out must
+// leave bit-identical state for any worker count. The dirty set is kept
+// under half the demand-carrying apps so Propagate genuinely takes the
+// dirty path (asserted via the full-recompute tick counter staying put).
+func TestPropagateDirtyWorkerCountInvariance(t *testing.T) {
+	const apps = 4 * parallelThreshold
+	build := func(workers int) *Platform {
+		topo := SmallTopology()
+		cfg := DefaultConfig()
+		cfg.VIPsPerApp = 2
+		cfg.PropagateWorkers = workers
+		cfg.PropagateFullEvery = -1 // never fall back to the full path
+		p, err := NewPlatform(topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < apps; i++ {
+			d := Demand{CPU: 0.4 + float64(i%5)*0.27, Mbps: 8 + float64(i%13)*2.9}
+			if _, err := p.OnboardApp("dw", cluster.Resources{CPU: 0.2, MemMB: 128, NetMbps: 8}, 1, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Dirty a contiguous block of apps larger than parallelThreshold
+		// but smaller than half the demand set, then propagate once.
+		for i := 0; i < apps/3; i++ {
+			p.markAppDirty(cluster.AppID(i))
+		}
+		ticks := p.propagateTicks
+		p.Propagate()
+		if p.propagateTicks != ticks+1 {
+			t.Fatalf("propagateTicks advanced by %d, want 1", p.propagateTicks-ticks)
+		}
+		return p
+	}
+	base := build(1)
+	for _, w := range []int{2, 8} {
+		p := build(w)
+		if d := base.captureState().diff(p.captureState()); d != "" {
+			t.Fatalf("workers=%d state diverged from workers=1: %s", w, d)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"megadc/internal/cluster"
 	"megadc/internal/health"
+	"megadc/internal/ids"
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
 	"megadc/internal/trace"
@@ -245,15 +246,21 @@ func (p *Platform) rehomeOrphanVIPs(sw *lbswitch.Switch) (placed int) {
 				return placed
 			}
 			var rips []lbswitch.RIP
-			for rip, home := range p.ripHomeVIP {
-				if home == vip {
-					rips = append(rips, rip)
+			if vi, ok := p.vipIx.Lookup(vip); ok {
+				for ri, home := range p.ripHome {
+					if home == vi {
+						rips = append(rips, p.ripIx.Key(ids.Index(ri)))
+					}
 				}
 			}
 			slices.Sort(rips)
 			for _, rip := range rips {
 				if err := sw.AddRIP(vip, rip, 1); err != nil {
 					break
+				}
+				// Restore the RIP→VM tag the dropped switch carried.
+				if ri, ok := p.ripIx.Lookup(rip); ok && p.ripVM[ri] >= 0 {
+					sw.SetRIPTag(vip, rip, int64(p.ripVM[ri]))
 				}
 			}
 			placed++

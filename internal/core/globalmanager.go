@@ -598,7 +598,7 @@ func (g *GlobalManager) interPodWeights() {
 			hasHot, hasCold := false, false
 			for i, rip := range rips {
 				podOf[i] = cluster.NoPod
-				if vmID, ok := g.p.ripToVM[rip]; ok {
+				if vmID, ok := g.p.VMForRIP(rip); ok {
 					if vm := g.p.Cluster.VM(vmID); vm != nil {
 						if srv := g.p.Cluster.Server(vm.Server); srv != nil {
 							podOf[i] = srv.Pod

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+)
+
+// TestInterningOrderInvariance pins that intern-index assignment is an
+// invisible implementation detail: shifting every real VIP/RIP index by
+// pre-interning thousands of unrelated keys (in descending name order,
+// so the hole pattern is maximally unlike the clean run) changes no
+// observable output of a seeded run — demand state, audit report, or
+// satisfaction. Outputs must key on external IDs, never intern order.
+func TestInterningOrderInvariance(t *testing.T) {
+	run := func(prewarm bool) *Platform {
+		topo := SmallTopology()
+		topo.Seed = 7
+		cfg := DefaultConfig()
+		cfg.VIPsPerApp = 2
+		p, err := NewPlatform(topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prewarm {
+			for i := 3000; i > 0; i-- {
+				p.vipIndex(lbswitch.VIP(fmt.Sprintf("padvip-%d", i)))
+				p.ripIx.Intern(lbswitch.RIP(fmt.Sprintf("padrip-%d", i)))
+			}
+		}
+		var apps []cluster.AppID
+		for i := 0; i < 12; i++ {
+			a, err := p.OnboardApp(fmt.Sprintf("iv-%d", i),
+				cluster.Resources{CPU: 0.5, MemMB: 256, NetMbps: 20}, 2,
+				Demand{CPU: 1 + float64(i)*0.37, Mbps: 15 + float64(i)*2.1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			apps = append(apps, a.ID)
+		}
+		// Churn: demand swings, a deploy, a removal, session overlay,
+		// and a switch fault/repair cycle.
+		for i, app := range apps {
+			p.SetAppDemand(app, Demand{CPU: 2 + float64(i)*0.11, Mbps: 25 + float64(i)*1.3})
+		}
+		if _, err := p.DeployInstance(apps[3], p.podOrder[1]); err != nil {
+			t.Fatal(err)
+		}
+		vms := p.Cluster.App(apps[5]).VMIDs()
+		if err := p.RemoveInstance(vms[0]); err != nil {
+			t.Fatal(err)
+		}
+		vip := p.Fabric.VIPsOfApp(apps[2])[0]
+		vm := p.Cluster.App(apps[2]).VMIDs()[0]
+		p.SessionOpened(vip, vm, cluster.Resources{CPU: 0.2, NetMbps: 3})
+		if err := p.FaultSwitch(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p.DetectSwitch(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.RepairSwitch(0); err != nil {
+			t.Fatal(err)
+		}
+		p.Propagate()
+		return p
+	}
+	clean := run(false)
+	padded := run(true)
+	if d := clean.captureState().diff(padded.captureState()); d != "" {
+		t.Fatalf("prewarmed interner changed propagated state: %s", d)
+	}
+	if a, b := clean.TotalSatisfaction(), padded.TotalSatisfaction(); a != b {
+		t.Fatalf("satisfaction %v != %v", a, b)
+	}
+	if a, b := clean.Audit().String(), padded.Audit().String(); a != b {
+		t.Fatalf("audit reports diverged:\n%s\n----\n%s", a, b)
+	}
+}

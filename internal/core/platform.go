@@ -3,12 +3,12 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"slices"
 
 	"megadc/internal/audit"
 	"megadc/internal/cluster"
 	"megadc/internal/ctrlplane"
 	"megadc/internal/dnsctl"
+	"megadc/internal/ids"
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
 	"megadc/internal/sim"
@@ -78,6 +78,13 @@ func SmallTopology() Topology {
 // Platform is one mega data center under management: all substrates plus
 // the hierarchical managers. Construct with NewPlatform, onboard
 // applications, drive demand, and Run the engine.
+//
+// Hot-path per-entity state lives in dense struct-of-arrays tables (see
+// tables.go): cluster IDs are contiguous by construction, and VIPs/RIPs
+// are interned to contiguous indices on first sight. Interning order is
+// a pure function of the call sequence, so seeded runs intern
+// identically — and nothing observable depends on the order itself
+// (sorted outputs sort by external string key, not intern index).
 type Platform struct {
 	Eng     *sim.Engine
 	Cfg     Config
@@ -97,42 +104,66 @@ type Platform struct {
 	// unconditionally.
 	ctrl *ctrlplane.Bus
 
-	pods       map[cluster.PodID]*PodManager
-	podOrder   []cluster.PodID
-	appDemand  map[cluster.AppID]Demand
-	ripToVM    map[lbswitch.RIP]cluster.VMID
-	vmToRIP    map[cluster.VMID]lbswitch.RIP
-	appSlice   map[cluster.AppID]cluster.Resources
-	ripHomeVIP map[lbswitch.RIP]lbswitch.VIP // which VIP each RIP is configured under
-	linkRR     int                           // round-robin cursor for VIP advertisement
+	pods     []*PodManager   // indexed by PodID (dense)
+	podOrder []cluster.PodID // 0..len-1, kept for iteration ergonomics
+
+	// Interners: dense indices for the externally string-keyed entities.
+	// Indices are stable and never reused; IPPool address recycling maps
+	// a reused VIP/RIP string back to its existing index.
+	vipIx *ids.Interner[lbswitch.VIP]
+	ripIx *ids.Interner[lbswitch.RIP]
+
+	// Demand and slice registries, indexed by AppID. The bitsets are
+	// authoritative for membership; the value slots of cleared entries
+	// are stale.
+	appDemand   []Demand
+	demandApps  ids.Bitset
+	appSlice    []cluster.Resources
+	appSliceSet ids.Bitset
+
+	// RIP ↔ VM ↔ home-VIP binding tables. ripVM is indexed by RIP index
+	// (-1 = unbound), vmRIP by VMID (ids.None = no RIP), ripHome by RIP
+	// index (VIP index or ids.None).
+	ripVM   []cluster.VMID
+	vmRIP   []ids.Index
+	ripHome []ids.Index
+
+	linkRR int // round-robin cursor for VIP advertisement
 
 	// activeVIPs remembers which VIPs carried load after the last
-	// Propagate (with a sorted mirror), so a full recompute can clear
-	// loads of VIPs whose demand disappeared. It may temporarily hold
-	// VIPs whose load already dropped to zero — always a superset of the
-	// VIPs with nonzero state, which is what clearing correctness needs.
-	activeVIPs   map[lbswitch.VIP]bool
-	activeSorted []lbswitch.VIP
+	// Propagate, so a full recompute can clear loads of VIPs whose
+	// demand disappeared. It may temporarily hold VIPs whose load
+	// already dropped to zero — always a superset of the VIPs with
+	// nonzero state, which is what clearing correctness needs. Bitset
+	// iteration is ascending by VIP index; per-VIP clears are canonical
+	// assignments, so traversal order is not observable.
+	activeVIPs ids.Bitset
 
-	// Incremental propagation state (see propagate.go): dirty set with
-	// sorted scratch, sorted index of demand-carrying apps, VIP→owner
-	// index for resolving route changes to apps, per-app ledgers of
-	// applied contributions, cached DNS shares, and the fluid part of
-	// every observable (traffic, switch load, VM demand) so session
-	// updates can rewrite canonical fluid+session sums.
-	dirtyApps        map[cluster.AppID]struct{}
-	dirtyScratch     []cluster.AppID
-	demandAppsSorted []cluster.AppID
-	vipOwner         map[lbswitch.VIP]cluster.AppID
-	applied          map[cluster.AppID]*appApplied
-	shareCache       map[cluster.AppID]*sharesCache
-	fluidTraffic     map[lbswitch.VIP]float64
-	fluidSwLoad      map[lbswitch.VIP]float64
-	fluidVM          map[cluster.VMID]cluster.Resources
-	propagateTicks   int64
-	scratch          propScratch
-	workerScratch    []propScratch
-	activeScratch    []lbswitch.VIP
+	// Incremental propagation state (see propagate.go): dirty bitset
+	// with scratch, VIP→owner table for resolving route changes to
+	// apps, per-app ledgers of applied contributions, cached DNS
+	// shares, and the fluid part of every observable (traffic, switch
+	// load, VM demand) so session updates can rewrite canonical
+	// fluid+session sums. The epoch tables clear in O(1) on a full
+	// recompute instead of a memset over the whole table.
+	dirtyApps      ids.Bitset
+	dirtyScratch   []int32
+	computeScratch []int32
+	appScratch     []int32
+	vipOwner       []cluster.AppID // by VIP index; -1 = unowned
+	applied        []appApplied    // by AppID
+	shareCache     []sharesCache   // by AppID
+	fluidTraffic   epochF64        // by VIP index
+	fluidSwLoad    epochF64        // by VIP index
+	fluidVM        epochRes        // by VMID
+	propagateTicks int64
+	scratch        propScratch
+	activeScratch  []int32
+
+	// Persistent parallel-compute pool (see propagate.go): long-lived
+	// workers signalled per pass, so the parallel path allocates
+	// nothing after warm-up.
+	pool propPool
 
 	// suppressed marks VIPs whose DNS exposure is being managed by an
 	// in-flight control action (e.g. a knob-B drain); exposure
@@ -141,8 +172,8 @@ type Platform struct {
 
 	// Session-level demand overlay (see SessionOpened/SessionClosed):
 	// discrete sessions contribute demand on top of the fluid model.
-	sessVM  map[cluster.VMID]cluster.Resources
-	sessVIP map[lbswitch.VIP]float64
+	sessVM  epochRes // by VMID
+	sessVIP epochF64 // by VIP index
 
 	// Pre-failure snapshots, taken at fault time and consumed by the
 	// Repair* paths so components come back with their exact original
@@ -156,7 +187,7 @@ type Platform struct {
 	// the I2.GEN_MONOTONE check, and the violations accumulated by the
 	// periodic Propagate hook (capped at maxAuditViolations).
 	seed            int64
-	auditLastGen    map[cluster.AppID]int64
+	auditLastGen    []int64 // by AppID
 	auditViolations []audit.Violation
 	auditDropped    int64
 
@@ -191,31 +222,20 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 		Fabric:     lbswitch.NewFabric(),
 		Net:        netmodel.New(),
 		DNS:        dnsctl.New(topo.DNSTTLSeconds),
-		pods:       make(map[cluster.PodID]*PodManager),
-		appDemand:  make(map[cluster.AppID]Demand),
-		ripToVM:    make(map[lbswitch.RIP]cluster.VMID),
-		vmToRIP:    make(map[cluster.VMID]lbswitch.RIP),
-		appSlice:   make(map[cluster.AppID]cluster.Resources),
-		ripHomeVIP: make(map[lbswitch.RIP]lbswitch.VIP),
-		activeVIPs: make(map[lbswitch.VIP]bool),
+		vipIx:      ids.NewInterner[lbswitch.VIP](0),
+		ripIx:      ids.NewInterner[lbswitch.RIP](0),
 		suppressed: make(map[lbswitch.VIP]bool),
-		sessVM:     make(map[cluster.VMID]cluster.Resources),
-		sessVIP:    make(map[lbswitch.VIP]float64),
 		srvSnap:    make(map[cluster.ServerID]cluster.Resources),
 		swSnap:     make(map[lbswitch.SwitchID]lbswitch.Limits),
 		linkSnap:   make(map[netmodel.LinkID]float64),
 
-		dirtyApps:    make(map[cluster.AppID]struct{}),
-		vipOwner:     make(map[lbswitch.VIP]cluster.AppID),
-		applied:      make(map[cluster.AppID]*appApplied),
-		shareCache:   make(map[cluster.AppID]*sharesCache),
-		fluidTraffic: make(map[lbswitch.VIP]float64),
-		fluidSwLoad:  make(map[lbswitch.VIP]float64),
-		fluidVM:      make(map[cluster.VMID]cluster.Resources),
-
-		seed:         topo.Seed,
-		auditLastGen: make(map[cluster.AppID]int64),
+		seed: topo.Seed,
 	}
+	p.fluidTraffic.init()
+	p.fluidSwLoad.init()
+	p.fluidVM.init()
+	p.sessVIP.init()
+	p.sessVM.init()
 
 	// Access network: each ISP gets one AR; each AR gets LinksPerISP
 	// links to distinct border routers.
@@ -263,8 +283,7 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 				return nil, err
 			}
 		}
-		pm := newPodManager(p, pod.ID)
-		p.pods[pod.ID] = pm
+		p.pods = append(p.pods, newPodManager(p, pod.ID))
 		p.podOrder = append(p.podOrder, pod.ID)
 	}
 
@@ -273,8 +292,8 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 	// repropagation (see propagate.go).
 	p.DNS.OnChange = p.markAppDirty
 	p.Net.OnRouteChange = func(vip netmodel.VIPAddr) { p.markVIPDirty(lbswitch.VIP(vip)) }
-	for _, sw := range p.Fabric.Switches() {
-		sw.OnReconfig = p.onSwitchReconfig
+	for i := 0; i < p.Fabric.NumSwitches(); i++ {
+		p.Fabric.Switch(lbswitch.SwitchID(i)).OnReconfig = p.onSwitchReconfig
 	}
 
 	// Flight recorder: hand the simulation clock to the recorder and wire
@@ -327,7 +346,7 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 		p.ctrl.SetTracer(cfg.Trace)
 		p.ctrl.OnHeal = func(ep ctrlplane.Endpoint) {
 			if id, ok := ctrlplane.PodOf(ep); ok {
-				if pm := p.pods[cluster.PodID(id)]; pm != nil {
+				if pm := p.Pod(cluster.PodID(id)); pm != nil {
 					pm.Reconcile()
 				}
 			}
@@ -344,30 +363,57 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 func (p *Platform) Ctrl() *ctrlplane.Bus { return p.ctrl }
 
 // Pod returns the pod manager for the given pod.
-func (p *Platform) Pod(id cluster.PodID) *PodManager { return p.pods[id] }
+func (p *Platform) Pod(id cluster.PodID) *PodManager {
+	if id < 0 || int(id) >= len(p.pods) {
+		return nil
+	}
+	return p.pods[id]
+}
 
 // PodManagers returns all pod managers in pod order.
 func (p *Platform) PodManagers() []*PodManager {
-	out := make([]*PodManager, 0, len(p.podOrder))
-	for _, id := range p.podOrder {
-		out = append(out, p.pods[id])
-	}
+	out := make([]*PodManager, len(p.pods))
+	copy(out, p.pods)
 	return out
 }
 
 // Rand returns the platform's deterministic random source.
 func (p *Platform) Rand() *rand.Rand { return p.Eng.Rand() }
 
+// vipIndex returns vip's dense index, assigning one on first sight.
+func (p *Platform) vipIndex(vip lbswitch.VIP) ids.Index { return p.vipIx.Intern(vip) }
+
+// appDemandOf returns app's offered demand (zero when none registered).
+func (p *Platform) appDemandOf(app cluster.AppID) Demand {
+	if !p.demandApps.Get(int(app)) {
+		return Demand{}
+	}
+	return p.appDemand[app]
+}
+
+// appSliceOf returns app's registered per-instance slice.
+func (p *Platform) appSliceOf(app cluster.AppID) (cluster.Resources, bool) {
+	if !p.appSliceSet.Get(int(app)) {
+		return cluster.Resources{}, false
+	}
+	return p.appSlice[app], true
+}
+
 // VMForRIP resolves a RIP to its VM.
 func (p *Platform) VMForRIP(rip lbswitch.RIP) (cluster.VMID, bool) {
-	id, ok := p.ripToVM[rip]
-	return id, ok
+	ri, ok := p.ripIx.Lookup(rip)
+	if !ok || int(ri) >= len(p.ripVM) || p.ripVM[ri] < 0 {
+		return 0, false
+	}
+	return p.ripVM[ri], true
 }
 
 // RIPForVM resolves a VM to its RIP.
 func (p *Platform) RIPForVM(vm cluster.VMID) (lbswitch.RIP, bool) {
-	rip, ok := p.vmToRIP[vm]
-	return rip, ok
+	if vm < 0 || int(vm) >= len(p.vmRIP) || p.vmRIP[vm] == ids.None {
+		return "", false
+	}
+	return p.ripIx.Key(p.vmRIP[vm]), true
 }
 
 // OnboardApp registers an application end to end: VIPs allocated on
@@ -377,7 +423,9 @@ func (p *Platform) RIPForVM(vm cluster.VMID) (lbswitch.RIP, bool) {
 // placed across pods with RIPs configured under the app's VIPs.
 func (p *Platform) OnboardApp(name string, slice cluster.Resources, instances int, demand Demand) (*cluster.Application, error) {
 	app := p.Cluster.AddApp(name, slice)
+	p.appSlice = growSlice(p.appSlice, int(app.ID)+1)
 	p.appSlice[app.ID] = slice
+	p.appSliceSet.Set(int(app.ID))
 
 	for i := 0; i < p.Cfg.VIPsPerApp; i++ {
 		vip, _, err := p.allocVIP(app.ID)
@@ -454,7 +502,7 @@ func (p *Platform) DeployInstance(app cluster.AppID, pod cluster.PodID) (*cluste
 // pod manager "needs to be aware of which VIPs its RIPs are mapped to",
 // Section IV-F). An empty VIP lets the VIP/RIP manager choose.
 func (p *Platform) DeployInstanceFor(app cluster.AppID, pod cluster.PodID, preferred lbswitch.VIP) (*cluster.VM, error) {
-	slice, ok := p.appSlice[app]
+	slice, ok := p.appSliceOf(app)
 	if !ok {
 		a := p.Cluster.App(app)
 		if a == nil {
@@ -478,27 +526,45 @@ func (p *Platform) DeployInstanceFor(app cluster.AppID, pod cluster.PodID, prefe
 		p.Cluster.RemoveVM(vm.ID)
 		return nil, err
 	}
-	vip, _, err := p.VIPRIP.AddRIP(app, rip, 1, preferred)
+	vip, sw, err := p.VIPRIP.AddRIP(app, rip, 1, preferred)
 	if err != nil && preferred != "" {
 		// The preferred VIP's switch may be RIP-full; fall back to any.
-		vip, _, err = p.VIPRIP.AddRIP(app, rip, 1, "")
+		vip, sw, err = p.VIPRIP.AddRIP(app, rip, 1, "")
 	}
 	if err != nil {
 		p.VIPRIP.FreeRIP(rip)
 		p.Cluster.RemoveVM(vm.ID)
 		return nil, err
 	}
-	p.ripToVM[rip] = vm.ID
-	p.vmToRIP[vm.ID] = rip
-	p.ripHomeVIP[rip] = vip
+	p.bindRIP(rip, vm.ID, vip)
+	// Tag the switch entry with the VM index so demand propagation
+	// resolves RIP → VM by slice offset, not string lookup.
+	if s := p.Fabric.Switch(sw); s != nil {
+		s.SetRIPTag(vip, rip, int64(vm.ID))
+	}
 	p.reconcileExposure(app)
 	return vm, nil
 }
 
+// bindRIP records the rip ↔ vm ↔ home-VIP binding in the dense tables.
+func (p *Platform) bindRIP(rip lbswitch.RIP, vm cluster.VMID, vip lbswitch.VIP) {
+	ri := p.ripIx.Intern(rip)
+	vi := p.vipIndex(vip)
+	p.ripVM = growFill(p.ripVM, int(ri)+1, cluster.VMID(-1))
+	p.ripVM[ri] = vm
+	p.ripHome = growFill(p.ripHome, int(ri)+1, ids.None)
+	p.ripHome[ri] = vi
+	p.vmRIP = growFill(p.vmRIP, int(vm)+1, ids.None)
+	p.vmRIP[vm] = ri
+}
+
 // VIPOfRIP returns the VIP a RIP is configured under.
 func (p *Platform) VIPOfRIP(rip lbswitch.RIP) (lbswitch.VIP, bool) {
-	vip, ok := p.ripHomeVIP[rip]
-	return vip, ok
+	ri, ok := p.ripIx.Lookup(rip)
+	if !ok || int(ri) >= len(p.ripHome) || p.ripHome[ri] == ids.None {
+		return "", false
+	}
+	return p.vipIx.Key(p.ripHome[ri]), true
 }
 
 // Suppress marks or unmarks a VIP as under explicit exposure control (a
@@ -546,14 +612,16 @@ func (p *Platform) RemoveInstance(vm cluster.VMID) error {
 	if v == nil {
 		return fmt.Errorf("core: unknown vm %d", vm)
 	}
-	if rip, ok := p.vmToRIP[vm]; ok {
+	if int(vm) < len(p.vmRIP) && p.vmRIP[vm] != ids.None {
+		ri := p.vmRIP[vm]
+		rip := p.ripIx.Key(ri)
 		if err := p.VIPRIP.DelRIP(v.App, rip); err != nil {
 			return err
 		}
 		p.VIPRIP.FreeRIP(rip)
-		delete(p.vmToRIP, vm)
-		delete(p.ripToVM, rip)
-		delete(p.ripHomeVIP, rip)
+		p.vmRIP[vm] = ids.None
+		p.ripVM[ri] = -1
+		p.ripHome[ri] = ids.None
 	}
 	if err := p.Cluster.RemoveVM(vm); err != nil {
 		return err
@@ -585,22 +653,18 @@ func (p *Platform) emptiestServer(pod cluster.PodID, slice cluster.Resources) *c
 // SetAppDemand sets an application's offered demand and repropagates.
 func (p *Platform) SetAppDemand(app cluster.AppID, d Demand) {
 	if d.CPU <= 0 && d.Mbps <= 0 {
-		if _, had := p.appDemand[app]; had {
-			delete(p.appDemand, app)
-			p.demandAppsSorted = removeSorted(p.demandAppsSorted, app)
-		}
+		p.demandApps.Clear(int(app)) // the slot value is stale; the bit rules
 	} else {
-		if _, had := p.appDemand[app]; !had {
-			p.demandAppsSorted = insertSorted(p.demandAppsSorted, app)
-		}
+		p.appDemand = growSlice(p.appDemand, int(app)+1)
 		p.appDemand[app] = d
+		p.demandApps.Set(int(app))
 	}
 	p.markAppDirty(app)
 	p.Propagate()
 }
 
 // AppDemand returns the current offered demand of app.
-func (p *Platform) AppDemand(app cluster.AppID) Demand { return p.appDemand[app] }
+func (p *Platform) AppDemand(app cluster.AppID) Demand { return p.appDemandOf(app) }
 
 // SessionOpened records a discrete session's demand: res pinned to the
 // VM it connected to (TCP affinity) and its bandwidth on the VIP it
@@ -609,37 +673,42 @@ func (p *Platform) AppDemand(app cluster.AppID) Demand { return p.appDemand[app]
 // platform in exactly the state a full recompute would build and needs
 // no dirty marking.
 func (p *Platform) SessionOpened(vip lbswitch.VIP, vm cluster.VMID, res cluster.Resources) {
-	p.sessVIP[vip] += res.NetMbps
-	p.sessVM[vm] = p.sessVM[vm].Add(res)
+	vi := p.vipIndex(vip)
+	vmi := ids.Index(vm)
+	p.sessVIP.set(vi, p.sessVIP.get(vi)+res.NetMbps)
+	p.sessVM.add(vmi, res)
 	if v := p.Cluster.VM(vm); v != nil {
-		v.Demand = p.sessVM[vm].Add(p.fluidVM[vm])
+		v.Demand = p.sessVM.get(vmi).Add(p.fluidVM.get(vmi))
 	}
-	p.Net.SetVIPTraffic(string(vip), p.fluidTraffic[vip]+p.sessVIP[vip])
+	p.Net.SetVIPTraffic(string(vip), p.fluidTraffic.get(vi)+p.sessVIP.get(vi))
 	if home, ok := p.Fabric.HomeOf(vip); ok {
-		p.Fabric.Switch(home).SetVIPLoad(vip, p.fluidSwLoad[vip]+p.sessVIP[vip])
+		p.Fabric.Switch(home).SetVIPLoad(vip, p.fluidSwLoad.get(vi)+p.sessVIP.get(vi))
 	}
-	p.markVIPActive(vip)
+	p.markVIPActive(vi)
 }
 
 // SessionClosed reverses SessionOpened when the session ends, writing
 // the same canonical fluid+session sums.
 func (p *Platform) SessionClosed(vip lbswitch.VIP, vm cluster.VMID, res cluster.Resources) {
-	p.sessVIP[vip] -= res.NetMbps
-	if p.sessVIP[vip] <= 1e-12 {
-		delete(p.sessVIP, vip)
-	}
-	left := p.sessVM[vm].Sub(res)
-	if left.IsZero() || !left.NonNegative() {
-		delete(p.sessVM, vm)
+	vi := p.vipIndex(vip)
+	vmi := ids.Index(vm)
+	if left := p.sessVIP.get(vi) - res.NetMbps; left <= 1e-12 {
+		p.sessVIP.del(vi)
 	} else {
-		p.sessVM[vm] = left
+		p.sessVIP.set(vi, left)
+	}
+	left := p.sessVM.get(vmi).Sub(res)
+	if left.IsZero() || !left.NonNegative() {
+		p.sessVM.del(vmi)
+	} else {
+		p.sessVM.set(vmi, left)
 	}
 	if v := p.Cluster.VM(vm); v != nil {
-		v.Demand = p.sessVM[vm].Add(p.fluidVM[vm])
+		v.Demand = p.sessVM.get(vmi).Add(p.fluidVM.get(vmi))
 	}
-	p.Net.SetVIPTraffic(string(vip), p.fluidTraffic[vip]+p.sessVIP[vip])
+	p.Net.SetVIPTraffic(string(vip), p.fluidTraffic.get(vi)+p.sessVIP.get(vi))
 	if home, ok := p.Fabric.HomeOf(vip); ok {
-		p.Fabric.Switch(home).SetVIPLoad(vip, p.fluidSwLoad[vip]+p.sessVIP[vip])
+		p.Fabric.Switch(home).SetVIPLoad(vip, p.fluidSwLoad.get(vi)+p.sessVIP.get(vi))
 	}
 }
 
@@ -655,8 +724,8 @@ func (p *Platform) DriveDemand(app cluster.AppID, profile workload.Profile, perU
 
 // Start launches the pod and global control loops on the engine.
 func (p *Platform) Start() {
-	for _, id := range p.podOrder {
-		pm := p.pods[id]
+	for _, pm := range p.pods {
+		pm := pm
 		p.Eng.Every(p.Cfg.PodControlInterval, p.Cfg.PodControlInterval, func() bool {
 			pm.Step()
 			return true
@@ -673,7 +742,7 @@ func (p *Platform) Start() {
 	if p.ctrl.Enabled() && p.Cfg.Ctrl.SnapshotEvery > 0 {
 		for _, id := range p.podOrder {
 			id := id
-			pm := p.pods[id]
+			pm := p.Pod(id)
 			p.Eng.Every(0, p.Cfg.Ctrl.SnapshotEvery, func() bool {
 				util := pm.Utilization()
 				p.ctrl.Cast(ctrlplane.Pod(int(id)), ctrlplane.Global, "util-snapshot", func() {
@@ -704,7 +773,7 @@ func (p *Platform) Start() {
 func (p *Platform) appServedDemand(app cluster.AppID) (served, demand float64) {
 	a := p.Cluster.App(app)
 	if a == nil {
-		return 0, p.appDemand[app].CPU
+		return 0, p.appDemandOf(app).CPU
 	}
 	var vmDemand float64
 	for _, vmID := range a.VMIDs() {
@@ -715,7 +784,7 @@ func (p *Platform) appServedDemand(app cluster.AppID) (served, demand float64) {
 		}
 		served += vm.Served().CPU
 	}
-	demand = p.appDemand[app].CPU
+	demand = p.appDemandOf(app).CPU
 	if vmDemand > demand {
 		demand = vmDemand
 	}
@@ -763,17 +832,13 @@ func (p *Platform) TotalSatisfaction() float64 {
 		demand += d
 	}
 	// Fluid demand of apps that no longer exist in the cluster still
-	// counts as unserved. Sorted order: float sums must not depend on
-	// map iteration order.
-	var gone []cluster.AppID
-	for app := range p.appDemand {
+	// counts as unserved. Bitset iteration is ascending by app ID, so
+	// the float sum order is deterministic.
+	for _, ai := range p.demandApps.AppendMembers(nil) {
+		app := cluster.AppID(ai)
 		if p.Cluster.App(app) == nil {
-			gone = append(gone, app)
+			demand += p.appDemand[app].CPU
 		}
-	}
-	slices.Sort(gone)
-	for _, app := range gone {
-		demand += p.appDemand[app].CPU
 	}
 	if demand == 0 {
 		return 1
@@ -792,12 +857,16 @@ func (p *Platform) CheckInvariants() error {
 	if err := p.Net.CheckInvariants(); err != nil {
 		return err
 	}
-	for rip, vm := range p.ripToVM {
-		if p.vmToRIP[vm] != rip {
-			return fmt.Errorf("core: rip %s -> vm %d -> rip %s mismatch", rip, vm, p.vmToRIP[vm])
+	for i, vm := range p.ripVM {
+		if vm < 0 {
+			continue
+		}
+		ri := ids.Index(i)
+		if int(vm) >= len(p.vmRIP) || p.vmRIP[vm] != ri {
+			return fmt.Errorf("core: rip %s -> vm %d back-binding mismatch", p.ripIx.Key(ri), vm)
 		}
 		if p.Cluster.VM(vm) == nil {
-			return fmt.Errorf("core: rip %s maps to missing vm %d", rip, vm)
+			return fmt.Errorf("core: rip %s maps to missing vm %d", p.ripIx.Key(ri), vm)
 		}
 	}
 	// Cross-layer: every VIP DNS actually exposes (weight > 0) must be

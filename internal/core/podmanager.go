@@ -213,7 +213,7 @@ func (pm *PodManager) targetSlice(vm *cluster.VM, def cluster.Resources, head fl
 }
 
 func (pm *PodManager) defaultSlice(app cluster.AppID) cluster.Resources {
-	if s, ok := pm.p.appSlice[app]; ok {
+	if s, ok := pm.p.appSliceOf(app); ok {
 		return s
 	}
 	if a := pm.p.Cluster.App(app); a != nil {
@@ -371,7 +371,7 @@ func (pm *PodManager) desiredWeights(sw *lbswitch.Switch, vip lbswitch.VIP) ([]f
 	var inPodTotal, capTotal float64
 	caps := make([]float64, len(rips))
 	for i, rip := range rips {
-		vmID, ok := pm.p.ripToVM[rip]
+		vmID, ok := pm.p.VMForRIP(rip)
 		if !ok {
 			continue
 		}

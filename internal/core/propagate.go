@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"megadc/internal/cluster"
+	"megadc/internal/ids"
 	"megadc/internal/lbswitch"
 )
 
@@ -36,9 +37,21 @@ import (
 //     full recompute. Link loads and switch throughput are likewise
 //     canonical sums in fixed order (see netmodel.Link.LoadMbps and
 //     lbswitch.Switch.ThroughputMbps). This equivalence is what lets a
-//     periodic full-recompute fallback and a parallel full path coexist
-//     with the incremental path without changing any result, and it is
-//     checked exactly by Config.PropagateDebugCheck.
+//     periodic full-recompute fallback and a parallel compute phase
+//     coexist with the incremental path without changing any result,
+//     and it is checked exactly by Config.PropagateDebugCheck.
+//
+// Both the dirty path and the full path are phase-separated: a
+// sequential mutation phase (undo previous contributions, refresh share
+// caches, grow tables), a compute phase that only reads shared state
+// and fills disjoint per-app ledgers, and a sequential apply phase in
+// ascending app order. Nothing the compute phase reads is written by
+// the undo or apply phases of *other* apps (each VIP and VM belongs to
+// exactly one app, and compute reads exposure/placement/weights, not
+// loads), so the compute phase can fan out across the worker pool on
+// either path and the result stays bit-identical for any worker count —
+// determinism comes from the sorted sequential apply, the same contract
+// placement.ParallelPlace meets.
 //
 // The invariant between Propagate calls: for every VIP,
 // net traffic = fluidTraffic[vip] + sessVIP[vip] and
@@ -51,16 +64,16 @@ import (
 // Config.PropagateFullEvery is 0.
 const defaultFullEvery = 256
 
-// parallelThreshold is the minimum number of demand-carrying apps
-// before the full path fans out across workers; below it the
-// goroutine overhead outweighs the compute.
+// parallelThreshold is the minimum number of apps in a compute phase
+// before it fans out across workers; below it the handoff overhead
+// outweighs the compute.
 const parallelThreshold = 64
 
 // appliedVIP records what one Propagate wrote for one VIP of an app.
 type appliedVIP struct {
-	vip     lbswitch.VIP
-	traffic float64 // fluid Mbps set on the access network (pre-reachability)
-	swLoad  float64 // fluid Mbps set on the home switch (post-reachability)
+	vip     ids.Index // VIP intern index
+	traffic float64   // fluid Mbps set on the access network (pre-reachability)
+	swLoad  float64   // fluid Mbps set on the home switch (post-reachability)
 	hasHome bool
 	act     bool // carried demand: counts toward the active-VIP set
 }
@@ -84,19 +97,32 @@ func (r *appApplied) reset() {
 	r.vms = r.vms[:0]
 }
 
-// sharesCache holds an app's DNS expected shares with typed VIPs,
-// invalidated by the DNS record generation.
+// sharesCache holds an app's DNS expected shares with interned VIPs,
+// invalidated by the DNS record generation (gen 0 = no valid cache).
+// Refreshed only in sequential phases; the compute phase reads it.
 type sharesCache struct {
 	gen    int64
-	vips   []lbswitch.VIP
+	vips   []ids.Index
 	shares []float64
 }
 
-// propScratch is reusable buffer space for the RIP fan-out; the
-// parallel full path gives each worker its own.
+// propScratch is reusable buffer space for the RIP fan-out; each pool
+// worker owns one.
 type propScratch struct {
 	rips []lbswitch.RIP
+	tags []int64
 	mbps []float64
+}
+
+// propPool is the persistent compute-phase worker pool. Workers are
+// spawned once (growing to the configured width on first parallel
+// pass) and parked on their start channels between passes, so a
+// steady-state parallel Propagate allocates nothing.
+type propPool struct {
+	start  []chan struct{} // one slot per worker; send = run one pass
+	wg     sync.WaitGroup
+	apps   []int32 // the pass's work list, read-only during the pass
+	cursor atomic.Int64
 }
 
 // insertSorted inserts v into sorted s if absent, keeping s sorted.
@@ -122,13 +148,17 @@ func removeSorted[T cmp.Ordered](s []T, v T) []T {
 
 // markAppDirty queues app for recomputation on the next Propagate.
 func (p *Platform) markAppDirty(app cluster.AppID) {
-	p.dirtyApps[app] = struct{}{}
+	p.dirtyApps.Set(int(app))
 }
 
 // markVIPDirty marks the application owning vip dirty, when known.
 func (p *Platform) markVIPDirty(vip lbswitch.VIP) {
-	if app, ok := p.vipOwner[vip]; ok {
-		p.markAppDirty(app)
+	vi, ok := p.vipIx.Lookup(vip)
+	if !ok || int(vi) >= len(p.vipOwner) {
+		return
+	}
+	if owner := p.vipOwner[vi]; owner >= 0 {
+		p.markAppDirty(owner)
 	}
 }
 
@@ -137,55 +167,66 @@ func (p *Platform) markVIPDirty(vip lbswitch.VIP) {
 // maintains the VIP→owner index (AddVIP always precedes any route or
 // session activity on a VIP, so the index is complete by construction).
 func (p *Platform) onSwitchReconfig(vip lbswitch.VIP, app cluster.AppID) {
-	p.vipOwner[vip] = app
+	vi := p.vipIndex(vip)
+	p.vipOwner = growFill(p.vipOwner, int(vi)+1, cluster.AppID(-1))
+	p.vipOwner[vi] = app
 	p.markAppDirty(app)
 }
 
-// markVIPActive adds vip to the active set and its sorted index.
-func (p *Platform) markVIPActive(vip lbswitch.VIP) {
-	if !p.activeVIPs[vip] {
-		p.activeVIPs[vip] = true
-		p.activeSorted = insertSorted(p.activeSorted, vip)
-	}
+// markVIPActive adds the VIP index to the active set.
+func (p *Platform) markVIPActive(vi ids.Index) {
+	p.activeVIPs.Set(int(vi))
 }
 
-// unmarkVIPActive removes vip from the active set and its sorted index.
-func (p *Platform) unmarkVIPActive(vip lbswitch.VIP) {
-	if p.activeVIPs[vip] {
-		delete(p.activeVIPs, vip)
-		p.activeSorted = removeSorted(p.activeSorted, vip)
-	}
+// unmarkVIPActive removes the VIP index from the active set.
+func (p *Platform) unmarkVIPActive(vi ids.Index) {
+	p.activeVIPs.Clear(int(vi))
 }
 
-// sharesFor returns app's cached DNS expected shares, refreshing when
-// the DNS record generation moved. Returns nil when app has no record.
-func (p *Platform) sharesFor(app cluster.AppID) *sharesCache {
+// refreshShares revalidates app's DNS share cache against the current
+// record generation. Sequential phases only: it interns VIPs and grows
+// the cache table, both unsafe under the concurrent compute phase.
+func (p *Platform) refreshShares(app cluster.AppID) {
 	gen := p.DNS.Gen(app)
 	if gen == 0 {
-		return nil
+		if int(app) < len(p.shareCache) {
+			p.shareCache[app].gen = 0
+		}
+		return
 	}
-	c := p.shareCache[app]
-	if c != nil && c.gen == gen {
-		return c
+	p.shareCache = growSlice(p.shareCache, int(app)+1)
+	c := &p.shareCache[app]
+	if c.gen == gen {
+		return
 	}
 	vips, shares, err := p.DNS.ExpectedShares(app)
 	if err != nil {
-		return nil
-	}
-	if c == nil {
-		c = &sharesCache{}
-		p.shareCache[app] = c
+		c.gen = 0
+		return
 	}
 	c.gen = gen
 	c.vips = c.vips[:0]
 	for _, v := range vips {
-		c.vips = append(c.vips, lbswitch.VIP(v))
+		c.vips = append(c.vips, p.vipIndex(lbswitch.VIP(v)))
 	}
-	c.shares = shares
+	c.shares = append(c.shares[:0], shares...)
+}
+
+// sharesRO returns app's share cache if it is current, else nil (no DNS
+// record, or not refreshed this pass). Read-only: safe from the
+// concurrent compute phase, whose apps were all refreshed beforehand.
+func (p *Platform) sharesRO(app cluster.AppID) *sharesCache {
+	if int(app) >= len(p.shareCache) {
+		return nil
+	}
+	c := &p.shareCache[app]
+	if c.gen == 0 || c.gen != p.DNS.Gen(app) {
+		return nil
+	}
 	return c
 }
 
-// workers returns the full-path fan-out width.
+// workers returns the compute-phase fan-out width.
 func (p *Platform) workers() int {
 	if p.Cfg.PropagateWorkers > 0 {
 		return p.Cfg.PropagateWorkers
@@ -214,16 +255,16 @@ func (p *Platform) Propagate() {
 		fullEvery = defaultFullEvery
 	}
 	full := (fullEvery > 0 && p.propagateTicks%int64(fullEvery) == 0) ||
-		2*len(p.dirtyApps) >= len(p.demandAppsSorted)
+		2*p.dirtyApps.Count() >= p.demandApps.Count()
 	if full {
 		p.propagateFull()
+		p.dirtyApps.Reset()
 	} else {
-		p.propagateDirty()
+		p.propagateDirty() // clears consumed dirty bits itself
 		if p.Cfg.PropagateDebugCheck {
 			p.debugCheckAgainstFull()
 		}
 	}
-	clear(p.dirtyApps)
 	if p.Cfg.AuditOnChange || p.Cfg.AuditEvery > 0 {
 		p.maybeAudit()
 	}
@@ -233,129 +274,151 @@ func (p *Platform) Propagate() {
 // are identical to Propagate; exported for benchmarks and debugging.
 func (p *Platform) PropagateFull() {
 	p.propagateFull()
-	clear(p.dirtyApps)
+	p.dirtyApps.Reset()
 }
 
-// propagateDirty recomputes only the dirty applications, in sorted
-// order: undo the app's previous contributions, then recompute and
-// apply against the current DNS shares, placements, and health state.
+// appliedFor returns app's ledger, growing the table to cover it.
+func (p *Platform) appliedFor(app cluster.AppID) *appApplied {
+	p.applied = growSlice(p.applied, int(app)+1)
+	return &p.applied[app]
+}
+
+// propagateDirty recomputes only the dirty applications: a sequential
+// undo/refresh phase, a (possibly parallel) compute phase, and a
+// sequential apply phase in ascending app order.
 func (p *Platform) propagateDirty() {
-	if len(p.dirtyApps) == 0 {
+	apps := p.dirtyApps.AppendMembers(p.dirtyScratch[:0])
+	p.dirtyScratch = apps
+	if len(apps) == 0 {
 		return
 	}
-	apps := p.dirtyScratch[:0]
-	for app := range p.dirtyApps {
-		apps = append(apps, app)
-	}
-	slices.Sort(apps)
-	p.dirtyScratch = apps
-	for _, app := range apps {
-		rec := p.applied[app]
-		if rec != nil {
-			p.undoApp(rec)
-		}
-		demand, ok := p.appDemand[app]
-		if !ok {
-			if rec != nil {
-				rec.reset()
-			}
+	comp := p.computeScratch[:0]
+	for _, ai := range apps {
+		p.dirtyApps.Clear(int(ai)) // O(dirty), not O(table)
+		app := cluster.AppID(ai)
+		rec := p.appliedFor(app) // grown here, before compute takes pointers
+		p.undoApp(rec)
+		rec.reset()
+		if !p.demandApps.Get(int(ai)) {
 			continue
 		}
-		if rec == nil {
-			rec = &appApplied{}
-			p.applied[app] = rec
-		}
-		rec.reset()
-		p.computeApp(app, demand, rec, &p.scratch)
-		p.applyRec(rec)
+		p.refreshShares(app)
+		comp = append(comp, ai)
+	}
+	p.computeScratch = comp
+	p.computeApps(comp)
+	for _, ai := range comp {
+		p.applyRec(&p.applied[ai])
 	}
 }
 
-// propagateFull recomputes every application from scratch. The compute
-// phase fans out across a worker pool when the app count warrants it;
-// workers only fill disjoint per-app ledgers, and the apply phase runs
-// sequentially in sorted app order, so the result is bit-for-bit
-// identical for any worker count (the same contract placement.
-// ParallelPlace meets).
+// propagateFull recomputes every application from scratch: clear all
+// fluid state (O(1) epoch bumps for the big tables), refresh every
+// demand-carrying app's shares, then the same compute/apply phases as
+// the dirty path over the full app set.
 func (p *Platform) propagateFull() {
 	// Reset every VM carrying a RIP to its session-overlay base.
-	for vmID := range p.vmToRIP {
-		if vm := p.Cluster.VM(vmID); vm != nil {
-			vm.Demand = p.sessVM[vmID]
+	for vm, ri := range p.vmRIP {
+		if ri == ids.None {
+			continue
+		}
+		if v := p.Cluster.VM(cluster.VMID(vm)); v != nil {
+			v.Demand = p.sessVM.get(ids.Index(vm))
 		}
 	}
-	clear(p.fluidVM)
+	p.fluidVM.clearAll()
 	// Clear previously active VIPs down to their session-only load; the
 	// apply phase re-marks the ones still carrying demand.
-	act := append(p.activeScratch[:0], p.activeSorted...)
+	act := p.activeVIPs.AppendMembers(p.activeScratch[:0])
 	p.activeScratch = act
-	for _, vip := range act {
-		sess := p.sessVIP[vip]
+	for _, a := range act {
+		vi := ids.Index(a)
+		vip := p.vipIx.Key(vi)
+		sess := p.sessVIP.get(vi)
 		p.Net.SetVIPTraffic(string(vip), sess)
 		if home, ok := p.Fabric.HomeOf(vip); ok {
 			p.Fabric.Switch(home).SetVIPLoad(vip, sess)
 		}
 		if sess == 0 {
-			p.unmarkVIPActive(vip)
+			p.activeVIPs.Clear(int(vi))
 		}
 	}
-	clear(p.fluidTraffic)
-	clear(p.fluidSwLoad)
-	for app, rec := range p.applied {
-		if _, ok := p.appDemand[app]; !ok {
-			delete(p.applied, app)
-		} else {
-			rec.reset()
-		}
+	p.fluidTraffic.clearAll()
+	p.fluidSwLoad.clearAll()
+	for i := range p.applied {
+		p.applied[i].reset()
 	}
-	apps := p.demandAppsSorted
-	for _, app := range apps {
-		if p.applied[app] == nil {
-			p.applied[app] = &appApplied{}
-		}
-		p.sharesFor(app) // refresh caches before the read-only fan-out
+	apps := p.demandApps.AppendMembers(p.appScratch[:0])
+	p.appScratch = apps
+	if len(apps) == 0 {
+		return
 	}
-	if nw := p.workers(); nw > 1 && len(apps) >= parallelThreshold {
-		p.computeAppsParallel(apps, nw)
-	} else {
-		for _, app := range apps {
-			p.computeApp(app, p.appDemand[app], p.applied[app], &p.scratch)
-		}
+	p.applied = growSlice(p.applied, int(apps[len(apps)-1])+1)
+	for _, ai := range apps {
+		p.refreshShares(cluster.AppID(ai))
 	}
-	for _, app := range apps {
-		p.applyRec(p.applied[app])
+	p.computeApps(apps)
+	for _, ai := range apps {
+		p.applyRec(&p.applied[ai])
 	}
 }
 
-// computeAppsParallel fills each app's ledger concurrently. The compute
-// phase only reads platform state (share caches were refreshed by the
-// caller) and writes disjoint ledgers, so any scheduling order yields
-// the same ledgers; determinism comes from the sequential sorted apply.
-func (p *Platform) computeAppsParallel(apps []cluster.AppID, nw int) {
+// computeApps runs the compute phase over apps (ascending app indices),
+// fanning out across the worker pool when the width and app count
+// warrant it. Callers must have grown p.applied past the last app and
+// refreshed every app's share cache.
+func (p *Platform) computeApps(apps []int32) {
+	if nw := p.workers(); nw > 1 && len(apps) >= parallelThreshold {
+		p.computeAppsParallel(apps, nw)
+		return
+	}
+	for _, ai := range apps {
+		p.computeApp(cluster.AppID(ai), p.appDemand[ai], &p.applied[ai], &p.scratch)
+	}
+}
+
+// ensurePool grows the persistent worker pool to nw workers. Workers
+// park on their start channel between passes; each owns its scratch.
+func (p *Platform) ensurePool(nw int) {
+	for len(p.pool.start) < nw {
+		ch := make(chan struct{}, 1)
+		p.pool.start = append(p.pool.start, ch)
+		go func() {
+			sc := &propScratch{}
+			for range ch {
+				for {
+					i := p.pool.cursor.Add(1) - 1
+					if i >= int64(len(p.pool.apps)) {
+						break
+					}
+					ai := p.pool.apps[i]
+					p.computeApp(cluster.AppID(ai), p.appDemand[ai], &p.applied[ai], sc)
+				}
+				p.pool.wg.Done()
+			}
+		}()
+	}
+}
+
+// computeAppsParallel fills each app's ledger concurrently on the
+// persistent pool. The compute phase only reads platform state (share
+// caches were refreshed by the caller) and writes disjoint ledgers, so
+// any scheduling order yields the same ledgers; determinism comes from
+// the sequential sorted apply. The channel send publishes the pass
+// state to each worker; wg.Wait orders their writes before return.
+func (p *Platform) computeAppsParallel(apps []int32, nw int) {
 	if nw > len(apps) {
 		nw = len(apps)
 	}
-	if cap(p.workerScratch) < nw {
-		p.workerScratch = make([]propScratch, nw)
-	}
-	ws := p.workerScratch[:nw]
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
+	p.ensurePool(nw)
+	p.pool.apps = apps
+	p.pool.cursor.Store(0)
+	p.pool.wg.Add(nw)
 	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func(sc *propScratch) {
-			defer wg.Done()
-			for {
-				i := cursor.Add(1) - 1
-				if i >= int64(len(apps)) {
-					return
-				}
-				app := apps[i]
-				p.computeApp(app, p.appDemand[app], p.applied[app], sc)
-			}
-		}(&ws[w])
+		p.pool.start[w] <- struct{}{}
 	}
-	wg.Wait()
+	p.pool.wg.Wait()
+	p.pool.apps = nil
 }
 
 // computeApp fills rec with app's fluid contributions under the current
@@ -363,15 +426,16 @@ func (p *Platform) computeAppsParallel(apps []cluster.AppID, nw int) {
 // platform state but writes only rec and scratch, so it is safe to run
 // concurrently for distinct apps.
 func (p *Platform) computeApp(app cluster.AppID, demand Demand, rec *appApplied, scratch *propScratch) {
-	sc := p.sharesFor(app)
+	sc := p.sharesRO(app)
 	if sc == nil {
 		return // app has no DNS record: demand is unroutable
 	}
-	for i, vip := range sc.vips {
+	for i, vi := range sc.vips {
 		share := sc.shares[i]
+		vip := p.vipIx.Key(vi)
 		vipMbps := demand.Mbps * share
 		vipCPU := demand.CPU * share
-		av := appliedVIP{vip: vip, traffic: vipMbps, act: vipMbps > 0 || vipCPU > 0}
+		av := appliedVIP{vip: vi, traffic: vipMbps, act: vipMbps > 0 || vipCPU > 0}
 		home, ok := p.Fabric.HomeOf(vip)
 		if !ok {
 			rec.vips = append(rec.vips, av)
@@ -396,8 +460,9 @@ func (p *Platform) computeApp(app cluster.AppID, demand Demand, rec *appApplied,
 		if reach == 0 {
 			continue
 		}
-		rips, mbpsShares, err := sw.AppendVIPLoadShare(vip, vipMbps, scratch.rips[:0], scratch.mbps[:0])
-		scratch.rips, scratch.mbps = rips, mbpsShares
+		rips, tags, mbpsShares, err := sw.AppendVIPLoadShareTagged(vip, vipMbps,
+			scratch.rips[:0], scratch.tags[:0], scratch.mbps[:0])
+		scratch.rips, scratch.tags, scratch.mbps = rips, tags, mbpsShares
 		if err != nil {
 			continue
 		}
@@ -407,18 +472,23 @@ func (p *Platform) computeApp(app cluster.AppID, demand Demand, rec *appApplied,
 		for _, m := range mbpsShares {
 			totalMbps += m
 		}
-		for j, rip := range rips {
+		for j := range rips {
 			frac := 0.0
 			if totalMbps > 0 {
 				frac = mbpsShares[j] / totalMbps
 			} else if len(rips) > 0 {
 				frac = 1 / float64(len(rips))
 			}
-			vmID, ok := p.ripToVM[rip]
-			if !ok {
-				continue
+			// RIP → VM: the switch entry's tag carries the VM index for
+			// RIPs deployed through the platform; untagged entries (direct
+			// fabric configuration) fall back to the interner.
+			vmID := cluster.VMID(-1)
+			if t := tags[j]; t >= 0 {
+				vmID = cluster.VMID(t)
+			} else if ri, ok := p.ripIx.Lookup(rips[j]); ok && int(ri) < len(p.ripVM) {
+				vmID = p.ripVM[ri]
 			}
-			if p.Cluster.VM(vmID) == nil {
+			if vmID < 0 || p.Cluster.VM(vmID) == nil {
 				continue
 			}
 			rec.vms = append(rec.vms, appliedVM{vm: vmID, res: cluster.Resources{
@@ -434,25 +504,27 @@ func (p *Platform) computeApp(app cluster.AppID, demand Demand, rec *appApplied,
 func (p *Platform) undoApp(rec *appApplied) {
 	for i := range rec.vips {
 		av := &rec.vips[i]
-		sess := p.sessVIP[av.vip]
-		p.Net.SetVIPTraffic(string(av.vip), sess)
-		delete(p.fluidTraffic, av.vip)
+		vip := p.vipIx.Key(av.vip)
+		sess := p.sessVIP.get(av.vip)
+		p.Net.SetVIPTraffic(string(vip), sess)
+		p.fluidTraffic.del(av.vip)
 		// The VIP may have moved switches (or lost its home) since the
 		// ledger was written, so resolve the current home.
-		if home, ok := p.Fabric.HomeOf(av.vip); ok {
-			p.Fabric.Switch(home).SetVIPLoad(av.vip, sess)
+		if home, ok := p.Fabric.HomeOf(vip); ok {
+			p.Fabric.Switch(home).SetVIPLoad(vip, sess)
 		}
-		delete(p.fluidSwLoad, av.vip)
+		p.fluidSwLoad.del(av.vip)
 		if sess == 0 {
 			p.unmarkVIPActive(av.vip)
 		}
 	}
 	for i := range rec.vms {
 		avm := &rec.vms[i]
+		vmi := ids.Index(avm.vm)
 		if vm := p.Cluster.VM(avm.vm); vm != nil {
-			vm.Demand = p.sessVM[avm.vm]
+			vm.Demand = p.sessVM.get(vmi)
 		}
-		delete(p.fluidVM, avm.vm)
+		p.fluidVM.del(vmi)
 	}
 }
 
@@ -462,14 +534,15 @@ func (p *Platform) undoApp(rec *appApplied) {
 func (p *Platform) applyRec(rec *appApplied) {
 	for i := range rec.vips {
 		av := &rec.vips[i]
-		sess := p.sessVIP[av.vip]
-		p.Net.SetVIPTraffic(string(av.vip), av.traffic+sess)
-		p.fluidTraffic[av.vip] = av.traffic
+		vip := p.vipIx.Key(av.vip)
+		sess := p.sessVIP.get(av.vip)
+		p.Net.SetVIPTraffic(string(vip), av.traffic+sess)
+		p.fluidTraffic.set(av.vip, av.traffic)
 		if av.hasHome {
-			if home, ok := p.Fabric.HomeOf(av.vip); ok {
-				p.Fabric.Switch(home).SetVIPLoad(av.vip, av.swLoad+sess)
+			if home, ok := p.Fabric.HomeOf(vip); ok {
+				p.Fabric.Switch(home).SetVIPLoad(vip, av.swLoad+sess)
 			}
-			p.fluidSwLoad[av.vip] = av.swLoad
+			p.fluidSwLoad.set(av.vip, av.swLoad)
 		}
 		if av.act || sess > 0 {
 			p.markVIPActive(av.vip)
@@ -477,10 +550,11 @@ func (p *Platform) applyRec(rec *appApplied) {
 	}
 	for i := range rec.vms {
 		avm := &rec.vms[i]
+		vmi := ids.Index(avm.vm)
 		if vm := p.Cluster.VM(avm.vm); vm != nil {
 			vm.Demand = vm.Demand.Add(avm.res)
 		}
-		p.fluidVM[avm.vm] = p.fluidVM[avm.vm].Add(avm.res)
+		p.fluidVM.add(vmi, avm.res)
 	}
 }
 
@@ -500,19 +574,26 @@ func (p *Platform) captureState() *propState {
 		vipTraffic: make(map[lbswitch.VIP]uint64),
 		swVIPLoad:  make(map[lbswitch.VIP]uint64),
 	}
-	for vmID := range p.vmToRIP {
-		if vm := p.Cluster.VM(vmID); vm != nil {
-			s.vmDemand[vmID] = vm.Demand
+	for vm, ri := range p.vmRIP {
+		if ri == ids.None {
+			continue
+		}
+		if v := p.Cluster.VM(cluster.VMID(vm)); v != nil {
+			s.vmDemand[cluster.VMID(vm)] = v.Demand
 		}
 	}
-	for vip := range p.vipOwner {
+	for vi, owner := range p.vipOwner {
+		if owner < 0 {
+			continue
+		}
+		vip := p.vipIx.Key(ids.Index(vi))
 		s.vipTraffic[vip] = math.Float64bits(p.Net.VIPTraffic(string(vip)))
 		if home, ok := p.Fabric.HomeOf(vip); ok {
 			s.swVIPLoad[vip] = math.Float64bits(p.Fabric.Switch(home).VIPLoad(vip))
 		}
 	}
-	for _, sw := range p.Fabric.Switches() {
-		s.swLoads = append(s.swLoads, math.Float64bits(sw.ThroughputMbps()))
+	for i := 0; i < p.Fabric.NumSwitches(); i++ {
+		s.swLoads = append(s.swLoads, math.Float64bits(p.Fabric.Switch(lbswitch.SwitchID(i)).ThroughputMbps()))
 	}
 	for _, l := range p.Net.Links() {
 		s.linkLoads = append(s.linkLoads, math.Float64bits(l.LoadMbps()))

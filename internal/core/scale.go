@@ -1,0 +1,203 @@
+package core
+
+// Paper-scale construction (DESIGN.md §13). The interactive onboarding
+// path (OnboardApp) spends O(switches) picking a home for every VIP,
+// O(pod servers) picking a server for every VM, and one Propagate per
+// onboarded app — all fine for experiment-sized platforms, quadratic
+// pain at the paper's 300K servers / 300K applications / 6M RIPs. The
+// bulk loader here builds the same state with O(1) placement decisions:
+// VIPs round-robin over switches (balanced by construction, via
+// viprip.Manager.AddVIPOn), VMs round-robin over a flat server cursor,
+// RIPs configured under an explicit preferred VIP (the O(1) AddRIP
+// path), demand written straight into the dense tables, and exactly one
+// full propagation at the end.
+
+import (
+	"fmt"
+
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+)
+
+// ScaleSpec sizes a synthetic platform for the scale harness. All
+// counts are exact: Apps applications, each with VIPsPerApp VIPs and
+// InstancesPerApp VM instances, over Servers servers.
+type ScaleSpec struct {
+	Servers         int
+	Apps            int
+	InstancesPerApp int
+	VIPsPerApp      int
+	Seed            int64
+
+	// Demand is the per-app offered load installed by the bulk loader.
+	Demand Demand
+	// Slice is the per-instance resource slice.
+	Slice cluster.Resources
+}
+
+// PaperScaleSpec is the paper's headline build-out: 300K servers, 300K
+// elastic applications, 20 instances each — 6M VMs behind 6M RIPs.
+func PaperScaleSpec() ScaleSpec { return ScaleSpecFor(300_000) }
+
+// ScaleSpecFor derives a proportional tier of the paper-scale platform
+// from its server count (the scale index of BENCH_scale.json): as many
+// apps as servers, 20 instances per app, so every server carries ~20
+// VMs at every tier.
+func ScaleSpecFor(servers int) ScaleSpec {
+	return ScaleSpec{
+		Servers:         servers,
+		Apps:            servers,
+		InstancesPerApp: 20,
+		VIPsPerApp:      1,
+		Seed:            1,
+		Demand:          Demand{CPU: 1, Mbps: 2},
+		Slice:           cluster.Resources{CPU: 0.25, MemMB: 64, NetMbps: 5},
+	}
+}
+
+// NumVMs returns the total VM (and RIP) count of the spec.
+func (s ScaleSpec) NumVMs() int { return s.Apps * s.InstancesPerApp }
+
+// Topology derives the physical build-out: pods of ≤1000 servers,
+// unscaled Catalyst-CSM switches sized so the fleet holds the RIP count
+// with ≥2× headroom, and an access network whose links stay far below
+// saturation under the installed demand.
+func (s ScaleSpec) Topology() Topology {
+	pods := s.Servers / 1000
+	if pods < 4 {
+		pods = 4
+	}
+	limits := lbswitch.CatalystCSM()
+	switches := 2 * s.NumVMs() / limits.MaxRIPs
+	if min := 2 * s.Apps * s.VIPsPerApp / limits.MaxVIPs; min > switches {
+		switches = min
+	}
+	if switches < 8 {
+		switches = 8
+	}
+	perServer := float64(s.NumVMs()) / float64(s.Servers)
+	capacity := cluster.Resources{
+		CPU:     2 * perServer * s.Slice.CPU,
+		MemMB:   2 * perServer * s.Slice.MemMB,
+		NetMbps: 2 * perServer * s.Slice.NetMbps,
+	}
+	return Topology{
+		ISPs:           8,
+		LinksPerISP:    4,
+		LinkMbps:       float64(s.Apps) * s.Demand.Mbps, // ≤ ~6% utilization per link
+		BorderRouters:  8,
+		Switches:       switches,
+		SwitchLimits:   limits,
+		Pods:           pods,
+		ServersPerPod:  (s.Servers + pods - 1) / pods,
+		ServerCapacity: capacity,
+		DNSTTLSeconds:  60,
+		VIPPoolBase:    "198.18.0.0",
+		VIPPoolSize:    uint32(s.Apps*s.VIPsPerApp + 1024),
+		RIPPoolBase:    "10.0.0.0",
+		RIPPoolSize:    uint32(s.NumVMs() + 1024),
+		Seed:           s.Seed,
+		SwitchPods:     (switches + 31) / 32,
+	}
+}
+
+// BuildScalePlatform constructs a platform at the spec's scale and bulk
+// onboards every application. PropagateFullEvery is disabled so steady
+// ticks stay incremental; benchmarks call PropagateFull explicitly.
+func BuildScalePlatform(spec ScaleSpec) (*Platform, error) {
+	cfg := DefaultConfig()
+	cfg.VIPsPerApp = spec.VIPsPerApp
+	cfg.PropagateFullEvery = -1
+	p, err := NewPlatform(spec.Topology(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.OnboardAppsBulk(spec); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// OnboardAppsBulk registers spec.Apps applications with O(1) placement
+// decisions per entity and a single final full propagation. The
+// resulting state is structurally the same as spec.Apps OnboardApp
+// calls — VIPs homed and exposed, RIPs tagged, demand installed — just
+// placed by round-robin instead of pressure scans.
+func (p *Platform) OnboardAppsBulk(spec ScaleSpec) error {
+	if spec.Apps <= 0 || spec.InstancesPerApp <= 0 || spec.VIPsPerApp <= 0 {
+		return fmt.Errorf("core: scale spec needs apps, instances, and VIPs")
+	}
+	servers := p.Cluster.ServerIDs()
+	if len(servers) == 0 {
+		return fmt.Errorf("core: no servers to place on")
+	}
+	nsw := p.Fabric.NumSwitches()
+	vips := make([]lbswitch.VIP, 0, spec.VIPsPerApp)
+	srvCursor, vipCursor := 0, 0
+	for i := 0; i < spec.Apps; i++ {
+		app := p.Cluster.AddApp(fmt.Sprintf("app-%d", i), spec.Slice)
+		p.appSlice = growSlice(p.appSlice, int(app.ID)+1)
+		p.appSlice[app.ID] = spec.Slice
+		p.appSliceSet.Set(int(app.ID))
+		vips = vips[:0]
+		for v := 0; v < spec.VIPsPerApp; v++ {
+			sw := lbswitch.SwitchID(vipCursor % nsw)
+			vipCursor++
+			vip, err := p.VIPRIP.AddVIPOn(app.ID, sw)
+			if err != nil {
+				return fmt.Errorf("core: bulk app %d vip: %w", i, err)
+			}
+			if err := p.DNS.Register(app.ID, string(vip), 1); err != nil {
+				return err
+			}
+			if err := p.Net.Advertise(string(vip), p.pickAdvertLink(), false); err != nil {
+				return err
+			}
+			vips = append(vips, vip)
+		}
+		for j := 0; j < spec.InstancesPerApp; j++ {
+			srv := servers[srvCursor%len(servers)]
+			srvCursor++
+			vm, err := p.Cluster.PlaceVM(app.ID, srv, spec.Slice)
+			if err != nil {
+				return fmt.Errorf("core: bulk app %d instance %d: %w", i, j, err)
+			}
+			if err := p.Cluster.Start(vm.ID); err != nil {
+				return err
+			}
+			rip, err := p.VIPRIP.AllocRIP()
+			if err != nil {
+				return err
+			}
+			vip := vips[j%len(vips)]
+			_, home, err := p.VIPRIP.AddRIP(app.ID, rip, 1, vip)
+			if err != nil {
+				return fmt.Errorf("core: bulk app %d rip: %w", i, err)
+			}
+			p.bindRIP(rip, vm.ID, vip)
+			p.Fabric.Switch(home).SetRIPTag(vip, rip, int64(vm.ID))
+		}
+		p.appDemand = growSlice(p.appDemand, int(app.ID)+1)
+		p.appDemand[app.ID] = spec.Demand
+		p.demandApps.Set(int(app.ID))
+		p.markAppDirty(app.ID)
+	}
+	p.PropagateFull()
+	return nil
+}
+
+// SteadyTick is the scale harness's steady-state unit of work: one
+// app's demand shifts slightly and Propagate recomputes it
+// incrementally. i selects the app and perturbs the demand
+// deterministically.
+func (p *Platform) SteadyTick(i int) {
+	apps := p.Cluster.NumApps()
+	if apps == 0 {
+		return
+	}
+	app := cluster.AppID(i % apps)
+	d := p.appDemandOf(app)
+	d.CPU = 1 + float64(i%7)*0.05
+	d.Mbps = 2 + float64(i%5)*0.1
+	p.SetAppDemand(app, d)
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// buildScale constructs a scale-tier platform and sanity-checks it.
+func buildScale(t testing.TB, spec ScaleSpec) *Platform {
+	t.Helper()
+	p, err := BuildScalePlatform(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Cluster.NumVMs(); got != spec.NumVMs() {
+		t.Fatalf("built %d VMs, want %d", got, spec.NumVMs())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// steadyAllocs warms the incremental path and measures a steady tick's
+// heap allocations.
+func steadyAllocs(p *Platform) float64 {
+	i := 0
+	tick := func() { p.SteadyTick(i); i++ }
+	for ; i < 8; i++ {
+		p.SteadyTick(i)
+	}
+	return testing.AllocsPerRun(100, tick)
+}
+
+// TestScaleBulkOnboarding always runs: a small tier built through the
+// bulk loader must satisfy every invariant, audit clean, serve all its
+// demand, and tick the steady path without allocating.
+func TestScaleBulkOnboarding(t *testing.T) {
+	spec := ScaleSpecFor(500)
+	p := buildScale(t, spec)
+	if rep := p.Audit(); !rep.OK() {
+		t.Fatalf("bulk-built platform audits dirty:\n%s", rep)
+	}
+	if s := p.TotalSatisfaction(); s != 1 {
+		t.Fatalf("satisfaction %v, want 1 (capacity sized to fit demand)", s)
+	}
+	if n := steadyAllocs(p); n != 0 {
+		t.Fatalf("steady tick allocates %v times, want 0", n)
+	}
+}
+
+// TestScaleSmoke10K is the CI scale smoke (set MEGADC_SCALE_SMOKE=1):
+// the 10K-server tier constructs, audits clean, runs 100 steady ticks,
+// and the steady tick stays allocation-free.
+func TestScaleSmoke10K(t *testing.T) {
+	if os.Getenv("MEGADC_SCALE_SMOKE") == "" {
+		t.Skip("set MEGADC_SCALE_SMOKE=1 to run the 10K scale smoke")
+	}
+	spec := ScaleSpecFor(10_000)
+	start := time.Now()
+	p := buildScale(t, spec)
+	t.Logf("constructed %d servers / %d apps / %d VMs in %v",
+		spec.Servers, spec.Apps, spec.NumVMs(), time.Since(start))
+	if rep := p.Audit(); !rep.OK() {
+		t.Fatalf("10K platform audits dirty:\n%s", rep)
+	}
+	if n := steadyAllocs(p); n != 0 {
+		t.Fatalf("steady tick allocates %v times, want 0", n)
+	}
+	start = time.Now()
+	for i := 0; i < 100; i++ {
+		p.SteadyTick(i)
+	}
+	t.Logf("100 steady ticks in %v", time.Since(start))
+}
+
+// TestPaperScale300K is the acceptance run (set MEGADC_PAPER_SCALE=1):
+// the full paper-scale platform — 300K servers, 300K apps, 6M RIPs —
+// constructs in one process and runs ≥100 steady ticks.
+func TestPaperScale300K(t *testing.T) {
+	if os.Getenv("MEGADC_PAPER_SCALE") == "" {
+		t.Skip("set MEGADC_PAPER_SCALE=1 to run the 300K acceptance build")
+	}
+	spec := PaperScaleSpec()
+	start := time.Now()
+	p := buildScale(t, spec)
+	t.Logf("constructed %d servers / %d apps / %d VMs in %v",
+		spec.Servers, spec.Apps, spec.NumVMs(), time.Since(start))
+	if s := p.TotalSatisfaction(); s != 1 {
+		t.Fatalf("satisfaction %v, want 1", s)
+	}
+	start = time.Now()
+	for i := 0; i < 128; i++ {
+		p.SteadyTick(i)
+	}
+	t.Logf("128 steady ticks in %v (%v/tick)", time.Since(start), time.Since(start)/128)
+	if n := steadyAllocs(p); n != 0 {
+		t.Fatalf("steady tick allocates %v times, want 0", n)
+	}
+}

@@ -35,7 +35,8 @@ func TestViolationCarriesTimeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	vip := p.Fabric.VIPsOfApp(a.ID)[0]
-	p.fluidSwLoad[vip] += 1 // ledger no longer matches the switch table
+	vi := p.vipIndex(vip)
+	p.fluidSwLoad.set(vi, p.fluidSwLoad.get(vi)+1) // ledger no longer matches the switch table
 	rep := p.Audit()
 	if rep.OK() {
 		t.Fatal("corruption not detected")

@@ -1,0 +1,147 @@
+// Package ids provides the dense integer-ID machinery behind the
+// paper-scale data path (DESIGN.md §13): an interning layer that assigns
+// contiguous indices to externally-keyed entities (VIPs, RIPs) so
+// hot-path state can live in flat struct-of-arrays tables indexed by
+// slice offset instead of pointer-heavy maps, and a bitset used for
+// dirty sets and membership flags.
+//
+// Interned indices are assigned in first-seen order and are never
+// reused or compacted: an entity that disappears keeps its index, and
+// re-interning the same key always returns the same index. This makes
+// indices stable under add/remove churn — a table slot can be
+// invalidated and later revived without any other slot moving — which
+// is what lets per-entity ledgers be flat arrays. Assignment order is a
+// pure function of the call sequence, so seeded runs intern
+// identically; nothing observable may depend on the order itself
+// (core's determinism tests pin this).
+package ids
+
+import "math/bits"
+
+// Index is a dense interned index. The zero value is a valid index;
+// None marks "no entity".
+type Index = int32
+
+// None is the sentinel for an absent interned index.
+const None Index = -1
+
+// Interner bijectively maps keys to contiguous indices [0, Len).
+type Interner[K comparable] struct {
+	idx  map[K]Index
+	keys []K
+}
+
+// NewInterner returns an interner pre-sized for capacity keys.
+func NewInterner[K comparable](capacity int) *Interner[K] {
+	return &Interner[K]{
+		idx:  make(map[K]Index, capacity),
+		keys: make([]K, 0, capacity),
+	}
+}
+
+// Intern returns k's index, assigning the next contiguous one on first
+// sight.
+func (in *Interner[K]) Intern(k K) Index {
+	if in.idx == nil {
+		in.idx = make(map[K]Index)
+	}
+	if i, ok := in.idx[k]; ok {
+		return i
+	}
+	i := Index(len(in.keys))
+	in.idx[k] = i
+	in.keys = append(in.keys, k)
+	return i
+}
+
+// Lookup returns k's index without assigning one.
+func (in *Interner[K]) Lookup(k K) (Index, bool) {
+	i, ok := in.idx[k]
+	return i, ok
+}
+
+// Key returns the key interned at index i. It panics when i was never
+// assigned, exactly like an out-of-range slice index.
+func (in *Interner[K]) Key(i Index) K { return in.keys[i] }
+
+// Len returns the number of interned keys; valid indices are [0, Len).
+func (in *Interner[K]) Len() int { return len(in.keys) }
+
+// Bitset is a growable set of small non-negative integers. The zero
+// value is an empty set. All methods tolerate out-of-range reads
+// (absent) and grow on writes, so callers can index by entity ID
+// without pre-sizing.
+type Bitset struct {
+	words []uint64
+	count int
+}
+
+// Grow ensures the set can hold members in [0, n) without reallocating.
+func (b *Bitset) Grow(n int) {
+	need := (n + 63) / 64
+	if need > len(b.words) {
+		if need <= cap(b.words) {
+			b.words = b.words[:need]
+		} else {
+			w := make([]uint64, need, need+need/2)
+			copy(w, b.words)
+			b.words = w
+		}
+	}
+}
+
+// Set adds i to the set, reporting whether it was newly added.
+func (b *Bitset) Set(i int) bool {
+	b.Grow(i + 1)
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.count++
+	return true
+}
+
+// Clear removes i from the set, reporting whether it was present.
+func (b *Bitset) Clear(i int) bool {
+	w := i >> 6
+	if w >= len(b.words) {
+		return false
+	}
+	m := uint64(1) << (uint(i) & 63)
+	if b.words[w]&m == 0 {
+		return false
+	}
+	b.words[w] &^= m
+	b.count--
+	return true
+}
+
+// Get reports whether i is in the set.
+func (b *Bitset) Get(i int) bool {
+	w := i >> 6
+	return w >= 0 && w < len(b.words) && b.words[w]&(uint64(1)<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of members.
+func (b *Bitset) Count() int { return b.count }
+
+// Reset empties the set, keeping capacity.
+func (b *Bitset) Reset() {
+	clear(b.words)
+	b.count = 0
+}
+
+// AppendMembers appends the members in ascending order to dst and
+// returns it; bitset iteration order is inherently sorted, so callers
+// get deterministic traversal without a separate sorted index.
+func (b *Bitset) AppendMembers(dst []int32) []int32 {
+	for wi, w := range b.words {
+		base := int32(wi << 6)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}

@@ -1,0 +1,159 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestInternerRoundTrip is the exhaustive round-trip property: for any
+// key sequence, Intern assigns first-seen-order contiguous indices and
+// Key inverts them exactly.
+func TestInternerRoundTrip(t *testing.T) {
+	prop := func(keys []string) bool {
+		in := NewInterner[string](len(keys))
+		seen := make(map[string]Index)
+		order := 0
+		for _, k := range keys {
+			i := in.Intern(k)
+			if prev, ok := seen[k]; ok {
+				if i != prev {
+					return false // re-intern must be stable
+				}
+			} else {
+				if int(i) != order {
+					return false // indices must be contiguous, first-seen order
+				}
+				seen[k] = i
+				order++
+			}
+			if in.Key(i) != k {
+				return false
+			}
+			if got, ok := in.Lookup(k); !ok || got != i {
+				return false
+			}
+		}
+		return in.Len() == order
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInternerChurnStability pins that indices survive add/remove churn
+// of the entities they name: deleting an entity and re-creating it with
+// the same key yields the same index, and no other index moves.
+func TestInternerChurnStability(t *testing.T) {
+	in := NewInterner[string](0)
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	assigned := make(map[string]Index)
+	live := make(map[string]bool)
+	for op := 0; op < 5000; op++ {
+		k := keys[rng.Intn(len(keys))]
+		if live[k] && rng.Intn(2) == 0 {
+			delete(live, k) // "remove" the entity; the index stays reserved
+			continue
+		}
+		i := in.Intern(k)
+		if prev, ok := assigned[k]; ok && prev != i {
+			t.Fatalf("index for %q moved: %d -> %d", k, prev, i)
+		}
+		assigned[k] = i
+		live[k] = true
+	}
+	for k, i := range assigned {
+		if in.Key(i) != k {
+			t.Fatalf("Key(%d) = %q, want %q", i, in.Key(i), k)
+		}
+	}
+}
+
+func TestInternerZeroValue(t *testing.T) {
+	var in Interner[int]
+	if _, ok := in.Lookup(5); ok {
+		t.Fatal("empty interner resolved a key")
+	}
+	if i := in.Intern(5); i != 0 {
+		t.Fatalf("first index = %d, want 0", i)
+	}
+}
+
+func TestBitsetBasics(t *testing.T) {
+	var b Bitset
+	if b.Get(100) {
+		t.Fatal("empty set contains 100")
+	}
+	if !b.Set(100) || b.Set(100) {
+		t.Fatal("Set newness misreported")
+	}
+	if !b.Get(100) || b.Count() != 1 {
+		t.Fatal("membership after Set wrong")
+	}
+	if !b.Clear(100) || b.Clear(100) || b.Clear(9999) {
+		t.Fatal("Clear presence misreported")
+	}
+	if b.Count() != 0 {
+		t.Fatalf("count = %d after clear", b.Count())
+	}
+}
+
+// TestBitsetMatchesMap cross-checks the bitset against a reference map
+// under random churn, including the sorted-members contract.
+func TestBitsetMatchesMap(t *testing.T) {
+	var b Bitset
+	ref := make(map[int]bool)
+	rng := rand.New(rand.NewSource(3))
+	for op := 0; op < 20000; op++ {
+		i := rng.Intn(2000)
+		switch rng.Intn(3) {
+		case 0:
+			if b.Set(i) != !ref[i] {
+				t.Fatalf("Set(%d) newness mismatch", i)
+			}
+			ref[i] = true
+		case 1:
+			if b.Clear(i) != ref[i] {
+				t.Fatalf("Clear(%d) presence mismatch", i)
+			}
+			delete(ref, i)
+		default:
+			if b.Get(i) != ref[i] {
+				t.Fatalf("Get(%d) mismatch", i)
+			}
+		}
+	}
+	if b.Count() != len(ref) {
+		t.Fatalf("count %d != %d", b.Count(), len(ref))
+	}
+	members := b.AppendMembers(nil)
+	if len(members) != len(ref) {
+		t.Fatalf("members %d != %d", len(members), len(ref))
+	}
+	for i, m := range members {
+		if !ref[int(m)] {
+			t.Fatalf("member %d not in reference", m)
+		}
+		if i > 0 && members[i-1] >= m {
+			t.Fatalf("members not strictly ascending at %d", i)
+		}
+	}
+}
+
+func TestBitsetReset(t *testing.T) {
+	var b Bitset
+	for i := 0; i < 500; i += 7 {
+		b.Set(i)
+	}
+	b.Reset()
+	if b.Count() != 0 || len(b.AppendMembers(nil)) != 0 {
+		t.Fatal("Reset left members behind")
+	}
+	if !b.Set(3) {
+		t.Fatal("Set after Reset not new")
+	}
+}

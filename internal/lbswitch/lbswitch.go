@@ -99,6 +99,12 @@ type ripEntry struct {
 	rip    RIP
 	weight float64
 	conns  int
+	// tag is an opaque caller-attached value (-1 when unset). The
+	// platform stores the dense VM index of the instance behind the RIP
+	// so demand propagation can fan out to flat tables without a string
+	// lookup per RIP. Tags are simulator bookkeeping, not switch
+	// configuration: setting one does not count as a reconfiguration.
+	tag int64
 }
 
 type vipEntry struct {
@@ -259,7 +265,7 @@ func (s *Switch) AddRIP(vip VIP, rip RIP, weight float64) error {
 	if s.totalRIPs >= s.Limits.MaxRIPs {
 		return fmt.Errorf("%w: switch %d at %d", ErrRIPLimit, s.ID, s.Limits.MaxRIPs)
 	}
-	re := &ripEntry{rip: rip, weight: weight}
+	re := &ripEntry{rip: rip, weight: weight, tag: -1}
 	e.rips = append(e.rips, re)
 	e.ripIndex[rip] = re
 	s.totalRIPs++
@@ -322,6 +328,22 @@ func (s *Switch) SetWeight(vip VIP, rip RIP, weight float64) error {
 	if s.OnReconfig != nil {
 		s.OnReconfig(vip, e.app)
 	}
+	return nil
+}
+
+// SetRIPTag attaches an opaque tag to a configured RIP (see ripEntry).
+// Unlike weight changes this is not a reconfiguration: no counter bump,
+// no OnReconfig callback.
+func (s *Switch) SetRIPTag(vip VIP, rip RIP, tag int64) error {
+	e, ok := s.vips[vip]
+	if !ok {
+		return fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	re, ok := e.ripIndex[rip]
+	if !ok {
+		return fmt.Errorf("%w: %s in %s", ErrNoSuchRIP, rip, vip)
+	}
+	re.tag = tag
 	return nil
 }
 
@@ -543,6 +565,30 @@ func (s *Switch) AppendVIPLoadShare(vip VIP, load float64, rips []RIP, mbps []fl
 		return rips, mbps, fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
 	}
 	return s.appendLoadShare(e, load, rips, mbps)
+}
+
+// AppendVIPLoadShareTagged is AppendVIPLoadShare but also appends each
+// RIP's tag (-1 when unset) to tags, letting the hot path resolve
+// RIP → VM by dense index instead of a string-keyed lookup per RIP.
+func (s *Switch) AppendVIPLoadShareTagged(vip VIP, load float64, rips []RIP, tags []int64, mbps []float64) ([]RIP, []int64, []float64, error) {
+	e, ok := s.vips[vip]
+	if !ok {
+		return rips, tags, mbps, fmt.Errorf("%w: %s on switch %d", ErrNoSuchVIP, vip, s.ID)
+	}
+	var total float64
+	for _, re := range e.rips {
+		total += re.weight
+	}
+	for _, re := range e.rips {
+		rips = append(rips, re.rip)
+		tags = append(tags, re.tag)
+		share := 0.0
+		if total > 0 {
+			share = load * re.weight / total
+		}
+		mbps = append(mbps, share)
+	}
+	return rips, tags, mbps, nil
 }
 
 func (s *Switch) appendLoadShare(e *vipEntry, load float64, rips []RIP, mbps []float64) ([]RIP, []float64, error) {

@@ -64,14 +64,52 @@ type appDriver struct {
 	stats   Stats
 }
 
+// session is one in-flight session's state, pooled arena-style: records
+// are recycled through Driver.free, and each record's end-of-session
+// callback is bound once at first allocation (capturing only the record
+// pointer), so steady-state session churn allocates no per-session
+// closure or capture block. At paper scale the driver turns over
+// thousands of sessions per simulated second.
+type session struct {
+	d      *Driver
+	ad     *appDriver
+	sw     *lbswitch.Switch
+	connID lbswitch.ConnID
+	vip    lbswitch.VIP
+	vm     cluster.VMID
+	res    cluster.Resources
+	end    func() // pre-bound close callback, reused across recycles
+}
+
 // Driver generates sessions for a set of applications on one platform.
 type Driver struct {
 	p    *core.Platform
 	cfg  Config
 	apps map[cluster.AppID]*appDriver
+	free []*session // recycled session records (arena free list)
 
 	// StopAt ends arrival generation (0 = run for the whole simulation).
 	StopAt float64
+}
+
+// acquire pops a recycled session record, or mints one with its bound
+// end callback.
+func (d *Driver) acquire() *session {
+	if n := len(d.free); n > 0 {
+		s := d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		return s
+	}
+	s := &session{d: d}
+	s.end = s.close
+	return s
+}
+
+// release returns a record to the free list.
+func (d *Driver) release(s *session) {
+	s.ad, s.sw = nil, nil
+	d.free = append(d.free, s)
 }
 
 // NewDriver returns a driver for the platform with the given client
@@ -202,26 +240,33 @@ func (d *Driver) arrive(ad *appDriver) {
 		ad.stats.Rejected++
 		return
 	}
-	s := d.cfg.Template.Draw(d.p.Rand())
-	res := cluster.Resources{CPU: s.CPU, NetMbps: s.Mbps}
+	tpl := d.cfg.Template.Draw(d.p.Rand())
+	res := cluster.Resources{CPU: tpl.CPU, NetMbps: tpl.Mbps}
 	d.p.SessionOpened(vip, vmID, res)
 	ad.stats.Started++
 	ad.stats.Active++
 
-	d.p.Eng.After(s.Duration, func() {
-		ad.stats.Active--
-		// Close on the switch that opened the connection. Connection IDs
-		// are per-switch, so closing on the VIP's *current* home after a
-		// transfer could tear down an unrelated session that happens to
-		// hold the same ID there (I4.SESSION_CONSERVATION regression).
-		// A connection never survives a transfer — graceful transfers
-		// require quiescence and forced ones break every conn — so a
-		// false return here means this session was forcibly broken.
-		if closed := sw.CloseConn(connID); closed {
-			ad.stats.Completed++
-		} else {
-			ad.stats.Broken++
-		}
-		d.p.SessionClosed(vip, vmID, res)
-	})
+	s := d.acquire()
+	s.ad, s.sw, s.connID, s.vip, s.vm, s.res = ad, sw, connID, vip, vmID, res
+	d.p.Eng.After(tpl.Duration, s.end)
+}
+
+// close ends one session: close the connection, settle the outcome
+// counters, remove the demand overlay, and recycle the record.
+func (s *session) close() {
+	s.ad.stats.Active--
+	// Close on the switch that opened the connection. Connection IDs
+	// are per-switch, so closing on the VIP's *current* home after a
+	// transfer could tear down an unrelated session that happens to
+	// hold the same ID there (I4.SESSION_CONSERVATION regression).
+	// A connection never survives a transfer — graceful transfers
+	// require quiescence and forced ones break every conn — so a
+	// false return here means this session was forcibly broken.
+	if closed := s.sw.CloseConn(s.connID); closed {
+		s.ad.stats.Completed++
+	} else {
+		s.ad.stats.Broken++
+	}
+	s.d.p.SessionClosed(s.vip, s.vm, s.res)
+	s.d.release(s)
 }

@@ -10,7 +10,9 @@ package viprip
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"strconv"
+
+	"megadc/internal/ids"
 )
 
 // IPPool allocates unique IPv4 addresses from a base address. Freed
@@ -18,21 +20,29 @@ import (
 // returns the numerically lowest available address — a deterministic
 // rule property tests can assert. The paper's RIPs come from the
 // private 10/8 block; VIPs from the provider's public space.
+//
+// The pool is sized for the paper's ~6M RIPs: the free list is a binary
+// min-heap (O(log n) alloc/free instead of the O(n) sorted-insert a
+// slice would need), and in-use tracking is a bitset over the pool's
+// offset range (one bit per address) rather than a hash map.
 type IPPool struct {
 	base uint32
 	size uint32
 	next uint32
-	// freed holds returned addresses sorted descending, so the lowest
-	// is popped from the end in O(1).
+	// freed is a binary min-heap of returned offsets (addr - base); the
+	// root is the lowest freed address. Hand-rolled rather than
+	// container/heap to keep Alloc/Free allocation-free.
 	freed []uint32
-	inUse map[uint32]bool
+	inUse ids.Bitset
+	used  int
 }
 
 // ErrPoolExhausted is returned when no addresses remain.
 var ErrPoolExhausted = errors.New("viprip: IP pool exhausted")
 
 // NewIPPool returns a pool of size addresses starting at the dotted-quad
-// base (e.g. "10.0.0.0").
+// base (e.g. "10.0.0.0"). The range must fit the IPv4 address space:
+// base + size may not wrap past 255.255.255.255.
 func NewIPPool(base string, size uint32) (*IPPool, error) {
 	b, err := parseIPv4(base)
 	if err != nil {
@@ -41,26 +51,31 @@ func NewIPPool(base string, size uint32) (*IPPool, error) {
 	if size == 0 {
 		return nil, errors.New("viprip: pool size must be positive")
 	}
-	return &IPPool{base: b, size: size, inUse: make(map[uint32]bool)}, nil
+	if uint64(b)+uint64(size) > 1<<32 {
+		return nil, fmt.Errorf("viprip: pool %s+%d overflows the IPv4 address space", base, size)
+	}
+	p := &IPPool{base: b, size: size}
+	p.inUse.Grow(int(min(size, 1<<20))) // pre-size small pools fully; big ones grow on demand
+	return p, nil
 }
 
 // Alloc returns an unused address from the pool: the lowest freed
 // address when any exist (all freed addresses precede the never-used
 // range), otherwise the next never-used one.
 func (p *IPPool) Alloc() (string, error) {
-	var addr uint32
-	if n := len(p.freed); n > 0 {
-		addr = p.freed[n-1]
-		p.freed = p.freed[:n-1]
+	var off uint32
+	if len(p.freed) > 0 {
+		off = p.popMin()
 	} else {
 		if p.next >= p.size {
 			return "", ErrPoolExhausted
 		}
-		addr = p.base + p.next
+		off = p.next
 		p.next++
 	}
-	p.inUse[addr] = true
-	return formatIPv4(addr), nil
+	p.inUse.Set(int(off))
+	p.used++
+	return formatIPv4(p.base + off), nil
 }
 
 // Free returns an address to the pool. Freeing an address that is not
@@ -70,35 +85,102 @@ func (p *IPPool) Free(ip string) error {
 	if err != nil {
 		return err
 	}
-	if !p.inUse[a] {
+	if a < p.base || a-p.base >= p.size || !p.inUse.Get(int(a-p.base)) {
 		return fmt.Errorf("viprip: %s not allocated from this pool", ip)
 	}
-	delete(p.inUse, a)
-	// Insert keeping freed sorted descending (lowest last).
-	i := sort.Search(len(p.freed), func(i int) bool { return p.freed[i] < a })
-	p.freed = append(p.freed, 0)
-	copy(p.freed[i+1:], p.freed[i:])
-	p.freed[i] = a
+	off := a - p.base
+	p.inUse.Clear(int(off))
+	p.used--
+	p.pushMin(off)
 	return nil
 }
 
+// popMin removes and returns the smallest offset on the free heap.
+func (p *IPPool) popMin() uint32 {
+	h := p.freed
+	minOff := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	p.freed = h[:last]
+	h = p.freed
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return minOff
+}
+
+// pushMin adds an offset to the free heap.
+func (p *IPPool) pushMin(off uint32) {
+	p.freed = append(p.freed, off)
+	h := p.freed
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
 // Allocated returns the number of addresses currently in use.
-func (p *IPPool) Allocated() int { return len(p.inUse) }
+func (p *IPPool) Allocated() int { return p.used }
 
 // Capacity returns the pool size.
 func (p *IPPool) Capacity() uint32 { return p.size }
 
+// parseIPv4 parses a dotted-quad address without fmt's reflection
+// overhead; at 6M RIPs every Free goes through here.
 func parseIPv4(s string) (uint32, error) {
-	var a, b, c, d uint32
-	if n, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); n != 4 || err != nil {
+	var v uint32
+	part, digits, dots := uint32(0), 0, 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			part = part*10 + uint32(c-'0')
+			digits++
+			if digits > 3 || part > 255 {
+				return 0, fmt.Errorf("viprip: bad IPv4 %q", s)
+			}
+		case c == '.':
+			if digits == 0 || dots == 3 {
+				return 0, fmt.Errorf("viprip: bad IPv4 %q", s)
+			}
+			v = v<<8 | part
+			part, digits = 0, 0
+			dots++
+		default:
+			return 0, fmt.Errorf("viprip: bad IPv4 %q", s)
+		}
+	}
+	if dots != 3 || digits == 0 {
 		return 0, fmt.Errorf("viprip: bad IPv4 %q", s)
 	}
-	if a > 255 || b > 255 || c > 255 || d > 255 {
-		return 0, fmt.Errorf("viprip: bad IPv4 %q", s)
-	}
-	return a<<24 | b<<16 | c<<8 | d, nil
+	return v<<8 | part, nil
 }
 
 func formatIPv4(v uint32) string {
-	return fmt.Sprintf("%d.%d.%d.%d", v>>24&255, v>>16&255, v>>8&255, v&255)
+	var buf [15]byte
+	b := strconv.AppendUint(buf[:0], uint64(v>>24&255), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(v>>16&255), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(v>>8&255), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(v&255), 10)
+	return string(b)
 }

@@ -155,3 +155,114 @@ func TestIPPoolRecyclesLowestFirst(t *testing.T) {
 		}
 	}
 }
+
+// TestIPPoolLargeScale drives a pool at paper-RIP scale (millions of
+// addresses): bulk allocation, scattered frees, and lowest-first
+// recycling must all stay sub-linear per op — this test is the guard
+// against the O(n) sorted-insert free list regressing back in.
+func TestIPPoolLargeScale(t *testing.T) {
+	const size = 4 << 20 // 4M addresses, within 10/8
+	p, err := NewIPPool("10.0.0.0", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 20 // allocate 1M
+	ips := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ip, err := p.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		ips = append(ips, ip)
+	}
+	if p.Allocated() != n {
+		t.Fatalf("Allocated() = %d, want %d", p.Allocated(), n)
+	}
+	// Free a scattered seeded subset, tracking the minimum freed.
+	rng := rand.New(rand.NewSource(11))
+	freed := map[string]bool{}
+	low := ""
+	lowA := uint32(0)
+	for i := 0; i < 100_000; i++ {
+		ip := ips[rng.Intn(n)]
+		if freed[ip] {
+			continue
+		}
+		if err := p.Free(ip); err != nil {
+			t.Fatalf("free %s: %v", ip, err)
+		}
+		freed[ip] = true
+		a, _ := parseIPv4(ip)
+		if low == "" || a < lowA {
+			low, lowA = ip, a
+		}
+	}
+	got, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != low {
+		t.Fatalf("alloc after scattered frees = %s, want lowest freed %s", got, low)
+	}
+	// Drain the rest of the freed set: must come back ascending.
+	prev := lowA
+	for i := 1; i < len(freed); i++ {
+		ip, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := parseIPv4(ip)
+		if a <= prev {
+			t.Fatalf("recycled addresses out of order: %s after %s", ip, formatIPv4(prev))
+		}
+		prev = a
+	}
+}
+
+// TestIPPoolOverflowRejected pins the IPv4 address-space overflow guard:
+// a pool whose base+size wraps past 255.255.255.255 must be rejected at
+// construction, and the largest non-wrapping pool must be accepted.
+func TestIPPoolOverflowRejected(t *testing.T) {
+	if _, err := NewIPPool("255.255.255.0", 257); err == nil {
+		t.Fatal("pool wrapping past 255.255.255.255 was accepted")
+	}
+	if _, err := NewIPPool("255.255.255.0", 256); err != nil {
+		t.Fatalf("largest non-wrapping pool rejected: %v", err)
+	}
+	p, err := NewIPPool("255.255.255.254", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"255.255.255.254", "255.255.255.255"} {
+		got, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("alloc = %s, want %s", got, want)
+		}
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+}
+
+// TestIPv4ParseFormatRoundTrip checks the hand-rolled parser against the
+// formatter over random addresses and pins rejection of malformed input.
+func TestIPv4ParseFormatRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		got, err := parseIPv4(formatIPv4(v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []string{
+		"", ".", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1.2.3.1000",
+		"1..2.3", "a.b.c.d", "1.2.3.4 ", " 1.2.3.4", "-1.2.3.4", "1.2.3.",
+	} {
+		if _, err := parseIPv4(bad); err == nil {
+			t.Errorf("parseIPv4(%q) accepted malformed input", bad)
+		}
+	}
+}

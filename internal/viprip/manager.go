@@ -437,6 +437,25 @@ func (m *Manager) AddVIP(app cluster.AppID) (lbswitch.VIP, lbswitch.SwitchID, er
 	return vip, sw.ID, nil
 }
 
+// AddVIPOn allocates an address and configures the VIP on the given
+// switch, bypassing the policy scan. The bulk onboarding path uses it
+// with a round-robin switch cursor: placement there is balanced by
+// construction, so the O(switches) pressure scan per VIP would buy
+// nothing at paper scale.
+func (m *Manager) AddVIPOn(app cluster.AppID, sw lbswitch.SwitchID) (lbswitch.VIP, error) {
+	addr, err := m.vipPool.Alloc()
+	if err != nil {
+		return "", err
+	}
+	vip := lbswitch.VIP(addr)
+	if err := m.fabric.PlaceVIP(vip, app, sw); err != nil {
+		m.vipPool.Free(addr)
+		return "", err
+	}
+	m.tracer.Record(trace.EvAddVIP, 0, 0, trace.App(app), trace.VIP(vip), trace.SwitchRef(sw))
+	return vip, nil
+}
+
 // DelVIP removes a VIP (handled "in a straightforward way" per the
 // paper) and returns its address to the pool. Active connections are
 // broken; deletion is the caller's decision.
@@ -586,7 +605,8 @@ func (m *Manager) AdjustWeights(vip lbswitch.VIP, weights []float64) error {
 func (m *Manager) pickSwitchForVIP() *lbswitch.Switch {
 	var best *lbswitch.Switch
 	bestScore := 0.0
-	for _, sw := range m.fabric.Switches() {
+	for i, n := 0, m.fabric.NumSwitches(); i < n; i++ {
+		sw := m.fabric.Switch(lbswitch.SwitchID(i))
 		if sw.NumVIPs() >= sw.Limits.MaxVIPs {
 			continue
 		}
@@ -602,7 +622,7 @@ func (m *Manager) pickSwitchForVIP() *lbswitch.Switch {
 				score = u
 			}
 		case FirstFitPolicy:
-			return sw // lowest ID with room; Switches() is in ID order
+			return sw // lowest ID with room; iteration is in ID order
 		}
 		if best == nil || score < bestScore {
 			best, bestScore = sw, score

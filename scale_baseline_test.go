@@ -1,0 +1,55 @@
+package megadc
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestScaleBaselineParses pins the committed BENCH_scale.json: it must
+// parse, and the scale trajectory must cover all four tiers — 1K, 10K,
+// 100K, and the paper's 300K servers — for every scale benchmark, so a
+// partial regeneration (one tier rerun via SCALES=...) can never
+// silently drop the others from the baseline.
+func TestScaleBaselineParses(t *testing.T) {
+	data, err := os.ReadFile("BENCH_scale.json")
+	if err != nil {
+		t.Fatalf("missing baseline (regenerate with scripts/bench_scale.sh): %v", err)
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name    string  `json:"name"`
+			Scale   int     `json:"scale"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_scale.json: %v", err)
+	}
+	tiers := []int{1_000, 10_000, 100_000, 300_000}
+	names := []string{
+		"BenchmarkScaleConstruct",
+		"BenchmarkScaleSteadyTick",
+		"BenchmarkScalePropagateFull",
+	}
+	seen := map[string]map[int]bool{}
+	for _, b := range doc.Benchmarks {
+		if b.NsPerOp <= 0 {
+			t.Errorf("%s scale %d: ns_per_op %v, want > 0", b.Name, b.Scale, b.NsPerOp)
+		}
+		if seen[b.Name] == nil {
+			seen[b.Name] = map[int]bool{}
+		}
+		if seen[b.Name][b.Scale] {
+			t.Errorf("%s scale %d: duplicate row", b.Name, b.Scale)
+		}
+		seen[b.Name][b.Scale] = true
+	}
+	for _, name := range names {
+		for _, tier := range tiers {
+			if !seen[name][tier] {
+				t.Errorf("baseline missing %s at scale %d", name, tier)
+			}
+		}
+	}
+}

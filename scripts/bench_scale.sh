@@ -1,0 +1,33 @@
+#!/bin/sh
+# Regenerates BENCH_scale.json, the committed scale-trajectory baseline
+# (DESIGN.md §13): construction, steady-tick, and full-propagation cost
+# at 1K, 10K, 100K, and 300K servers (the last being the paper's
+# headline 300K-server / 300K-app / 6M-RIP build-out).
+#
+# Each tier is one `go test` invocation at -benchtime=1x — the 300K
+# construct alone takes over a minute, and BenchmarkScaleSteadyTick
+# amortizes a 1000-tick batch internally so its ns/tick metric stays
+# stable at a single iteration. Tiers merge into the baseline one at a
+# time via `benchjson -scale N -merge`, so a partial rerun (e.g.
+# `SCALES="10000" scripts/bench_scale.sh`) refreshes only its own rows.
+#
+# Run from anywhere; writes BENCH_scale.json at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_scale.json
+tmp=$(mktemp)
+merged=$(mktemp)
+trap 'rm -f "$tmp" "$merged"' EXIT
+
+SCALES=${SCALES:-"1000 10000 100000 300000"}
+
+for scale in $SCALES; do
+	echo "== tier: $scale servers ==" >&2
+	MEGADC_SCALE=$scale go test -run '^$' -bench 'BenchmarkScale' \
+		-benchtime=1x -benchmem -timeout 60m . >"$tmp"
+	go run ./tools/benchjson -scale "$scale" -merge "$out" <"$tmp" >"$merged"
+	mv "$merged" "$out"
+	merged=$(mktemp)
+done
+echo "wrote $out"

@@ -1,26 +1,44 @@
 // Command benchjson converts `go test -bench` output (read from stdin)
 // into a JSON document, so benchmark baselines can be committed and
 // diffed. scripts/bench_propagate.sh uses it to produce
-// BENCH_propagate.json. Only the standard library is used.
+// BENCH_propagate.json, and scripts/bench_scale.sh uses the -scale and
+// -merge flags to accumulate BENCH_scale.json one tier at a time. Only
+// the standard library is used.
 //
 // Each benchmark line becomes one record with ns/op, B/op, allocs/op,
 // and any custom b.ReportMetric units under "metrics". A trailing
 // -GOMAXPROCS suffix is stripped from names so baselines diff cleanly
 // across machines. Multiple concatenated `go test -bench` blocks are
 // accepted; later goos/goarch/cpu headers overwrite earlier ones.
+//
+// Flags:
+//
+//	-scale N      annotate every parsed record with "scale": N (the
+//	              platform server count the run was sized to)
+//	-merge FILE   start from the document in FILE and merge the parsed
+//	              records into it: a record replaces an existing one
+//	              with the same (name, scale) and appends otherwise,
+//	              so re-running one tier never clobbers the others.
+//	              A missing FILE is treated as an empty document.
+//
+// Output records are sorted by (name, scale) so merges are
+// order-independent and diffs stay minimal.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 type benchmark struct {
 	Name        string             `json:"name"`
+	Scale       int                `json:"scale,omitempty"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op"`
@@ -37,7 +55,20 @@ type document struct {
 }
 
 func main() {
+	scale := flag.Int("scale", 0, "annotate records with this scale (server count)")
+	merge := flag.String("merge", "", "merge parsed records into this existing JSON document")
+	flag.Parse()
+
 	doc := document{Benchmarks: []benchmark{}}
+	if *merge != "" {
+		prev, err := loadDocument(*merge)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		doc = prev
+	}
+
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -57,19 +88,55 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchjson: skipping unparseable line: %s\n", line)
 				continue
 			}
-			doc.Benchmarks = append(doc.Benchmarks, b)
+			b.Scale = *scale
+			doc.Benchmarks = upsert(doc.Benchmarks, b)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool {
+		a, b := doc.Benchmarks[i], doc.Benchmarks[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Scale < b.Scale
+	})
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadDocument reads an existing baseline; a missing file is an empty
+// document so the first tier of a fresh baseline needs no special case.
+func loadDocument(path string) (document, error) {
+	doc := document{Benchmarks: []benchmark{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return doc, nil
+	}
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// upsert replaces the record with b's (name, scale) or appends.
+func upsert(bs []benchmark, b benchmark) []benchmark {
+	for i := range bs {
+		if bs[i].Name == b.Name && bs[i].Scale == b.Scale {
+			bs[i] = b
+			return bs
+		}
+	}
+	return append(bs, b)
 }
 
 // parseBench parses "BenchmarkName-N  iters  v1 unit1  v2 unit2 ...".
