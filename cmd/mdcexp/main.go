@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		id          = flag.String("e", "all", "experiment id (e1..e16, x1..x4) or 'all'")
+		id          = flag.String("e", "all", "experiment id (e1..e17, x1..x4) or 'all'")
 		full        = flag.Bool("full", false, "run the larger configurations")
 		seed        = flag.Int64("seed", 1, "deterministic seed")
 		auditN      = flag.Int("audit", 10, "run the conservation-law auditor every N Propagate calls (0 disables)")

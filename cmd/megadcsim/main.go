@@ -16,6 +16,8 @@
 //	megadcsim -churn                   # continuous MTBF/MTTR fault churn with repair
 //	megadcsim -churn -churn-flap       # add link flapping to the churn
 //	megadcsim -sessions                # drive discrete sessions instead of fluid demand
+//	megadcsim -requests                # request-level workload: per-switch queues, per-request latency
+//	megadcsim -requests -req-rate 500 -req-queue 200   # explicit arrival rate and queue bound
 //	megadcsim -energy                  # attach the consolidation knob and report energy
 //	megadcsim -audit 10                # check conservation laws every 10 Propagate calls
 //	megadcsim -trace                   # flight-recorder tracing (DESIGN.md §10)
@@ -43,6 +45,7 @@ import (
 	"megadc/internal/metrics"
 	"megadc/internal/obs"
 	"megadc/internal/profiling"
+	"megadc/internal/requests"
 	"megadc/internal/sessions"
 	"megadc/internal/spans"
 	"megadc/internal/trace"
@@ -71,6 +74,11 @@ func main() {
 		churnDetect = flag.Float64("churn-detect", 15, "delay between a fault and the control plane detecting it (s)")
 		churnFlap   = flag.Bool("churn-flap", false, "add link flapping episodes to the churn")
 		useSess     = flag.Bool("sessions", false, "drive discrete client sessions instead of fluid demand")
+		useReqs     = flag.Bool("requests", false, "drive discrete requests through per-switch queues with per-request latency (DESIGN.md §14)")
+		reqRate     = flag.Float64("req-rate", 0, "with -requests: total request arrival rate (req/s; 0 = 60% of derived service capacity)")
+		reqQueue    = flag.Int("req-queue", 1000, "with -requests: per-switch bounded FIFO queue capacity")
+		reqCPU      = flag.Float64("req-cpu", 0.005, "with -requests: mean CPU-seconds one request costs a backend")
+		reqService  = flag.String("req-service", "exponential", "with -requests: service-time distribution (exponential|deterministic)")
 		useEnergy   = flag.Bool("energy", false, "attach the consolidation knob and report energy")
 		traceFile   = flag.String("demand-trace", "", "drive the most popular app's demand from a trace file (lines: 'time rate-multiplier')")
 		useTrace    = flag.Bool("trace", false, "attach the flight recorder + time-series sampler (DESIGN.md §10)")
@@ -145,6 +153,10 @@ func main() {
 		cfg.Ctrl.Registry = reg
 	} else if *ctrlDelay != 0 || *ctrlJitter != 0 || *ctrlLoss != 0 || *ctrlDup != 0 || *ctrlSnap != 0 || *partMTBF != 0 {
 		fmt.Fprintln(os.Stderr, "megadcsim: -ctrl-* flags require -ctrl")
+		os.Exit(2)
+	}
+	if !*useReqs && (*reqRate != 0 || *reqQueue != 1000 || *reqCPU != 0.005 || *reqService != "exponential") {
+		fmt.Fprintln(os.Stderr, "megadcsim: -req-* flags require -requests")
 		os.Exit(2)
 	}
 	if *knobs != "" {
@@ -226,6 +238,42 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	var reqEng *requests.Engine
+	if *useReqs {
+		dist, err := requests.ParseServiceDist(*reqService)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "megadcsim:", err)
+			os.Exit(2)
+		}
+		rcfg := requests.DefaultConfig()
+		rcfg.QueueCap = *reqQueue
+		rcfg.CPUPerRequest = *reqCPU
+		rcfg.Service = dist
+		rcfg.Registry = reg
+		rcfg.StopAt = *duration
+		rate := *reqRate
+		if rate <= 0 {
+			// 60% of the aggregate derived service capacity: apps × 3
+			// instances × 1-core slices, served at 1/CPUPerRequest each.
+			rate = 0.6 * float64(*apps*3) * slice.CPU / *reqCPU
+		}
+		rcfg.Profile = workload.Constant(rate)
+		reqEng, err = requests.New(p, rcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "megadcsim:", err)
+			os.Exit(1)
+		}
+		if err := reqEng.AddAppsZipf(appIDs, 0.9); err != nil {
+			fmt.Fprintln(os.Stderr, "megadcsim:", err)
+			os.Exit(1)
+		}
+		if err := reqEng.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "megadcsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("request engine: %.0f req/s over %d apps, queue cap %d, %s service, %.3f CPU·s/req\n\n",
+			rate, len(appIDs), *reqQueue, dist, *reqCPU)
 	}
 	var meter *energy.Meter
 	var cons *energy.Consolidator
@@ -333,6 +381,16 @@ func main() {
 		st := drv.TotalStats()
 		fmt.Printf("sessions: %d started, %d completed, %d broken, %d rejected\n",
 			st.Started, st.Completed, st.Broken, st.Rejected)
+	}
+	if reqEng != nil {
+		st := reqEng.Stats()
+		lat := reg.Histogram("requests.latency.all")
+		fmt.Printf("requests: %d generated, %d served, %d dropped, %d no-exposure, %d pending\n",
+			st.Generated, st.Served, st.Dropped, st.NoExposure, reqEng.Pending())
+		if lat.Count() > 0 {
+			fmt.Printf("request latency: p50=%.4fs p99=%.4fs p99.9=%.4fs max=%.4fs\n",
+				lat.Quantile(0.5), lat.Quantile(0.99), lat.Quantile(0.999), lat.Max())
+		}
 	}
 	if meter != nil {
 		fmt.Printf("energy: %.1f kWh (avg %.0f W); %d servers off, %d power cycles\n",

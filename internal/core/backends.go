@@ -1,0 +1,65 @@
+package core
+
+import (
+	"megadc/internal/cluster"
+	"megadc/internal/lbswitch"
+)
+
+// BackendScan computes the healthy backend serving capacity behind a
+// switch: the summed CPU slices of the running VMs whose RIPs are
+// configured under the switch's VIPs, skipping VMs on non-serving
+// servers. The request engine (internal/requests) derives each switch
+// queue's service rate from this number, so a pod failure or a drain
+// visibly slows the queue instead of silently vanishing from the model.
+//
+// The scan owns reusable scratch buffers: refreshing capacity for every
+// switch each control interval is allocation-free after warm-up, which
+// keeps the request engine off the allocator even at 10K switches.
+type BackendScan struct {
+	p    *Platform
+	rips []lbswitch.RIP
+	tags []int64
+	mbps []float64
+}
+
+// NewBackendScan returns a scan bound to the platform.
+func (p *Platform) NewBackendScan() *BackendScan { return &BackendScan{p: p} }
+
+// SwitchCPU returns the healthy backend CPU (cores) behind switch id.
+// A non-serving switch black-holes its traffic, so its capacity is 0
+// regardless of backend health. RIP entries resolve to VMs through the
+// dense tag the platform stamps at deploy time, falling back to the
+// string-keyed RIP table for entries configured outside the platform
+// (hand-built tests, forced transfers).
+func (bs *BackendScan) SwitchCPU(id lbswitch.SwitchID) float64 {
+	p := bs.p
+	sw := p.Fabric.Switch(id)
+	if sw == nil || !sw.Serving() {
+		return 0
+	}
+	var cpu float64
+	for _, vip := range sw.VIPOrder() {
+		bs.rips, bs.tags, bs.mbps = bs.rips[:0], bs.tags[:0], bs.mbps[:0]
+		var err error
+		bs.rips, bs.tags, bs.mbps, err = sw.AppendVIPLoadShareTagged(vip, 0, bs.rips, bs.tags, bs.mbps)
+		if err != nil {
+			continue
+		}
+		for i, tag := range bs.tags {
+			var vm *cluster.VM
+			if tag >= 0 {
+				vm = p.Cluster.VM(cluster.VMID(tag))
+			} else if vmID, ok := p.VMForRIP(bs.rips[i]); ok {
+				vm = p.Cluster.VM(vmID)
+			}
+			if vm == nil || vm.State != cluster.VMRunning {
+				continue
+			}
+			if srv := p.Cluster.Server(vm.Server); srv == nil || !srv.Serving() {
+				continue
+			}
+			cpu += vm.Slice.CPU
+		}
+	}
+	return cpu
+}

@@ -380,6 +380,11 @@ func (p *Platform) PodManagers() []*PodManager {
 // Rand returns the platform's deterministic random source.
 func (p *Platform) Rand() *rand.Rand { return p.Eng.Rand() }
 
+// Seed returns the topology seed the platform was built with. Optional
+// subsystems (ctrlplane, requests) derive their own RNG seeds from it
+// so that attaching them never perturbs the engine's main stream.
+func (p *Platform) Seed() int64 { return p.seed }
+
 // vipIndex returns vip's dense index, assigning one on first sight.
 func (p *Platform) vipIndex(vip lbswitch.VIP) ids.Index { return p.vipIx.Intern(vip) }
 

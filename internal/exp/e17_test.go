@@ -1,0 +1,66 @@
+package exp
+
+import "testing"
+
+// TestE17Deterministic is the acceptance criterion for the request
+// engine wiring: the same seed must reproduce the experiment table
+// byte-for-byte.
+func TestE17Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	tb1, _, err := RunE17(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, _, err := RunE17(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb1.String() != tb2.String() {
+		t.Fatalf("same seed produced different E17 tables:\n--- first ---\n%s\n--- second ---\n%s",
+			tb1.String(), tb2.String())
+	}
+}
+
+// TestE17LatencyNonTrivial: every sweep point must serve real traffic
+// with positive, ordered latency percentiles, and churn must hurt — for
+// a fixed pod shape the high-churn point must show a worse p99 (or more
+// drops) than the low-churn point.
+func TestE17LatencyNonTrivial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	_, res, err := RunE17(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 3 shapes × 2 churn rates", len(res.Rows))
+	}
+	byShape := make(map[[2]int][]E17Row)
+	for _, r := range res.Rows {
+		if r.Served < 1000 {
+			t.Errorf("shape %dx%d MTBF %v: only %d served", r.Pods, r.ServersPerPod, r.ServerMTBF, r.Served)
+		}
+		if r.P50 <= 0 || r.P99 < r.P50 || r.P999 < r.P99 {
+			t.Errorf("shape %dx%d MTBF %v: percentiles not ordered: p50=%v p99=%v p99.9=%v",
+				r.Pods, r.ServersPerPod, r.ServerMTBF, r.P50, r.P99, r.P999)
+		}
+		key := [2]int{r.Pods, r.ServersPerPod}
+		byShape[key] = append(byShape[key], r)
+	}
+	for shape, rows := range byShape {
+		if len(rows) != 2 {
+			t.Fatalf("shape %v: %d churn points", shape, len(rows))
+		}
+		calm, churned := rows[0], rows[1]
+		if churned.ServerMTBF > calm.ServerMTBF {
+			calm, churned = churned, calm
+		}
+		if churned.P99 <= calm.P99 && churned.Dropped <= calm.Dropped {
+			t.Errorf("shape %v: churn MTBF %v shows no degradation over MTBF %v (p99 %v vs %v, drops %d vs %d)",
+				shape, churned.ServerMTBF, calm.ServerMTBF, churned.P99, calm.P99, churned.Dropped, calm.Dropped)
+		}
+	}
+}

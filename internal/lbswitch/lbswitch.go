@@ -155,6 +155,10 @@ type Switch struct {
 	// The platform uses it to mark the application dirty for incremental
 	// demand propagation.
 	OnReconfig func(vip VIP, app cluster.AppID)
+
+	// Req accumulates request-queue telemetry when a request engine is
+	// attached (see reqstats.go). Zero-valued and untouched otherwise.
+	Req ReqStats
 }
 
 // Serving reports whether the switch is healthy enough to forward
@@ -198,6 +202,12 @@ func (s *Switch) VIPs() []VIP {
 	copy(out, s.vipOrder)
 	return out
 }
+
+// VIPOrder returns the switch's VIPs in insertion order as a read-only
+// view of the internal slice — no copy, so allocation-free scans over
+// every switch (capacity refresh in the request engine) can use it. The
+// caller must not mutate it or hold it across configuration changes.
+func (s *Switch) VIPOrder() []VIP { return s.vipOrder }
 
 // AddVIP configures a new VIP owned by app.
 func (s *Switch) AddVIP(vip VIP, app cluster.AppID) error {

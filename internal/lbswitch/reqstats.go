@@ -1,0 +1,56 @@
+package lbswitch
+
+import "fmt"
+
+// ReqStats is the request-queue telemetry one switch accumulates when a
+// request engine (internal/requests) is attached. The queue itself lives
+// in the engine — the switch only mirrors the counters, so the data path
+// stays free of request bookkeeping when no engine runs — but keeping
+// the numbers here puts per-switch occupancy next to the other switch
+// limits for observability and invariant checking.
+type ReqStats struct {
+	Enqueued int64 // requests admitted to the queue
+	Served   int64 // requests that completed service
+	Dropped  int64 // requests rejected (queue full or switch not serving)
+	Depth    int   // requests currently queued or in service
+	MaxDepth int   // high-water mark of Depth
+}
+
+// NoteReqEnqueued records one request entering the switch's queue.
+func (s *Switch) NoteReqEnqueued() {
+	s.Req.Enqueued++
+	s.Req.Depth++
+	if s.Req.Depth > s.Req.MaxDepth {
+		s.Req.MaxDepth = s.Req.Depth
+	}
+}
+
+// NoteReqServed records one request finishing service.
+func (s *Switch) NoteReqServed() {
+	s.Req.Served++
+	s.Req.Depth--
+}
+
+// NoteReqDropped records one request rejected without being queued.
+func (s *Switch) NoteReqDropped() { s.Req.Dropped++ }
+
+// CheckReqInvariants validates the request-counter conservation law:
+// every enqueued request is served or still in the queue, depth is
+// non-negative and under the high-water mark.
+func (s *Switch) CheckReqInvariants() error {
+	r := s.Req
+	if r.Depth < 0 {
+		return fmt.Errorf("switch %d: request depth %d < 0", s.ID, r.Depth)
+	}
+	if r.Enqueued != r.Served+int64(r.Depth) {
+		return fmt.Errorf("switch %d: enqueued %d != served %d + depth %d",
+			s.ID, r.Enqueued, r.Served, r.Depth)
+	}
+	if r.Depth > r.MaxDepth {
+		return fmt.Errorf("switch %d: depth %d > high-water %d", s.ID, r.Depth, r.MaxDepth)
+	}
+	if r.Enqueued < 0 || r.Served < 0 || r.Dropped < 0 {
+		return fmt.Errorf("switch %d: negative request counters %+v", s.ID, r)
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+// Package requests is the request-level workload engine: an open-loop
+// generator of discrete client requests that experience genuine
+// queueing. Sessions (internal/sessions) model long-lived flows as
+// fluid demand overlays; requests model the individual RPCs the paper's
+// elastic Internet applications actually serve. Each generated request
+// picks an application by Zipf popularity, resolves it through the
+// platform's DNS (TTL caches, violators and all), lands in its home LB
+// switch's bounded FIFO queue, waits behind the requests ahead of it,
+// holds a service slot for a drawn service time, and finally records
+// its end-to-end latency — queue wait plus service — in per-app
+// histograms (internal/metrics) that the /metrics endpoint exports.
+//
+// The queue's service rate is not configured, it is *derived*: each
+// switch serves at healthyBackendCPU / CPUPerRequest requests per
+// second (core.BackendScan), so a server failure, a drain, or a pod
+// partition slows the queue and the p99 visibly degrades — the
+// tail-latency coupling every SLO experiment in ROADMAP items 3–4
+// needs.
+//
+// Determinism: the engine draws every sample from its own seeded RNG
+// (the ctrlplane idiom), so enabling requests never shifts the
+// platform's main random stream — a run with the engine attached is
+// byte-identical in every non-request observable to the same run
+// without it. Event ordering is the sim engine's (time, seq) order, so
+// identical seeds yield byte-identical request streams and histograms.
+package requests
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"megadc/internal/cluster"
+	"megadc/internal/core"
+	"megadc/internal/dnsctl"
+	"megadc/internal/lbswitch"
+	"megadc/internal/metrics"
+	"megadc/internal/sim"
+	"megadc/internal/workload"
+)
+
+// ServiceDist selects the service-time distribution shape. The mean is
+// always 1/µ where µ is the switch's derived service rate; the shape
+// controls the variance around it.
+type ServiceDist int
+
+const (
+	// ServiceExponential draws exponential service times (M/M/1-style
+	// queueing; the default).
+	ServiceExponential ServiceDist = iota
+	// ServiceDeterministic uses the exact mean every time (M/D/1 —
+	// lower waiting-time variance, sharper knee).
+	ServiceDeterministic
+)
+
+func (d ServiceDist) String() string {
+	switch d {
+	case ServiceExponential:
+		return "exponential"
+	case ServiceDeterministic:
+		return "deterministic"
+	default:
+		return fmt.Sprintf("ServiceDist(%d)", int(d))
+	}
+}
+
+// ParseServiceDist maps the CLI spelling to a ServiceDist.
+func ParseServiceDist(s string) (ServiceDist, error) {
+	switch s {
+	case "exponential", "exp", "":
+		return ServiceExponential, nil
+	case "deterministic", "det":
+		return ServiceDeterministic, nil
+	default:
+		return 0, fmt.Errorf("requests: unknown service distribution %q", s)
+	}
+}
+
+// Config parameterizes one request engine.
+type Config struct {
+	// Profile is the total request arrival rate λ(t) in requests per
+	// second, split across applications by popularity weight. Validated
+	// with workload.ValidateProfile at Start.
+	Profile workload.Profile
+	// QueueCap bounds each switch's FIFO (requests waiting plus the one
+	// in service); arrivals beyond it are dropped.
+	QueueCap int
+	// CPUPerRequest is the mean CPU-seconds one request costs a
+	// backend; a switch with C healthy backend cores serves at
+	// C/CPUPerRequest requests per second.
+	CPUPerRequest float64
+	// Service selects the service-time distribution shape.
+	Service ServiceDist
+	// RefreshEvery is the interval at which each queue's service rate
+	// is re-derived from backend health. It is the engine's tick hook:
+	// scheduled with Eng.Every, consuming no randomness.
+	RefreshEvery float64
+	// Population, ViolatorFraction, ViolationHoldSec parameterize the
+	// per-app DNS client populations, exactly as in sessions.Config.
+	Population       int
+	ViolatorFraction float64
+	ViolationHoldSec float64
+	// Seed seeds the engine's own RNG (0 = derive from the platform's
+	// topology seed via an offset, so two subsystems never share one).
+	Seed int64
+	// StopAt ends arrival generation (0 = run for the whole simulation).
+	StopAt float64
+	// Registry receives the latency histograms and outcome counters.
+	// Required.
+	Registry *metrics.Registry
+}
+
+// DefaultConfig returns the standard request model: 1,000-deep switch
+// queues, 5 ms of CPU per request, exponential service, capacity
+// re-derived every second, and the sessions package's default client
+// population.
+func DefaultConfig() Config {
+	return Config{
+		QueueCap:         1000,
+		CPUPerRequest:    0.005,
+		Service:          ServiceExponential,
+		RefreshEvery:     1,
+		Population:       1000,
+		ViolatorFraction: 0.10,
+		ViolationHoldSec: 600,
+	}
+}
+
+// Stats counts request outcomes across the engine.
+type Stats struct {
+	Generated  int64 // arrivals drawn from the profile
+	Enqueued   int64 // admitted to a switch queue
+	Served     int64 // completed service (latency recorded)
+	Dropped    int64 // rejected: queue full or switch not serving
+	NoExposure int64 // DNS had no exposed VIP at arrival
+}
+
+// request is one in-flight request record, recycled through a sim.Pool
+// with its completion callback bound once at first allocation (the
+// sessions idiom) so steady request churn allocates nothing.
+type request struct {
+	e       *Engine
+	q       *swQueue
+	hist    *metrics.Histogram // per-app latency histogram
+	arrived float64            // arrival (enqueue) time
+	done    func()             // pre-bound completion callback
+}
+
+// swQueue is one switch's bounded FIFO plus its single aggregate
+// service slot: requests drain at the switch-wide derived rate µ in
+// arrival order. buf is a fixed ring allocated at attach time.
+type swQueue struct {
+	sw   *lbswitch.Switch
+	buf  []*request // ring, len == cap == Config.QueueCap
+	head int        // index of the request in service
+	n    int        // occupied slots (including the one in service)
+	mu   float64    // derived service rate, requests/sec
+	busy bool       // a completion event is scheduled
+}
+
+type appState struct {
+	app  cluster.AppID
+	pop  *dnsctl.ClientPopulation
+	hist *metrics.Histogram
+}
+
+// Engine generates requests against one platform. Construct with New,
+// add applications, then Start.
+type Engine struct {
+	p    *core.Platform
+	cfg  Config
+	rng  *rand.Rand
+	scan *core.BackendScan
+
+	apps    []*appState
+	weights []float64
+	queues  map[lbswitch.SwitchID]*swQueue
+	qOrder  []lbswitch.SwitchID // attach order, for deterministic refresh
+	pool    sim.Pool[request]
+	stats   Stats
+
+	latAll   *metrics.Histogram
+	waitAll  *metrics.Histogram
+	cServed  *metrics.Counter
+	cDropped *metrics.Counter
+	cNoExpo  *metrics.Counter
+
+	started bool
+}
+
+// New builds a request engine on the platform. The configuration is
+// validated eagerly; the arrival profile is validated too so a NaN- or
+// zero-Period profile fails here instead of silently generating nothing.
+func New(p *core.Platform, cfg Config) (*Engine, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("requests: Config.Registry is required")
+	}
+	if err := workload.ValidateProfile(cfg.Profile); err != nil {
+		return nil, err
+	}
+	if cfg.QueueCap <= 0 {
+		return nil, fmt.Errorf("requests: QueueCap %d must be > 0", cfg.QueueCap)
+	}
+	if !(cfg.CPUPerRequest > 0) || math.IsInf(cfg.CPUPerRequest, 0) {
+		return nil, fmt.Errorf("requests: CPUPerRequest %v must be finite and > 0", cfg.CPUPerRequest)
+	}
+	if cfg.RefreshEvery <= 0 {
+		return nil, fmt.Errorf("requests: RefreshEvery %v must be > 0", cfg.RefreshEvery)
+	}
+	if cfg.Population <= 0 {
+		return nil, fmt.Errorf("requests: Population %d must be > 0", cfg.Population)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		// Offset so a request engine and a ctrlplane bus seeded from the
+		// same topology seed still draw distinct streams.
+		seed = p.Seed() + 0x726571 // "req"
+	}
+	e := &Engine{
+		p:        p,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+		scan:     p.NewBackendScan(),
+		queues:   make(map[lbswitch.SwitchID]*swQueue),
+		latAll:   cfg.Registry.Histogram("requests.latency.all"),
+		waitAll:  cfg.Registry.Histogram("requests.wait.all"),
+		cServed:  cfg.Registry.Counter("requests.served"),
+		cDropped: cfg.Registry.Counter("requests.dropped"),
+		cNoExpo:  cfg.Registry.Counter("requests.no_exposure"),
+	}
+	e.pool.New = func(r *request) {
+		r.e = e
+		r.done = r.complete
+	}
+	return e, nil
+}
+
+// AddApp registers an application with the given popularity weight.
+// Weights are relative (workload.PickWeighted); they need not sum to 1.
+func (e *Engine) AddApp(app cluster.AppID, weight float64) error {
+	if e.started {
+		return fmt.Errorf("requests: AddApp after Start")
+	}
+	for _, as := range e.apps {
+		if as.app == app {
+			return fmt.Errorf("requests: app %d already driven", app)
+		}
+	}
+	pop, err := dnsctl.NewClientPopulation(e.p.DNS, app, e.cfg.Population,
+		e.cfg.ViolatorFraction, e.cfg.ViolationHoldSec, e.rng)
+	if err != nil {
+		return err
+	}
+	e.apps = append(e.apps, &appState{
+		app:  app,
+		pop:  pop,
+		hist: e.cfg.Registry.Histogram(fmt.Sprintf("requests.latency.app-%02d", app)),
+	})
+	e.weights = append(e.weights, weight)
+	return nil
+}
+
+// AddAppsZipf registers apps with Zipf(s) popularity: the first app in
+// the slice is the most popular.
+func (e *Engine) AddAppsZipf(apps []cluster.AppID, s float64) error {
+	w := workload.ZipfWeights(len(apps), s)
+	for i, app := range apps {
+		if err := e.AddApp(app, w[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start begins arrival generation and the periodic capacity refresh.
+func (e *Engine) Start() error {
+	if e.started {
+		return fmt.Errorf("requests: already started")
+	}
+	if len(e.apps) == 0 {
+		return fmt.Errorf("requests: no applications added")
+	}
+	e.started = true
+	e.refresh()
+	// Every's first argument is an absolute time: offset from Now so an
+	// engine started mid-simulation doesn't schedule into the past.
+	e.p.Eng.Every(e.p.Eng.Now()+e.cfg.RefreshEvery, e.cfg.RefreshEvery, func() bool {
+		e.refresh()
+		return e.cfg.StopAt <= 0 || e.p.Eng.Now() < e.cfg.StopAt || e.Pending() > 0
+	})
+	e.scheduleNext()
+	return nil
+}
+
+// Stats returns the outcome counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// RefreshCapacity forces one capacity-refresh pass outside the periodic
+// schedule — re-deriving every attached queue's service rate from
+// current backend health — for callers that just mutated the topology
+// and want queues to react immediately (and for the scale benchmarks,
+// which measure exactly this pass).
+func (e *Engine) RefreshCapacity() { e.refresh() }
+
+// AttachedQueues returns how many switch queues the engine has attached
+// so far (queues attach lazily, on the first request homed at a switch).
+func (e *Engine) AttachedQueues() int { return len(e.qOrder) }
+
+// Pending returns the number of requests currently queued or in service
+// across all switches.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, id := range e.qOrder {
+		n += e.queues[id].n
+	}
+	return n
+}
+
+// queueFor returns (attaching on first sight) the queue of switch id.
+func (e *Engine) queueFor(id lbswitch.SwitchID) *swQueue {
+	if q, ok := e.queues[id]; ok {
+		return q
+	}
+	q := &swQueue{
+		sw:  e.p.Fabric.Switch(id),
+		buf: make([]*request, e.cfg.QueueCap),
+		mu:  e.scan.SwitchCPU(id) / e.cfg.CPUPerRequest,
+	}
+	e.queues[id] = q
+	e.qOrder = append(e.qOrder, id)
+	return q
+}
+
+// refresh re-derives every attached queue's service rate from current
+// backend health, and restarts service on queues that stalled at µ = 0.
+// Iteration follows attach order, so the event sequence is a pure
+// function of the run's history — never of map iteration order.
+func (e *Engine) refresh() {
+	for _, id := range e.qOrder {
+		q := e.queues[id]
+		q.mu = e.scan.SwitchCPU(id) / e.cfg.CPUPerRequest
+		if !q.busy && q.n > 0 && q.mu > 0 {
+			e.startService(q)
+		}
+	}
+}
+
+func (e *Engine) scheduleNext() {
+	next := workload.NextArrival(e.cfg.Profile, e.p.Eng.Now(), e.rng)
+	if math.IsInf(next, 1) {
+		return
+	}
+	if e.cfg.StopAt > 0 && next > e.cfg.StopAt {
+		return
+	}
+	e.p.Eng.At(next, func() {
+		e.arrive()
+		e.scheduleNext()
+	})
+}
+
+// arrive handles one request: pick app → resolve VIP → home switch →
+// enqueue (or drop).
+func (e *Engine) arrive() {
+	e.stats.Generated++
+	now := e.p.Eng.Now()
+	as := e.apps[workload.PickWeighted(e.weights, e.rng)]
+	vipStr, err := as.pop.Arrive(now, e.rng)
+	if err != nil {
+		e.stats.NoExposure++
+		e.cNoExpo.Inc()
+		return
+	}
+	home, ok := e.p.Fabric.HomeOf(lbswitch.VIP(vipStr))
+	if !ok {
+		e.stats.NoExposure++
+		e.cNoExpo.Inc()
+		return
+	}
+	q := e.queueFor(home)
+	if !q.sw.Serving() || q.n >= len(q.buf) {
+		e.stats.Dropped++
+		e.cDropped.Inc()
+		q.sw.NoteReqDropped()
+		return
+	}
+	r := e.pool.Get()
+	r.q, r.hist, r.arrived = q, as.hist, now
+	q.buf[(q.head+q.n)%len(q.buf)] = r
+	q.n++
+	e.stats.Enqueued++
+	q.sw.NoteReqEnqueued()
+	if !q.busy && q.mu > 0 {
+		e.startService(q)
+	}
+}
+
+// startService begins serving the head-of-line request: draw a service
+// time at the queue's current rate and schedule its completion. The
+// wait the request accrued so far is recorded here, where it ends.
+func (e *Engine) startService(q *swQueue) {
+	r := q.buf[q.head]
+	q.busy = true
+	e.waitAll.Observe(e.p.Eng.Now() - r.arrived)
+	var svc float64
+	switch e.cfg.Service {
+	case ServiceDeterministic:
+		svc = 1 / q.mu
+	default:
+		svc = e.rng.ExpFloat64() / q.mu
+	}
+	e.p.Eng.After(svc, r.done)
+}
+
+// complete finishes the head-of-line request of its queue: record
+// end-to-end latency, advance the ring, start the next request.
+func (r *request) complete() {
+	e, q := r.e, r.q
+	lat := e.p.Eng.Now() - r.arrived
+	r.hist.Observe(lat)
+	e.latAll.Observe(lat)
+	e.stats.Served++
+	e.cServed.Inc()
+	q.sw.NoteReqServed()
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.busy = false
+	r.q, r.hist = nil, nil
+	e.pool.Put(r)
+	if q.n > 0 && q.mu > 0 {
+		e.startService(q)
+	}
+}

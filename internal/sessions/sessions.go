@@ -20,6 +20,7 @@ import (
 	"megadc/internal/core"
 	"megadc/internal/dnsctl"
 	"megadc/internal/lbswitch"
+	"megadc/internal/sim"
 	"megadc/internal/workload"
 )
 
@@ -65,7 +66,7 @@ type appDriver struct {
 }
 
 // session is one in-flight session's state, pooled arena-style: records
-// are recycled through Driver.free, and each record's end-of-session
+// are recycled through a sim.Pool, and each record's end-of-session
 // callback is bound once at first allocation (capturing only the record
 // pointer), so steady-state session churn allocates no per-session
 // closure or capture block. At paper scale the driver turns over
@@ -86,30 +87,16 @@ type Driver struct {
 	p    *core.Platform
 	cfg  Config
 	apps map[cluster.AppID]*appDriver
-	free []*session // recycled session records (arena free list)
+	pool sim.Pool[session] // recycled session records (arena free list)
 
 	// StopAt ends arrival generation (0 = run for the whole simulation).
 	StopAt float64
 }
 
-// acquire pops a recycled session record, or mints one with its bound
-// end callback.
-func (d *Driver) acquire() *session {
-	if n := len(d.free); n > 0 {
-		s := d.free[n-1]
-		d.free[n-1] = nil
-		d.free = d.free[:n-1]
-		return s
-	}
-	s := &session{d: d}
-	s.end = s.close
-	return s
-}
-
 // release returns a record to the free list.
 func (d *Driver) release(s *session) {
 	s.ad, s.sw = nil, nil
-	d.free = append(d.free, s)
+	d.pool.Put(s)
 }
 
 // NewDriver returns a driver for the platform with the given client
@@ -121,7 +108,12 @@ func NewDriver(p *core.Platform, cfg Config) (*Driver, error) {
 	if cfg.Template.MeanDuration <= 0 {
 		return nil, fmt.Errorf("sessions: mean duration %v", cfg.Template.MeanDuration)
 	}
-	return &Driver{p: p, cfg: cfg, apps: make(map[cluster.AppID]*appDriver)}, nil
+	d := &Driver{p: p, cfg: cfg, apps: make(map[cluster.AppID]*appDriver)}
+	d.pool.New = func(s *session) {
+		s.d = d
+		s.end = s.close
+	}
+	return d, nil
 }
 
 // AddApp starts generating sessions for app following the arrival-rate
@@ -246,7 +238,7 @@ func (d *Driver) arrive(ad *appDriver) {
 	ad.stats.Started++
 	ad.stats.Active++
 
-	s := d.acquire()
+	s := d.pool.Get()
 	s.ad, s.sw, s.connID, s.vip, s.vm, s.res = ad, sw, connID, vip, vmID, res
 	d.p.Eng.After(tpl.Duration, s.end)
 }

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestPickWeightedNaNPanicsWithIndex is the regression test for the
+// silent-bias bug: a single NaN weight made `total` NaN, every `x < 0`
+// comparison false, and PickWeighted deterministically returned the
+// last index — a wrong answer, not a crash. Non-finite weights must
+// now panic, and the message must name the offending index so the
+// caller can find the poisoned entry in a long weight vector.
+func TestPickWeightedNaNPanicsWithIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cases := []struct {
+		name    string
+		weights []float64
+		wantIdx string
+	}{
+		{"nan", []float64{1, 2, math.NaN(), 4}, "index 2"},
+		{"+inf", []float64{math.Inf(1), 1}, "index 0"},
+		{"-inf", []float64{1, 1, 1, math.Inf(-1)}, "index 3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("PickWeighted(%v) did not panic", c.weights)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, c.wantIdx) {
+					t.Fatalf("panic %q does not name the offending %s", r, c.wantIdx)
+				}
+			}()
+			PickWeighted(c.weights, rng)
+		})
+	}
+}
+
+// TestPickWeightedBiasRegression demonstrates the shape of the old bug
+// on valid input: with finite weights the last index must NOT dominate
+// — before the fix, replacing any weight with NaN collapsed every draw
+// onto the final entry.
+func TestPickWeightedBiasRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[PickWeighted([]float64{4, 3, 2, 1}, rng)]++
+	}
+	if frac := float64(counts[3]) / n; math.Abs(frac-0.1) > 0.02 {
+		t.Errorf("last-index fraction = %v, want ≈0.1 (NaN-style last-index bias?)", frac)
+	}
+	if frac := float64(counts[0]) / n; math.Abs(frac-0.4) > 0.02 {
+		t.Errorf("first-index fraction = %v, want ≈0.4", frac)
+	}
+}
+
+// TestFlashCrowdZeroRampFinite pins the Ramp == 0 boundary: a zero ramp
+// must degenerate to an instantaneous step with every rate finite —
+// never a 0/0 NaN from the ramp interpolation — and the profile must
+// still respect its own MaxRate everywhere.
+func TestFlashCrowdZeroRampFinite(t *testing.T) {
+	f := FlashCrowd{Base: 10, Peak: 100, Start: 50, Ramp: 0, Hold: 20}
+	for _, tt := range []float64{0, 49.999, 50, 50.000001, 60, 69.999, 70, 70.1, 1000} {
+		got := f.RateAt(tt)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("RateAt(%v) = %v with Ramp=0, want finite", tt, got)
+		}
+		if got > f.MaxRate() {
+			t.Fatalf("RateAt(%v) = %v exceeds MaxRate %v", tt, got, f.MaxRate())
+		}
+	}
+	// The step shape itself: base before, peak during hold, base after.
+	if got := f.RateAt(49); got != 10 {
+		t.Errorf("before start: %v, want 10", got)
+	}
+	if got := f.RateAt(50); got != 100 {
+		t.Errorf("at start: %v, want 100 (instantaneous step)", got)
+	}
+	if got := f.RateAt(60); got != 100 {
+		t.Errorf("mid hold: %v, want 100", got)
+	}
+	if got := f.RateAt(71); got != 10 {
+		t.Errorf("after hold: %v, want 10", got)
+	}
+	// Zero Ramp AND zero Hold collapses to nothing but base.
+	spike := FlashCrowd{Base: 3, Peak: 9, Start: 5, Ramp: 0, Hold: 0}
+	for _, tt := range []float64{0, 4.9, 5, 5.1, 100} {
+		if got := spike.RateAt(tt); math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("degenerate spike RateAt(%v) = %v", tt, got)
+		}
+	}
+}
+
+func TestFlashCrowdValidate(t *testing.T) {
+	good := FlashCrowd{Base: 1, Peak: 10, Start: 100, Ramp: 0, Hold: 50}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := []FlashCrowd{
+		{Base: 1, Peak: 10, Start: 0, Ramp: -1, Hold: 0},
+		{Base: 1, Peak: 10, Start: 0, Ramp: 0, Hold: -5},
+		{Base: math.NaN(), Peak: 10, Start: 0, Ramp: 1, Hold: 1},
+		{Base: 1, Peak: math.Inf(1), Start: 0, Ramp: 1, Hold: 1},
+		{Base: -1, Peak: 10, Start: 0, Ramp: 1, Hold: 1},
+		{Base: 1, Peak: 10, Start: math.NaN(), Ramp: 1, Hold: 1},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated, want error", i, f)
+		}
+	}
+}
+
+// TestDiurnalValidate pins the Period == 0 NaN: Sin(2πt/0) is Sin(+Inf)
+// = NaN, the `v < 0` clamp cannot catch it, and RateAt returns NaN.
+func TestDiurnalValidate(t *testing.T) {
+	// Demonstrate the hazard Validate guards against.
+	d0 := Diurnal{Base: 10, Amplitude: 5, Period: 0}
+	if got := d0.RateAt(1); !math.IsNaN(got) {
+		t.Logf("RateAt with Period=0 = %v (hazard shape changed?)", got)
+	}
+	if err := d0.Validate(); err == nil {
+		t.Error("Period=0 validated, want error")
+	}
+	bad := []Diurnal{
+		{Base: 10, Amplitude: 5, Period: -60},
+		{Base: 10, Amplitude: math.NaN(), Period: 60},
+		{Base: math.Inf(1), Amplitude: 5, Period: 60},
+		{Base: -1, Amplitude: 0, Period: 60},
+		{Base: 10, Amplitude: 5, Period: 60, Phase: math.NaN()},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated, want error", i, d)
+		}
+	}
+	if err := (Diurnal{Base: 10, Amplitude: 5, Period: 86400}).Validate(); err != nil {
+		t.Errorf("valid diurnal rejected: %v", err)
+	}
+}
+
+func TestScaledValidate(t *testing.T) {
+	if err := (Scaled{P: Constant(5), K: 2}).Validate(); err != nil {
+		t.Fatalf("valid scaled rejected: %v", err)
+	}
+	// K < 0 flips MaxRate negative, breaking NextArrival's thinning
+	// bound; non-finite K poisons every rate.
+	for _, k := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if err := (Scaled{P: Constant(5), K: k}).Validate(); err == nil {
+			t.Errorf("K=%v validated, want error", k)
+		}
+	}
+	// Validation recurses into the wrapped profile.
+	inner := Scaled{P: Diurnal{Base: 1, Amplitude: 1, Period: 0}, K: 1}
+	if err := inner.Validate(); err == nil {
+		t.Error("scaled wrapper of invalid diurnal validated, want error")
+	}
+}
+
+func TestValidateProfile(t *testing.T) {
+	if err := ValidateProfile(nil); err == nil {
+		t.Error("nil profile validated")
+	}
+	if err := ValidateProfile(Constant(3)); err != nil {
+		t.Errorf("constant rejected: %v", err)
+	}
+	if err := ValidateProfile(Constant(math.NaN())); err == nil {
+		t.Error("NaN constant validated")
+	}
+	if err := ValidateProfile(FlashCrowd{Base: 1, Peak: 2, Ramp: -1}); err == nil {
+		t.Error("invalid flash crowd validated through ValidateProfile")
+	}
+}

@@ -62,17 +62,22 @@ type FlashCrowd struct {
 	Start, Ramp, Hold float64
 }
 
-// RateAt implements Profile.
+// RateAt implements Profile. A zero Ramp degenerates to an
+// instantaneous step at the window edges: the ramp branches are entered
+// only when Ramp > 0, so the `(t-Start)/Ramp` fractions can never
+// divide by zero (which would return NaN at t == Start and poison
+// NextArrival's thinning comparison — every accept test would be false
+// and arrival generation would silently stop).
 func (f FlashCrowd) RateAt(t float64) float64 {
 	switch {
 	case t < f.Start:
 		return f.Base
-	case t < f.Start+f.Ramp:
+	case f.Ramp > 0 && t < f.Start+f.Ramp:
 		frac := (t - f.Start) / f.Ramp
 		return f.Base + frac*(f.Peak-f.Base)
 	case t < f.Start+f.Ramp+f.Hold:
 		return f.Peak
-	case t < f.Start+2*f.Ramp+f.Hold:
+	case f.Ramp > 0 && t < f.Start+2*f.Ramp+f.Hold:
 		frac := (t - f.Start - f.Ramp - f.Hold) / f.Ramp
 		return f.Peak - frac*(f.Peak-f.Base)
 	default:
@@ -82,6 +87,31 @@ func (f FlashCrowd) RateAt(t float64) float64 {
 
 // MaxRate implements Profile.
 func (f FlashCrowd) MaxRate() float64 { return math.Max(f.Base, f.Peak) }
+
+// Validate rejects configurations whose RateAt would misbehave:
+// negative Ramp or Hold (the piecewise window boundaries go backwards
+// in time and branches overlap) and non-finite fields (NaN propagates
+// into every rate, Inf breaks the thinning bound).
+func (f FlashCrowd) Validate() error {
+	for _, v := range [...]struct {
+		name string
+		v    float64
+	}{{"Base", f.Base}, {"Peak", f.Peak}, {"Start", f.Start}, {"Ramp", f.Ramp}, {"Hold", f.Hold}} {
+		if math.IsNaN(v.v) || math.IsInf(v.v, 0) {
+			return fmt.Errorf("workload: FlashCrowd.%s is not finite: %v", v.name, v.v)
+		}
+	}
+	if f.Base < 0 || f.Peak < 0 {
+		return fmt.Errorf("workload: FlashCrowd rates must be >= 0 (Base %v, Peak %v)", f.Base, f.Peak)
+	}
+	if f.Ramp < 0 {
+		return fmt.Errorf("workload: FlashCrowd.Ramp must be >= 0, got %v", f.Ramp)
+	}
+	if f.Hold < 0 {
+		return fmt.Errorf("workload: FlashCrowd.Hold must be >= 0, got %v", f.Hold)
+	}
+	return nil
+}
 
 // Diurnal is a sinusoidal day/night cycle: Base + Amplitude·sin(2πt/Period
 // + Phase), clamped at 0.
@@ -101,6 +131,28 @@ func (d Diurnal) RateAt(t float64) float64 {
 
 // MaxRate implements Profile.
 func (d Diurnal) MaxRate() float64 { return d.Base + math.Abs(d.Amplitude) }
+
+// Validate rejects configurations whose RateAt would be NaN: a zero (or
+// negative, or non-finite) Period makes 2πt/Period divide by zero, and
+// Sin(±Inf) is NaN — which the `v < 0` clamp cannot catch, so RateAt
+// would return NaN and stall NextArrival's thinning loop.
+func (d Diurnal) Validate() error {
+	for _, v := range [...]struct {
+		name string
+		v    float64
+	}{{"Base", d.Base}, {"Amplitude", d.Amplitude}, {"Period", d.Period}, {"Phase", d.Phase}} {
+		if math.IsNaN(v.v) || math.IsInf(v.v, 0) {
+			return fmt.Errorf("workload: Diurnal.%s is not finite: %v", v.name, v.v)
+		}
+	}
+	if d.Period <= 0 {
+		return fmt.Errorf("workload: Diurnal.Period must be > 0, got %v", d.Period)
+	}
+	if d.Base < 0 {
+		return fmt.Errorf("workload: Diurnal.Base must be >= 0, got %v", d.Base)
+	}
+	return nil
+}
 
 // Step jumps from Before to After at time At — the step-response input
 // used by the knob-agility experiment (E8).
@@ -131,6 +183,40 @@ func (s Scaled) RateAt(t float64) float64 { return s.K * s.P.RateAt(t) }
 
 // MaxRate implements Profile.
 func (s Scaled) MaxRate() float64 { return s.K * s.P.MaxRate() }
+
+// Validate rejects K < 0 and non-finite K — a negative K flips MaxRate
+// negative, which breaks NextArrival's thinning bound (it treats
+// MaxRate ≤ 0 as "no arrivals ever" while RateAt may still be sampled
+// negative elsewhere) — and validates the wrapped profile.
+func (s Scaled) Validate() error {
+	if math.IsNaN(s.K) || math.IsInf(s.K, 0) {
+		return fmt.Errorf("workload: Scaled.K is not finite: %v", s.K)
+	}
+	if s.K < 0 {
+		return fmt.Errorf("workload: Scaled.K must be >= 0, got %v", s.K)
+	}
+	return ValidateProfile(s.P)
+}
+
+// ValidateProfile validates a profile when its concrete type provides a
+// Validate method (FlashCrowd, Diurnal, Scaled, …) and otherwise checks
+// the generic contract: MaxRate must be finite and non-negative.
+// Callers that accept externally configured profiles (the request
+// engine, CLI flags) run this once up front so a bad profile fails
+// loudly instead of silently generating zero or biased arrivals.
+func ValidateProfile(p Profile) error {
+	if p == nil {
+		return fmt.Errorf("workload: nil profile")
+	}
+	if v, ok := p.(interface{ Validate() error }); ok {
+		return v.Validate()
+	}
+	max := p.MaxRate()
+	if math.IsNaN(max) || math.IsInf(max, 0) || max < 0 {
+		return fmt.Errorf("workload: profile MaxRate %v must be finite and >= 0", max)
+	}
+	return nil
+}
 
 // Session describes one client session's resource footprint.
 type Session struct {
@@ -181,15 +267,21 @@ func LognormalDemand(sigma float64, rng *rand.Rand) float64 {
 }
 
 // PickWeighted returns an index drawn from the (not necessarily
-// normalized) weight vector.
+// normalized) weight vector. Non-finite weights panic, naming the
+// offending index: a single NaN would make the running total NaN, every
+// `x < 0` comparison below false, and the draw would silently collapse
+// to the last index on every call — a deterministic bias, not an error.
 func PickWeighted(weights []float64, rng *rand.Rand) int {
 	if len(weights) == 0 {
 		panic("workload: PickWeighted with empty weights")
 	}
 	var total float64
-	for _, w := range weights {
+	for i, w := range weights {
 		if w < 0 {
-			panic(fmt.Sprintf("workload: negative weight %v", w))
+			panic(fmt.Sprintf("workload: negative weight %v at index %d", w, i))
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			panic(fmt.Sprintf("workload: non-finite weight %v at index %d", w, i))
 		}
 		total += w
 	}

@@ -1,0 +1,60 @@
+package megadc
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestRequestBaselineParses pins the committed BENCH_requests.json: it
+// must parse, cover both fabric tiers — 1K and 10K switches — for both
+// request benchmarks, and every row must carry the custom throughput
+// metrics the baseline exists to record, so a partial regeneration
+// (one tier rerun via SWITCHES=...) can never silently drop the other.
+func TestRequestBaselineParses(t *testing.T) {
+	data, err := os.ReadFile("BENCH_requests.json")
+	if err != nil {
+		t.Fatalf("missing baseline (regenerate with scripts/bench_requests.sh): %v", err)
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Scale   int                `json:"scale"`
+			NsPerOp float64            `json:"ns_per_op"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_requests.json: %v", err)
+	}
+	tiers := []int{1_000, 10_000}
+	metricsFor := map[string][]string{
+		"BenchmarkRequestsDrive":   {"ns/req", "req/s"},
+		"BenchmarkRequestsRefresh": {"ns/switch", "queues"},
+	}
+	seen := map[string]map[int]bool{}
+	for _, b := range doc.Benchmarks {
+		if b.NsPerOp <= 0 {
+			t.Errorf("%s scale %d: ns_per_op %v, want > 0", b.Name, b.Scale, b.NsPerOp)
+		}
+		for _, m := range metricsFor[b.Name] {
+			if b.Metrics[m] <= 0 {
+				t.Errorf("%s scale %d: metric %q = %v, want > 0", b.Name, b.Scale, m, b.Metrics[m])
+			}
+		}
+		if seen[b.Name] == nil {
+			seen[b.Name] = map[int]bool{}
+		}
+		if seen[b.Name][b.Scale] {
+			t.Errorf("%s scale %d: duplicate row", b.Name, b.Scale)
+		}
+		seen[b.Name][b.Scale] = true
+	}
+	for name := range metricsFor {
+		for _, tier := range tiers {
+			if !seen[name][tier] {
+				t.Errorf("baseline missing %s at scale %d", name, tier)
+			}
+		}
+	}
+}

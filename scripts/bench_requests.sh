@@ -1,0 +1,34 @@
+#!/bin/sh
+# Regenerates BENCH_requests.json, the committed request-engine baseline
+# (DESIGN.md §14): open-loop request throughput (ns/req, req/s) and the
+# capacity-refresh tick cost (ns/switch) at 1K and 10K LB switches, one
+# VIP-exposed application per switch.
+#
+# Each tier is one `go test` invocation at -benchtime=1x — a drive
+# iteration simulates a fixed 100K-request window, and the refresh
+# benchmark amortizes a 100-pass batch internally, so both report stable
+# custom metrics at a single iteration. Tiers merge into the baseline
+# one at a time via `benchjson -scale N -merge`, so a partial rerun
+# (e.g. `SWITCHES="10000" scripts/bench_requests.sh`) refreshes only its
+# own rows.
+#
+# Run from anywhere; writes BENCH_requests.json at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_requests.json
+tmp=$(mktemp)
+merged=$(mktemp)
+trap 'rm -f "$tmp" "$merged"' EXIT
+
+SWITCHES=${SWITCHES:-"1000 10000"}
+
+for n in $SWITCHES; do
+	echo "== tier: $n switches ==" >&2
+	MEGADC_REQSCALE=$n go test -run '^$' -bench 'BenchmarkRequests' \
+		-benchtime=1x -benchmem -timeout 30m . >"$tmp"
+	go run ./tools/benchjson -scale "$n" -merge "$out" <"$tmp" >"$merged"
+	mv "$merged" "$out"
+	merged=$(mktemp)
+done
+echo "wrote $out"
