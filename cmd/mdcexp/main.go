@@ -1,5 +1,5 @@
 // Command mdcexp regenerates the reproduction's experiment tables:
-// E1–E16 (the paper's quantitative claims and proposed evaluations; see
+// E1–E18 (the paper's quantitative claims and proposed evaluations; see
 // DESIGN.md §4) plus the extension experiments X1–X4 (energy, multi-DC,
 // sessions, failures). Each experiment prints the same rows
 // EXPERIMENTS.md records.
@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		id          = flag.String("e", "all", "experiment id (e1..e17, x1..x4) or 'all'")
+		id          = flag.String("e", "all", "experiment id (e1..e18, x1..x4) or 'all'")
 		full        = flag.Bool("full", false, "run the larger configurations")
 		seed        = flag.Int64("seed", 1, "deterministic seed")
 		auditN      = flag.Int("audit", 10, "run the conservation-law auditor every N Propagate calls (0 disables)")

@@ -11,6 +11,7 @@
 //	megadcsim -apps 64 -duration 7200  # more apps, longer run
 //	megadcsim -flash 0                 # flash-crowd the most popular app
 //	megadcsim -knobs C,D               # enable only some knobs (A..F; empty = all)
+//	megadcsim -policy power-of-2       # swap the control policy (internal/policy, DESIGN.md §15)
 //	megadcsim -print-topology          # Figure 1 structural dump
 //	megadcsim -fail server,switch,link # inject failures mid-run
 //	megadcsim -churn                   # continuous MTBF/MTTR fault churn with repair
@@ -44,6 +45,7 @@ import (
 	"megadc/internal/faults"
 	"megadc/internal/metrics"
 	"megadc/internal/obs"
+	"megadc/internal/policy"
 	"megadc/internal/profiling"
 	"megadc/internal/requests"
 	"megadc/internal/sessions"
@@ -66,6 +68,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "deterministic seed")
 		auditN      = flag.Int("audit", 0, "run the conservation-law auditor every N Propagate calls (0 disables)")
 		knobs       = flag.String("knobs", "", "comma-separated knob letters A..F (empty = all)")
+		polName     = flag.String("policy", "", "control policy (empty = greedy): "+strings.Join(policy.Names(), ", "))
 		printTopo   = flag.Bool("print-topology", false, "validate and print the Figure 1 topology, then exit")
 		failures    = flag.String("fail", "", "comma-separated failures to inject mid-run: server, switch, link")
 		churn       = flag.Bool("churn", false, "continuous MTBF/MTTR fault injection with detection delay and repair")
@@ -122,6 +125,7 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.AuditEvery = *auditN
 	cfg.SerializeReconfig = *serialize
+	cfg.Policy = *polName
 	var rec *trace.Recorder
 	if *useTrace {
 		rec = trace.NewRecorder(*traceRing)

@@ -175,6 +175,14 @@ type Config struct {
 	// (TestObservabilityDoesNotPerturb).
 	Spans *spans.Tracker
 
+	// Policy selects the pluggable control policy (internal/policy,
+	// DESIGN.md §15) by registry name: it drives VIP placement, RIP→VIP
+	// assignment, VIP transfer targets, and the knob C/D pod choices.
+	// Empty resolves to "greedy" — the extracted historical strategy,
+	// byte-identical to the pre-framework inline scans. Unknown names
+	// fail NewPlatform.
+	Policy string
+
 	// SerializeReconfig routes inter-pod weight adjustments (knob F) and
 	// drain-driven VIP transfers (knob B) through the VIP/RIP request
 	// queue as an engine-driven serialized pipeline — the paper's single

@@ -439,7 +439,7 @@ func (p *Platform) bestHealthyLink(exclude netmodel.LinkID) int {
 func (p *Platform) RecoverLostCapacity(target float64, maxDeploys int) (deploys int) {
 	for _, app := range p.Cluster.AppIDs() {
 		for deploys < maxDeploys && p.AppSatisfaction(app) < target {
-			pod, ok := p.Global.coldestPodWithRoom(cluster.NoPod, p.appSlice[app])
+			pod, ok := p.Global.coldestPodWithRoom(uint64(app), cluster.NoPod, p.appSlice[app])
 			if !ok {
 				break
 			}

@@ -9,6 +9,7 @@ import (
 	"megadc/internal/ctrlplane"
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
+	"megadc/internal/policy"
 	"megadc/internal/trace"
 	"megadc/internal/viprip"
 )
@@ -55,6 +56,12 @@ type GlobalManager struct {
 	// control plane; podUtil reads it instead of live state when the
 	// stale-snapshot regime (Cfg.Ctrl.SnapshotEvery) is on.
 	podSnap map[cluster.PodID]float64
+
+	// Candidate scratch for the policy decision sites (DESIGN.md §15),
+	// reused so feasibility filtering never allocates per decision.
+	swCand  []*lbswitch.Switch
+	podCand []cluster.PodID
+	podLoad []float64
 }
 
 func newGlobalManager(p *Platform) *GlobalManager {
@@ -392,15 +399,17 @@ func (g *GlobalManager) balanceSwitches() {
 	}
 }
 
-// pickTransferTarget returns the least-utilized switch that can accept
-// vip (VIP slot, RIP slots, and projected throughput below threshold).
+// pickTransferTarget selects a switch that can accept vip (VIP slot,
+// RIP slots, projected throughput below threshold) via the placement
+// policy; the default greedy takes the least-utilized, exactly as the
+// historical inline scan did.
 func (g *GlobalManager) pickTransferTarget(from *lbswitch.Switch, vip lbswitch.VIP) *lbswitch.Switch {
 	_, rips, _, load, err := from.ExportVIP(vip)
 	if err != nil {
 		return nil
 	}
 	cfg := &g.p.Cfg
-	var best *lbswitch.Switch
+	g.swCand = g.swCand[:0]
 	for _, sw := range g.p.Fabric.Switches() {
 		if sw.ID == from.ID || !sw.Serving() {
 			continue
@@ -412,11 +421,33 @@ func (g *GlobalManager) pickTransferTarget(from *lbswitch.Switch, vip lbswitch.V
 			(sw.ThroughputMbps()+load)/sw.Limits.ThroughputMbps > cfg.SwitchOverloadUtil {
 			continue
 		}
-		if best == nil || sw.Utilization() < best.Utilization() {
-			best = sw
-		}
+		g.swCand = append(g.swCand, sw)
 	}
-	return best
+	if len(g.swCand) == 0 {
+		return nil
+	}
+	cands := g.swCand
+	idx := g.p.pol.Placement.TransferTarget(policy.Decision{
+		Actor: hashVIP(vip),
+		N:     len(cands),
+		Key:   func(i int) uint64 { return uint64(cands[i].ID) },
+		Load:  func(i int) float64 { return cands[i].Utilization() },
+	})
+	if idx < 0 || idx >= len(cands) {
+		return nil
+	}
+	return cands[idx]
+}
+
+// hashVIP folds a VIP address into the stable actor key hash policies
+// expect (FNV-1a; addresses are unique for a VIP's lifetime).
+func hashVIP(vip lbswitch.VIP) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(vip); i++ {
+		h ^= uint64(vip[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // startDrainAndTransfer runs the Section IV-B protocol: stop exposing
@@ -697,7 +728,7 @@ func (g *GlobalManager) deployToRelievePods() {
 		if !ok || g.pendingDeploy[app] {
 			continue
 		}
-		target, ok := g.coldestPodWithRoom(podID, g.p.appSlice[app])
+		target, ok := g.coldestPodWithRoom(uint64(app), podID, g.p.appSlice[app])
 		if !ok {
 			continue
 		}
@@ -774,21 +805,21 @@ func (g *GlobalManager) transferServersToRelievePods() {
 	}
 }
 
-// pickDonorPod returns the least-utilized pod below the underload
-// threshold (other than the recipient).
+// pickDonorPod selects a pod below the underload threshold (other
+// than the recipient) to donate a server, via the steering policy.
 func (g *GlobalManager) pickDonorPod(recipient cluster.PodID) (cluster.PodID, bool) {
 	cfg := &g.p.Cfg
-	best := cluster.NoPod
-	bestU := cfg.PodUnderloadUtil
+	g.podCand, g.podLoad = g.podCand[:0], g.podLoad[:0]
 	for _, id := range g.p.podOrder {
 		if id == recipient {
 			continue
 		}
-		if u := g.podUtil(id); u < bestU {
-			best, bestU = id, u
+		if u := g.podUtil(id); u < cfg.PodUnderloadUtil {
+			g.podCand = append(g.podCand, id)
+			g.podLoad = append(g.podLoad, u)
 		}
 	}
-	return best, best != cluster.NoPod
+	return g.steerPod(uint64(recipient), g.p.pol.Steering.DonorPod)
 }
 
 // pickServerToVacate chooses the donor server with the fewest VMs whose
@@ -990,12 +1021,14 @@ func (g *GlobalManager) hottestApp(pod cluster.PodID) (cluster.AppID, bool) {
 	return best, best != cluster.AppID(-1)
 }
 
-// coldestPodWithRoom returns the least-utilized pod (≠ exclude) below
-// the underload threshold with room for slice.
-func (g *GlobalManager) coldestPodWithRoom(exclude cluster.PodID, slice cluster.Resources) (cluster.PodID, bool) {
+// coldestPodWithRoom selects a pod (≠ exclude) below the underload
+// threshold with room for slice, via the steering policy — the
+// default greedy takes the least-utilized, as the historical scan did.
+// The underload threshold and the room check are feasibility, not
+// preference, so they stay here for every policy.
+func (g *GlobalManager) coldestPodWithRoom(actor uint64, exclude cluster.PodID, slice cluster.Resources) (cluster.PodID, bool) {
 	cfg := &g.p.Cfg
-	best := cluster.NoPod
-	bestU := cfg.PodUnderloadUtil
+	g.podCand, g.podLoad = g.podCand[:0], g.podLoad[:0]
 	for _, id := range g.p.podOrder {
 		if id == exclude {
 			continue
@@ -1003,9 +1036,28 @@ func (g *GlobalManager) coldestPodWithRoom(exclude cluster.PodID, slice cluster.
 		if g.p.emptiestServer(id, slice) == nil {
 			continue
 		}
-		if u := g.podUtil(id); u < bestU {
-			best, bestU = id, u
+		if u := g.podUtil(id); u < cfg.PodUnderloadUtil {
+			g.podCand = append(g.podCand, id)
+			g.podLoad = append(g.podLoad, u)
 		}
 	}
-	return best, best != cluster.NoPod
+	return g.steerPod(actor, g.p.pol.Steering.DeployPod)
+}
+
+// steerPod runs one pod-selection decision over the candidate scratch.
+func (g *GlobalManager) steerPod(actor uint64, site func(policy.Decision) int) (cluster.PodID, bool) {
+	if len(g.podCand) == 0 {
+		return cluster.NoPod, false
+	}
+	cands, loads := g.podCand, g.podLoad
+	idx := site(policy.Decision{
+		Actor: actor,
+		N:     len(cands),
+		Key:   func(i int) uint64 { return uint64(cands[i]) },
+		Load:  func(i int) float64 { return loads[i] },
+	})
+	if idx < 0 || idx >= len(cands) {
+		return cluster.NoPod, false
+	}
+	return cands[idx], true
 }

@@ -11,6 +11,7 @@ import (
 	"megadc/internal/ids"
 	"megadc/internal/lbswitch"
 	"megadc/internal/netmodel"
+	"megadc/internal/policy"
 	"megadc/internal/sim"
 	"megadc/internal/trace"
 	"megadc/internal/viprip"
@@ -106,6 +107,13 @@ type Platform struct {
 
 	pods     []*PodManager   // indexed by PodID (dense)
 	podOrder []cluster.PodID // 0..len-1, kept for iteration ergonomics
+
+	// pol is the pluggable control policy resolved from Cfg.Policy
+	// (DESIGN.md §15): its Placement half also drives the VIP/RIP
+	// manager, its Steering half the global manager's knob C/D pod
+	// choices. Seeded from the topology seed, never from engine
+	// randomness.
+	pol policy.Bundle
 
 	// Interners: dense indices for the externally string-keyed entities.
 	// Indices are stable and never reused; IPPool address recycling maps
@@ -267,6 +275,17 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 		return nil, err
 	}
 	p.VIPRIP = viprip.NewManager(p.Fabric, vipPool, ripPool, viprip.Blend)
+	// Pluggable control policy: resolve the configured name (empty →
+	// greedy, the extracted historical strategy) and hand its placement
+	// half to the VIP/RIP manager. The policy's private randomness, if
+	// any, derives from the topology seed, so seeded runs stay
+	// deterministic per policy.
+	pol, err := policy.New(cfg.Policy, topo.Seed^0x706f6c) // "pol"
+	if err != nil {
+		return nil, err
+	}
+	p.pol = pol
+	p.VIPRIP.SetPlacement(pol.Placement)
 	if topo.SwitchPods > 1 {
 		h, err := viprip.NewHierarchy(p.Fabric, vipPool, topo.SwitchPods, viprip.Blend)
 		if err != nil {
@@ -361,6 +380,10 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 // control plane is in effect — every Bus method is nil-safe, so callers
 // need not check.
 func (p *Platform) Ctrl() *ctrlplane.Bus { return p.ctrl }
+
+// Policy returns the resolved control-policy bundle (Cfg.Policy);
+// Policy().Stats carries the probe count E18 tabulates.
+func (p *Platform) Policy() policy.Bundle { return p.pol }
 
 // Pod returns the pod manager for the given pod.
 func (p *Platform) Pod(id cluster.PodID) *PodManager {

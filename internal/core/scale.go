@@ -14,6 +14,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"megadc/internal/cluster"
 	"megadc/internal/lbswitch"
@@ -28,6 +30,13 @@ type ScaleSpec struct {
 	InstancesPerApp int
 	VIPsPerApp      int
 	Seed            int64
+
+	// Workers sets the worker count for the sharded stages of the bulk
+	// loader (0 = GOMAXPROCS). Construction is bit-identical for any
+	// worker count: the plan stage fills disjoint per-app slots with
+	// pure functions of the app index, and the fabric stage gives each
+	// worker whole switches, whose state is disjoint by construction.
+	Workers int
 
 	// Demand is the per-app offered load installed by the bulk loader.
 	Demand Demand
@@ -123,6 +132,24 @@ func BuildScalePlatform(spec ScaleSpec) (*Platform, error) {
 // resulting state is structurally the same as spec.Apps OnboardApp
 // calls — VIPs homed and exposed, RIPs tagged, demand installed — just
 // placed by round-robin instead of pressure scans.
+//
+// The loader is sharded into three stages (spec.Workers wide,
+// bit-identical for any worker count):
+//
+//  1. plan (parallel): app names and all RIP address strings are pure
+//     functions of the app index, so workers format them into disjoint
+//     slots — at paper scale that is 6M string allocations off the
+//     sequential path.
+//  2. apply (sequential): app/VIP/VM registration and the dense-table
+//     bindings, all of which allocate shared contiguous IDs whose order
+//     defines the state.
+//  3. fabric (parallel): RIP configuration mutates only the home
+//     switch, so workers take whole switches and apply each switch's
+//     planned RIPs in order. The OnReconfig hook is parked during the
+//     stage: stage 2's AddVIPOn already recorded every VIP owner and
+//     dirtied every app, and the closing PropagateFull recomputes all
+//     routing anyway. Per-RIP trace events are not emitted on this
+//     path (the synthetic build-out is not control-plane activity).
 func (p *Platform) OnboardAppsBulk(spec ScaleSpec) error {
 	if spec.Apps <= 0 || spec.InstancesPerApp <= 0 || spec.VIPsPerApp <= 0 {
 		return fmt.Errorf("core: scale spec needs apps, instances, and VIPs")
@@ -131,15 +158,66 @@ func (p *Platform) OnboardAppsBulk(spec ScaleSpec) error {
 	if len(servers) == 0 {
 		return fmt.Errorf("core: no servers to place on")
 	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Stage 1 — plan. Shard the pure-function work over contiguous app
+	// ranges into disjoint slices.
+	_, ripPool := p.VIPRIP.BulkPools()
+	ripStart, ripAddr, err := ripPool.PlanSequential()
+	if err != nil {
+		return fmt.Errorf("core: bulk rip plan: %w", err)
+	}
+	names := make([]string, spec.Apps)
+	rips := make([]lbswitch.RIP, spec.Apps*spec.InstancesPerApp)
+	var wg sync.WaitGroup
+	chunk := (spec.Apps + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, spec.Apps)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				names[i] = fmt.Sprintf("app-%d", i)
+				for j := 0; j < spec.InstancesPerApp; j++ {
+					k := i*spec.InstancesPerApp + j
+					rips[k] = lbswitch.RIP(ripAddr(ripStart + uint32(k)))
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if err := ripPool.ClaimRange(ripStart, uint32(len(rips))); err != nil {
+		return fmt.Errorf("core: bulk rip claim: %w", err)
+	}
+
+	// Stage 2 — apply, in app order. RIP→switch configuration is only
+	// recorded into per-switch work lists here; stage 3 plays them out.
+	type ripCfg struct {
+		vip lbswitch.VIP
+		rip lbswitch.RIP
+		tag int64
+	}
 	nsw := p.Fabric.NumSwitches()
+	perSwitch := make([][]ripCfg, nsw)
+	for s := range perSwitch {
+		perSwitch[s] = make([]ripCfg, 0, len(rips)/nsw+spec.InstancesPerApp)
+	}
 	vips := make([]lbswitch.VIP, 0, spec.VIPsPerApp)
+	vipSw := make([]lbswitch.SwitchID, 0, spec.VIPsPerApp)
 	srvCursor, vipCursor := 0, 0
 	for i := 0; i < spec.Apps; i++ {
-		app := p.Cluster.AddApp(fmt.Sprintf("app-%d", i), spec.Slice)
+		app := p.Cluster.AddApp(names[i], spec.Slice)
 		p.appSlice = growSlice(p.appSlice, int(app.ID)+1)
 		p.appSlice[app.ID] = spec.Slice
 		p.appSliceSet.Set(int(app.ID))
-		vips = vips[:0]
+		vips, vipSw = vips[:0], vipSw[:0]
 		for v := 0; v < spec.VIPsPerApp; v++ {
 			sw := lbswitch.SwitchID(vipCursor % nsw)
 			vipCursor++
@@ -154,6 +232,7 @@ func (p *Platform) OnboardAppsBulk(spec ScaleSpec) error {
 				return err
 			}
 			vips = append(vips, vip)
+			vipSw = append(vipSw, sw)
 		}
 		for j := 0; j < spec.InstancesPerApp; j++ {
 			srv := servers[srvCursor%len(servers)]
@@ -165,22 +244,57 @@ func (p *Platform) OnboardAppsBulk(spec ScaleSpec) error {
 			if err := p.Cluster.Start(vm.ID); err != nil {
 				return err
 			}
-			rip, err := p.VIPRIP.AllocRIP()
-			if err != nil {
-				return err
-			}
+			rip := rips[i*spec.InstancesPerApp+j]
 			vip := vips[j%len(vips)]
-			_, home, err := p.VIPRIP.AddRIP(app.ID, rip, 1, vip)
-			if err != nil {
-				return fmt.Errorf("core: bulk app %d rip: %w", i, err)
-			}
+			home := vipSw[j%len(vips)]
 			p.bindRIP(rip, vm.ID, vip)
-			p.Fabric.Switch(home).SetRIPTag(vip, rip, int64(vm.ID))
+			perSwitch[home] = append(perSwitch[home], ripCfg{vip: vip, rip: rip, tag: int64(vm.ID)})
 		}
 		p.appDemand = growSlice(p.appDemand, int(app.ID)+1)
 		p.appDemand[app.ID] = spec.Demand
 		p.demandApps.Set(int(app.ID))
 		p.markAppDirty(app.ID)
+	}
+
+	// Stage 3 — fabric. Each worker owns whole switches; within one
+	// switch the planned RIPs apply in stage-2 order, so the final
+	// per-switch state is independent of how switches map to workers.
+	hooks := make([]func(lbswitch.VIP, cluster.AppID), nsw)
+	for s := 0; s < nsw; s++ {
+		sw := p.Fabric.Switch(lbswitch.SwitchID(s))
+		hooks[s], sw.OnReconfig = sw.OnReconfig, nil
+	}
+	errs := make([]error, nsw)
+	next := make(chan int, nsw)
+	for s := 0; s < nsw; s++ {
+		next <- s
+	}
+	close(next)
+	for w := 0; w < min(workers, nsw); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				sw := p.Fabric.Switch(lbswitch.SwitchID(s))
+				for _, c := range perSwitch[s] {
+					if err := sw.AddRIP(c.vip, c.rip, 1); err != nil {
+						errs[s] = fmt.Errorf("core: bulk rip %s on switch %d: %w", c.rip, s, err)
+						break
+					}
+					if err := sw.SetRIPTag(c.vip, c.rip, c.tag); err != nil {
+						errs[s] = err
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for s := 0; s < nsw; s++ {
+		p.Fabric.Switch(lbswitch.SwitchID(s)).OnReconfig = hooks[s]
+		if errs[s] != nil {
+			return errs[s]
+		}
 	}
 	p.PropagateFull()
 	return nil

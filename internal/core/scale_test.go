@@ -1,9 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"os"
+	"strings"
 	"testing"
 	"time"
+
+	"megadc/internal/lbswitch"
 )
 
 // buildScale constructs a scale-tier platform and sanity-checks it.
@@ -47,6 +51,51 @@ func TestScaleBulkOnboarding(t *testing.T) {
 	}
 	if n := steadyAllocs(p); n != 0 {
 		t.Fatalf("steady tick allocates %v times, want 0", n)
+	}
+}
+
+// fabricDigest renders the complete VIP/RIP configuration of every
+// switch — membership, order, weights, tags, reconfig counts — as one
+// comparable string.
+func fabricDigest(p *Platform) string {
+	var b strings.Builder
+	var rips []lbswitch.RIP
+	var tags []int64
+	var mbps []float64
+	for i := 0; i < p.Fabric.NumSwitches(); i++ {
+		sw := p.Fabric.Switch(lbswitch.SwitchID(i))
+		fmt.Fprintf(&b, "sw%d reconfigs=%d\n", i, sw.Reconfigs)
+		for _, vip := range sw.VIPOrder() {
+			rips, tags, mbps = rips[:0], tags[:0], mbps[:0]
+			rips, tags, mbps, _ = sw.AppendVIPLoadShareTagged(vip, sw.VIPLoad(vip), rips, tags, mbps)
+			fmt.Fprintf(&b, " %s rips=%v tags=%v mbps=%v\n", vip, rips, tags, mbps)
+		}
+	}
+	return b.String()
+}
+
+// TestScaleOnboardWorkersIdentical pins the bulk loader's sharding
+// contract: any worker count builds bit-identical state — same fabric
+// configuration (down to tags and reconfig counters), same propagated
+// loads, same satisfaction.
+func TestScaleOnboardWorkersIdentical(t *testing.T) {
+	spec := ScaleSpecFor(500)
+	spec.Workers = 1
+	base := buildScale(t, spec)
+	baseFab := fabricDigest(base)
+	baseState := base.captureState()
+	for _, w := range []int{2, 3, 8} {
+		spec.Workers = w
+		p := buildScale(t, spec)
+		if d := fabricDigest(p); d != baseFab {
+			t.Fatalf("workers=%d fabric differs from workers=1", w)
+		}
+		if d := baseState.diff(p.captureState()); d != "" {
+			t.Fatalf("workers=%d propagated state differs: %s", w, d)
+		}
+		if a, b := base.TotalSatisfaction(), p.TotalSatisfaction(); a != b {
+			t.Fatalf("workers=%d satisfaction %v != %v", w, b, a)
+		}
 	}
 }
 

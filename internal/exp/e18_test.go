@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"testing"
+
+	"megadc/internal/policy"
+)
+
+// TestE18Deterministic runs the policy tournament twice at the same
+// seed and requires byte-identical tables — the property the ISSUE's
+// acceptance gate names: policies never consume the platform's random
+// stream, so every cell reproduces exactly.
+func TestE18Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full tournament sweeps in -short")
+	}
+	run := func() (string, *E18Result) {
+		tb, res, err := RunE18(DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.String(), res
+	}
+	a, res := run()
+	b, _ := run()
+	if a != b {
+		t.Fatalf("E18 table not deterministic across runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+
+	// Every registered policy must appear in the sweep, at every
+	// (scale × churn) point, and the ideal bus must lose nothing.
+	perPolicy := map[string]int{}
+	for _, r := range res.Rows {
+		perPolicy[r.Policy]++
+		if r.DeadLetters != 0 {
+			t.Errorf("policy %s %dx%d mtbf=%v: %d dead letters on the ideal bus",
+				r.Policy, r.Pods, r.ServersPerPod, r.ServerMTBF, r.DeadLetters)
+		}
+	}
+	names := policy.Names()
+	if len(names) < 5 {
+		t.Fatalf("registry has %d policies, tournament needs >= 5: %v", len(names), names)
+	}
+	cells := len(res.Rows) / len(names)
+	for _, name := range names {
+		if perPolicy[name] != cells {
+			t.Errorf("policy %s appears in %d rows, want %d", name, perPolicy[name], cells)
+		}
+	}
+}

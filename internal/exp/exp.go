@@ -98,6 +98,7 @@ func All() []Experiment {
 		{"e15", "Control-plane latency vs churn rate (serialized reconfiguration)", func(o Options) (*metrics.Table, error) { t, _, err := RunE15(o); return t, err }},
 		{"e16", "Satisfaction and oscillation under a fallible control plane (delay × loss × staleness)", func(o Options) (*metrics.Table, error) { t, _, err := RunE16(o); return t, err }},
 		{"e17", "Request tail latency vs churn rate × pod size", func(o Options) (*metrics.Table, error) { t, _, err := RunE17(o); return t, err }},
+		{"e18", "Policy tournament: satisfaction, tail latency, control cost by policy × scale × churn", func(o Options) (*metrics.Table, error) { t, _, err := RunE18(o); return t, err }},
 		{"x1", "Extension: energy consolidation (paper §VI direction)", func(o Options) (*metrics.Table, error) { t, _, err := RunX1(o); return t, err }},
 		{"x2", "Extension: multi-DC federation (paper §III-A remark)", func(o Options) (*metrics.Table, error) { t, _, err := RunX2(o); return t, err }},
 		{"x3", "Extension: discrete sessions under the drain protocol", func(o Options) (*metrics.Table, error) { t, _, err := RunX3(o); return t, err }},

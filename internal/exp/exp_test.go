@@ -9,8 +9,8 @@ func opts() Options { return Options{Seed: 1} }
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("registry has %d experiments, want 21 (e1..e17, x1..x4)", len(all))
+	if len(all) != 22 {
+		t.Fatalf("registry has %d experiments, want 22 (e1..e18, x1..x4)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -1,0 +1,76 @@
+package policy
+
+// Cached decides from a possibly stale load table, refreshing only a
+// bounded number of entries per decision — the sigmaos-style
+// "cached-state with bounded probes per tick" rung between round-robin
+// (no state) and omniscient (all state, every time). Each decision
+// site keeps its own table and a rotating refresh cursor; unknown
+// candidates read as load 0, which makes fresh capacity attractive
+// until a probe corrects the picture. All state is keyed by the
+// candidates' stable uint64 identities and updated in candidate order,
+// so decisions are deterministic; the table is never iterated, only
+// indexed, so map order cannot leak.
+type Cached struct {
+	stats  *Stats
+	probes int // refreshed entries per decision
+	table  [numKinds]map[uint64]float64
+	cursor [numKinds]int
+}
+
+// DefaultCachedProbes is the per-decision refresh budget of the
+// registered "cached" policy.
+const DefaultCachedProbes = 2
+
+// NewCached returns a cached-state policy refreshing probesPerDecision
+// entries per decision (minimum 1).
+func NewCached(probesPerDecision int, stats *Stats) *Cached {
+	if probesPerDecision < 1 {
+		probesPerDecision = 1
+	}
+	c := &Cached{stats: stats, probes: probesPerDecision}
+	for k := range c.table {
+		c.table[k] = make(map[uint64]float64)
+	}
+	return c
+}
+
+func init() {
+	Register("cached", func(seed int64) Bundle {
+		st := &Stats{}
+		c := NewCached(DefaultCachedProbes, st)
+		return Bundle{Name: "cached", Placement: c, Steering: c, Stats: st}
+	})
+}
+
+// Name implements Placement and Steering.
+func (c *Cached) Name() string { return "cached" }
+
+func (c *Cached) pick(k Kind, d Decision) int {
+	// Refresh pass: up to c.probes entries, rotating through candidate
+	// positions so every switch is eventually re-probed even when the
+	// feasible set shifts between decisions.
+	n := c.probes
+	if n > d.N {
+		n = d.N
+	}
+	for j := 0; j < n; j++ {
+		i := (c.cursor[k] + j) % d.N
+		c.table[k][d.Key(i)] = d.probe(i, c.stats)
+	}
+	c.cursor[k] = (c.cursor[k] + n) % d.N
+	// Decide from the table alone.
+	best, bestLoad := -1, 0.0
+	for i := 0; i < d.N; i++ {
+		l := c.table[k][d.Key(i)] // zero value: optimistic unknown
+		if best < 0 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+func (c *Cached) VIPSwitch(d Decision) int      { return c.pick(KindVIPSwitch, d) }
+func (c *Cached) VIPForRIP(d Decision) int      { return c.pick(KindVIPForRIP, d) }
+func (c *Cached) TransferTarget(d Decision) int { return c.pick(KindTransferTarget, d) }
+func (c *Cached) DeployPod(d Decision) int      { return c.pick(KindDeployPod, d) }
+func (c *Cached) DonorPod(d Decision) int       { return c.pick(KindDonorPod, d) }

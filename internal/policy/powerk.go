@@ -1,0 +1,62 @@
+package policy
+
+import "math/rand"
+
+// PowerOfK probes k uniformly drawn candidates per decision and takes
+// the least loaded — the classic two-choices result: most of the
+// balance of a full scan at O(k) probe cost. Randomness comes from the
+// policy's own seeded generator, never the platform's, so attaching
+// the policy cannot perturb the rest of a seeded run; given the seed
+// and the decision sequence, choices are deterministic.
+type PowerOfK struct {
+	stats *Stats
+	k     int
+	rng   *rand.Rand
+}
+
+// DefaultPowerChoices is the k of the registered "power-of-2" policy.
+const DefaultPowerChoices = 2
+
+// NewPowerOfK returns a power-of-k-choices policy (k minimum 2) with a
+// private RNG seeded from seed.
+func NewPowerOfK(k int, seed int64, stats *Stats) *PowerOfK {
+	if k < 2 {
+		k = 2
+	}
+	return &PowerOfK{stats: stats, k: k, rng: rand.New(rand.NewSource(seed))}
+}
+
+func init() {
+	Register("power-of-2", func(seed int64) Bundle {
+		st := &Stats{}
+		p := NewPowerOfK(DefaultPowerChoices, seed, st)
+		return Bundle{Name: "power-of-2", Placement: p, Steering: p, Stats: st}
+	})
+}
+
+// Name implements Placement and Steering.
+func (p *PowerOfK) Name() string { return "power-of-2" }
+
+func (p *PowerOfK) pick(d Decision) int {
+	if d.N <= p.k {
+		return argmin(d, p.stats)
+	}
+	best, bestLoad := -1, 0.0
+	for drawn := 0; drawn < p.k; drawn++ {
+		// Duplicate draws are kept rather than rejected: re-probing a
+		// candidate is harmless, and a rejection loop's RNG consumption
+		// would depend on collision luck, complicating reasoning about
+		// the stream. With k << N collisions are rare anyway.
+		i := p.rng.Intn(d.N)
+		if l := d.probe(i, p.stats); best < 0 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+func (p *PowerOfK) VIPSwitch(d Decision) int      { return p.pick(d) }
+func (p *PowerOfK) VIPForRIP(d Decision) int      { return p.pick(d) }
+func (p *PowerOfK) TransferTarget(d Decision) int { return p.pick(d) }
+func (p *PowerOfK) DeployPod(d Decision) int      { return p.pick(d) }
+func (p *PowerOfK) DonorPod(d Decision) int       { return p.pick(d) }

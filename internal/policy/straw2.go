@@ -1,0 +1,108 @@
+package policy
+
+import "math"
+
+// Straw2 is a stateless CRUSH-style deterministic hash placement: each
+// candidate draws a pseudo-random "straw" from a hash of (actor,
+// candidate key) and the longest straw wins. No load is ever probed
+// and no state is kept, so any observer can recompute every placement
+// from identities alone — which is what lets this policy bypass the
+// serialized-CSM decision path entirely: there is nothing central to
+// consult (DESIGN.md §15). The price is load-blindness; balance comes
+// only from the hash spreading actors evenly.
+//
+// The straw is ln(u)/w with unit weights (the straw2 construction —
+// with per-candidate capacity weights the same formula would bias
+// draws proportionally); with w ≡ 1 the log is monotone in the hash,
+// so the winner is simply the max hash, but the straw value is
+// computed anyway to keep the construction (and any future weighting)
+// honest.
+type Straw2 struct{}
+
+// NewStraw2 returns the stateless hash placement.
+func NewStraw2() Straw2 { return Straw2{} }
+
+func init() {
+	Register("straw2", func(seed int64) Bundle {
+		s := NewStraw2()
+		return Bundle{Name: "straw2", Placement: s, Steering: s, Stats: &Stats{}}
+	})
+}
+
+// Name implements Placement and Steering.
+func (Straw2) Name() string { return "straw2" }
+
+// hashmix is a Jenkins-style 3-word integer mix (the rjenkins1 hash
+// family CRUSH uses): cheap, stateless, and avalanching enough that
+// consecutive actor IDs land on unrelated candidates.
+func hashmix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= b
+	a -= c
+	a ^= c >> 13
+	b -= c
+	b -= a
+	b ^= a << 8
+	c -= a
+	c -= b
+	c ^= b >> 13
+	a -= b
+	a -= c
+	a ^= c >> 12
+	b -= c
+	b -= a
+	b ^= a << 16
+	c -= a
+	c -= b
+	c ^= b >> 5
+	a -= b
+	a -= c
+	a ^= c >> 3
+	b -= c
+	b -= a
+	b ^= a << 10
+	c -= a
+	c -= b
+	c ^= b >> 15
+	return a, b, c
+}
+
+// hash2 mixes two 64-bit identities down to a 32-bit draw.
+func hash2(x, y uint64) uint32 {
+	const golden = 0x9e3779b9
+	a, b, c := uint32(x), uint32(x>>32), uint32(golden)
+	a, b, c = hashmix(a, b, c)
+	a, b, c = hashmix(uint32(y), a, b)
+	_, _, c = hashmix(uint32(y>>32), a, c)
+	return c
+}
+
+func (Straw2) pick(d Decision, kindSalt uint64) int {
+	best := -1
+	bestStraw := math.Inf(-1)
+	for i := 0; i < d.N; i++ {
+		h := hash2(d.Actor^kindSalt, d.Key(i))
+		// Map the 32-bit draw into (0, 1], then take ln(u)/w with w = 1.
+		u := (float64(h) + 1) / (1 << 32)
+		straw := math.Log(u)
+		if straw > bestStraw {
+			best, bestStraw = i, straw
+		}
+	}
+	return best
+}
+
+// Per-site salts decorrelate the draws: the same app should not map
+// its VIP, its RIPs, and its relief pod to correlated positions.
+const (
+	saltVIPSwitch      = 0x5653 // "VS"
+	saltVIPForRIP      = 0x5652 // "VR"
+	saltTransferTarget = 0x5454 // "TT"
+	saltDeployPod      = 0x4450 // "DP"
+	saltDonorPod       = 0x444f // "DO"
+)
+
+func (s Straw2) VIPSwitch(d Decision) int      { return s.pick(d, saltVIPSwitch) }
+func (s Straw2) VIPForRIP(d Decision) int      { return s.pick(d, saltVIPForRIP) }
+func (s Straw2) TransferTarget(d Decision) int { return s.pick(d, saltTransferTarget) }
+func (s Straw2) DeployPod(d Decision) int      { return s.pick(d, saltDeployPod) }
+func (s Straw2) DonorPod(d Decision) int       { return s.pick(d, saltDonorPod) }

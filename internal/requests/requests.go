@@ -174,6 +174,7 @@ type Engine struct {
 
 	apps    []*appState
 	weights []float64
+	sampler *workload.Sampler // built once at Start; weights are frozen after
 	queues  map[lbswitch.SwitchID]*swQueue
 	qOrder  []lbswitch.SwitchID // attach order, for deterministic refresh
 	pool    sim.Pool[request]
@@ -236,7 +237,7 @@ func New(p *core.Platform, cfg Config) (*Engine, error) {
 }
 
 // AddApp registers an application with the given popularity weight.
-// Weights are relative (workload.PickWeighted); they need not sum to 1.
+// Weights are relative (workload.Sampler); they need not sum to 1.
 func (e *Engine) AddApp(app cluster.AppID, weight float64) error {
 	if e.started {
 		return fmt.Errorf("requests: AddApp after Start")
@@ -281,6 +282,13 @@ func (e *Engine) Start() error {
 		return fmt.Errorf("requests: no applications added")
 	}
 	e.started = true
+	// One alias table for the whole run: app popularity is fixed after
+	// Start, and the table makes per-arrival app choice O(1) instead of
+	// an O(apps) scan (ROADMAP item 2 headroom). Pick consumes a single
+	// draw from the engine's own RNG, so platform determinism is
+	// untouched; the draw→index mapping differs from PickWeighted's, so
+	// landing this re-pinned the request-stream goldens (CHANGES.md).
+	e.sampler = workload.NewSampler(e.weights)
 	e.refresh()
 	// Every's first argument is an absolute time: offset from Now so an
 	// engine started mid-simulation doesn't schedule into the past.
@@ -364,7 +372,7 @@ func (e *Engine) scheduleNext() {
 func (e *Engine) arrive() {
 	e.stats.Generated++
 	now := e.p.Eng.Now()
-	as := e.apps[workload.PickWeighted(e.weights, e.rng)]
+	as := e.apps[e.sampler.Pick(e.rng)]
 	vipStr, err := as.pop.Arrive(now, e.rng)
 	if err != nil {
 		e.stats.NoExposure++

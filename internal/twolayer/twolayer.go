@@ -18,6 +18,7 @@ package twolayer
 import (
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 
 	"megadc/internal/cluster"
@@ -41,6 +42,18 @@ type Arch struct {
 
 // ErrUnknownApp is returned for operations on an app never onboarded.
 var ErrUnknownApp = errors.New("twolayer: unknown application")
+
+// ErrBadWeight rejects non-positive and non-finite weights at the
+// package boundary, before any switch is touched. It matches
+// errors.Is(err, lbswitch.ErrBadWeight) so callers can test either.
+var ErrBadWeight = fmt.Errorf("twolayer: %w", lbswitch.ErrBadWeight)
+
+// validWeight mirrors the switch-level rule: positive and finite. NaN
+// fails every comparison, so w > 0 already rejects it; the explicit
+// upper bound rejects +Inf.
+func validWeight(w float64) bool {
+	return w > 0 && w < math.Inf(1)
+}
 
 // New builds a two-layer architecture with the given switch counts and
 // per-switch limits (same limits for both layers).
@@ -142,6 +155,12 @@ func (a *Arch) AddRIP(app cluster.AppID, rip lbswitch.RIP, weight float64) (lbsw
 	if !ok {
 		return "", fmt.Errorf("%w: %d", ErrUnknownApp, app)
 	}
+	// Reject bad weights before scanning for a target m-VIP, so the
+	// caller gets the typed error rather than a switch-level failure
+	// after the placement decision was already made.
+	if !validWeight(weight) {
+		return "", fmt.Errorf("%w: %v for rip %s", ErrBadWeight, weight, rip)
+	}
 	var best lbswitch.VIP
 	bestN := -1
 	for _, m := range mvips {
@@ -182,6 +201,18 @@ func (a *Arch) SetMVIPWeights(app cluster.AppID, weights []float64) error {
 	}
 	if len(weights) != len(mvips) {
 		return fmt.Errorf("twolayer: %d weights for %d m-VIPs", len(weights), len(mvips))
+	}
+	// Validate the whole vector before applying any element: a bad
+	// weight discovered mid-loop would leave some external VIPs (or some
+	// m-VIP columns of one external VIP) on the new split and the rest
+	// on the old — the same partial-application bug class fixed in
+	// viprip.AdjustWeights during PR 4. NaN would otherwise slip past a
+	// total check (every NaN comparison is false) and only fail at the
+	// switch after earlier columns were already written.
+	for i, w := range weights {
+		if !validWeight(w) {
+			return fmt.Errorf("%w: %v for m-VIP %s (index %d)", ErrBadWeight, w, mvips[i], i)
+		}
 	}
 	for _, evip := range a.extsOf[app] {
 		home, ok := a.DD.HomeOf(evip)

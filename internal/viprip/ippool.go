@@ -137,6 +137,43 @@ func (p *IPPool) pushMin(off uint32) {
 	}
 }
 
+// PlanSequential exposes the pool's deterministic never-used address
+// sequence for the parallel bulk-onboarding planner (core's
+// OnboardAppsBulk): next is the offset Alloc would hand out next, and
+// addrAt formats the address at any offset without touching pool
+// state, so workers can precompute address strings concurrently. It
+// fails when freed addresses exist — Alloc recycles those lowest-first,
+// so a sequential plan would diverge from what Alloc returns.
+func (p *IPPool) PlanSequential() (next uint32, addrAt func(uint32) string, err error) {
+	if len(p.freed) > 0 {
+		return 0, nil, fmt.Errorf("viprip: pool has %d recycled addresses; sequential plan invalid", len(p.freed))
+	}
+	base := p.base
+	return p.next, func(off uint32) string { return formatIPv4(base + off) }, nil
+}
+
+// ClaimRange marks the n offsets starting at start as allocated —
+// equivalent to n sequential Alloc calls whose address strings the
+// planner already formatted. start must still be the never-used cursor
+// of the PlanSequential that produced the plan, with no interleaved
+// Alloc or Free.
+func (p *IPPool) ClaimRange(start, n uint32) error {
+	if len(p.freed) > 0 || start != p.next {
+		return fmt.Errorf("viprip: claim [%d,%d) does not match pool cursor %d (%d freed)",
+			start, start+n, p.next, len(p.freed))
+	}
+	if uint64(start)+uint64(n) > uint64(p.size) {
+		return ErrPoolExhausted
+	}
+	p.inUse.Grow(int(start + n))
+	for off := start; off < start+n; off++ {
+		p.inUse.Set(int(off))
+	}
+	p.next += n
+	p.used += int(n)
+	return nil
+}
+
 // Allocated returns the number of addresses currently in use.
 func (p *IPPool) Allocated() int { return p.used }
 

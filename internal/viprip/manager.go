@@ -9,6 +9,7 @@ import (
 
 	"megadc/internal/cluster"
 	"megadc/internal/lbswitch"
+	"megadc/internal/policy"
 	"megadc/internal/sim"
 	"megadc/internal/trace"
 )
@@ -95,6 +96,17 @@ type Manager struct {
 	ripPool *IPPool
 	policy  Policy
 
+	// placement is the pluggable strategy behind every switch/VIP
+	// choice (DESIGN.md §15). The default is the extracted greedy,
+	// byte-identical to the historical inline scans; the legacy Policy
+	// enum keeps selecting the VIP-placement score function, so the two
+	// axes compose (E12 sweeps the enum under greedy placement).
+	placement policy.Placement
+	// swCand/vipCand are scratch buffers for per-decision candidate
+	// lists, reused so policy decisions stay allocation-light.
+	swCand  []*lbswitch.Switch
+	vipCand []int
+
 	queue     []*Request
 	seq       int64
 	Processed int64
@@ -166,8 +178,14 @@ type Result struct {
 
 // NewManager creates a manager over the fabric with the given IP pools
 // and switch-selection policy.
-func NewManager(fabric *lbswitch.Fabric, vipPool, ripPool *IPPool, policy Policy) *Manager {
-	return &Manager{fabric: fabric, vipPool: vipPool, ripPool: ripPool, policy: policy}
+func NewManager(fabric *lbswitch.Fabric, vipPool, ripPool *IPPool, pol Policy) *Manager {
+	return &Manager{
+		fabric:    fabric,
+		vipPool:   vipPool,
+		ripPool:   ripPool,
+		policy:    pol,
+		placement: policy.NewGreedy(nil),
+	}
 }
 
 // Fabric returns the managed switch fabric.
@@ -178,6 +196,24 @@ func (m *Manager) Policy() Policy { return m.policy }
 
 // SetPolicy changes the switch-selection policy.
 func (m *Manager) SetPolicy(p Policy) { m.policy = p }
+
+// SetPlacement swaps the pluggable placement strategy; nil restores
+// the default greedy.
+func (m *Manager) SetPlacement(p policy.Placement) {
+	if p == nil {
+		p = policy.NewGreedy(nil)
+	}
+	m.placement = p
+}
+
+// Placement returns the active placement strategy.
+func (m *Manager) Placement() policy.Placement { return m.placement }
+
+// BulkPools returns the VIP and RIP address pools for the parallel
+// bulk-onboarding planner (core's OnboardAppsBulk), which precomputes
+// address strings concurrently via IPPool.PlanSequential and then
+// claims them in order with IPPool.ClaimRange.
+func (m *Manager) BulkPools() (vipPool, ripPool *IPPool) { return m.vipPool, m.ripPool }
 
 // AllocRIP hands out a fresh RIP address for a new VM instance.
 func (m *Manager) AllocRIP() (lbswitch.RIP, error) {
@@ -420,7 +456,7 @@ func (m *Manager) traceReq(t trace.Type, r *Request) {
 // the policy, and configures the VIP there. It returns the new VIP and
 // its home switch.
 func (m *Manager) AddVIP(app cluster.AppID) (lbswitch.VIP, lbswitch.SwitchID, error) {
-	sw := m.pickSwitchForVIP()
+	sw := m.pickSwitchForVIP(app)
 	if sw == nil {
 		return "", 0, ErrNoSwitch
 	}
@@ -494,35 +530,45 @@ func (m *Manager) AddRIP(app cluster.AppID, rip lbswitch.RIP, weight float64, pr
 	if len(vips) == 0 {
 		return "", 0, fmt.Errorf("%w: app %d", ErrNoVIPForApp, app)
 	}
-	// Choose the VIP whose switch has spare RIP capacity and the lowest
-	// combined pressure (RIP-count fraction vs throughput utilization),
-	// breaking near-ties toward the VIP with the fewest RIPs so an
-	// application's instances spread across its VIPs.
-	best := -1
-	bestScore := 0.0
-	bestGroup := 0
+	// Offer the VIPs whose switches have spare RIP capacity (in the
+	// app's VIP order) to the placement policy. The default greedy
+	// picks the lowest combined pressure (RIP-count fraction vs
+	// throughput utilization), breaking near-ties toward the VIP with
+	// the fewest RIPs so an application's instances spread across its
+	// VIPs — the historical inline scan, comparison for comparison.
+	m.vipCand = m.vipCand[:0]
 	for i, vip := range vips {
 		home, _ := m.fabric.HomeOf(vip)
 		sw := m.fabric.Switch(home)
 		if sw.NumRIPs() >= sw.Limits.MaxRIPs {
 			continue
 		}
-		score := ripPressure(sw)
-		group := 0
-		if rs, _, err := sw.Weights(vip); err == nil {
-			group = len(rs)
-		}
-		better := best < 0 ||
-			score < bestScore-1e-9 ||
-			(score < bestScore+1e-9 && group < bestGroup)
-		if better {
-			best, bestScore, bestGroup = i, score, group
-		}
+		m.vipCand = append(m.vipCand, i)
 	}
-	if best < 0 {
+	if len(m.vipCand) == 0 {
 		return "", 0, fmt.Errorf("%w: app %d (all switches at RIP limit)", ErrNoSwitch, app)
 	}
-	vip := vips[best]
+	cands := m.vipCand
+	swOf := func(i int) *lbswitch.Switch {
+		home, _ := m.fabric.HomeOf(vips[cands[i]])
+		return m.fabric.Switch(home)
+	}
+	idx := m.placement.VIPForRIP(policy.Decision{
+		Actor: uint64(app),
+		N:     len(cands),
+		Key:   func(i int) uint64 { return uint64(swOf(i).ID) },
+		Load:  func(i int) float64 { return ripPressure(swOf(i)) },
+		Group: func(i int) int {
+			if rs, _, err := swOf(i).Weights(vips[cands[i]]); err == nil {
+				return len(rs)
+			}
+			return 0
+		},
+	})
+	if idx < 0 || idx >= len(cands) {
+		return "", 0, fmt.Errorf("%w: app %d (all switches at RIP limit)", ErrNoSwitch, app)
+	}
+	vip := vips[cands[idx]]
 	home, _ := m.fabric.HomeOf(vip)
 	if err := m.fabric.Switch(home).AddRIP(vip, rip, weight); err != nil {
 		return "", 0, err
@@ -602,33 +648,57 @@ func (m *Manager) AdjustWeights(vip lbswitch.VIP, weights []float64) error {
 	return nil
 }
 
-func (m *Manager) pickSwitchForVIP() *lbswitch.Switch {
-	var best *lbswitch.Switch
-	bestScore := 0.0
+// pickSwitchForVIP selects among the switches with a spare VIP slot
+// (in ID order) via the pluggable placement. The legacy Policy enum
+// chooses the score function (vipScore); the default greedy placement
+// then runs the historical strict-< argmin over it, so every enum
+// value behaves exactly as the pre-framework inline scan did.
+func (m *Manager) pickSwitchForVIP(app cluster.AppID) *lbswitch.Switch {
+	m.swCand = m.swCand[:0]
 	for i, n := 0, m.fabric.NumSwitches(); i < n; i++ {
 		sw := m.fabric.Switch(lbswitch.SwitchID(i))
 		if sw.NumVIPs() >= sw.Limits.MaxVIPs {
 			continue
 		}
-		var score float64
-		switch m.policy {
-		case LeastVIPs:
-			score = vipPressure(sw)
-		case LeastLoad:
-			score = sw.Utilization()
-		case Blend:
-			score = vipPressure(sw)
-			if u := sw.Utilization(); u > score {
-				score = u
-			}
-		case FirstFitPolicy:
-			return sw // lowest ID with room; iteration is in ID order
-		}
-		if best == nil || score < bestScore {
-			best, bestScore = sw, score
-		}
+		m.swCand = append(m.swCand, sw)
 	}
-	return best
+	if len(m.swCand) == 0 {
+		return nil
+	}
+	if m.policy == FirstFitPolicy {
+		// Packing, not balancing: the lowest-ID switch with room,
+		// regardless of placement strategy (E1's arithmetic depends on
+		// it).
+		return m.swCand[0]
+	}
+	cands := m.swCand
+	idx := m.placement.VIPSwitch(policy.Decision{
+		Actor: uint64(app),
+		N:     len(cands),
+		Key:   func(i int) uint64 { return uint64(cands[i].ID) },
+		Load:  func(i int) float64 { return m.vipScore(cands[i]) },
+	})
+	if idx < 0 || idx >= len(cands) {
+		return nil
+	}
+	return cands[idx]
+}
+
+// vipScore is the enum-selected VIP-placement score ("identifies an
+// underloaded switch": few VIPs, low throughput, or the blend).
+func (m *Manager) vipScore(sw *lbswitch.Switch) float64 {
+	switch m.policy {
+	case LeastVIPs:
+		return vipPressure(sw)
+	case LeastLoad:
+		return sw.Utilization()
+	default: // Blend
+		score := vipPressure(sw)
+		if u := sw.Utilization(); u > score {
+			score = u
+		}
+		return score
+	}
 }
 
 func vipPressure(sw *lbswitch.Switch) float64 {
