@@ -42,6 +42,8 @@ func main() {
 		asMD        = flag.Bool("md", false, "emit each table as GitHub-flavoured markdown")
 		useTrace    = flag.Bool("trace", false, "attach the flight recorder to every platform the experiments build")
 		traceEvents = flag.String("trace-events", "", "with -trace: write the event log to this file ('-' = stdout)")
+		traceTS     = flag.String("trace-ts", "", "with -trace: write the time series to this file (.json = JSON, else CSV; '-' = stdout)")
+		tracePerf   = flag.String("trace-perfetto", "", "with -trace: write Chrome trace-event JSON for Perfetto (ui.perfetto.dev; '-' = stdout)")
 		obsFlags    = profiling.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -64,8 +66,15 @@ func main() {
 		Registry: metrics.NewRegistry()}
 	if *useTrace {
 		opts.Trace = trace.NewRecorder(trace.DefaultRingSize)
-	} else if *traceEvents != "" {
-		fmt.Fprintln(os.Stderr, "mdcexp: -trace-events requires -trace")
+		opts.Trace.TS = &trace.Timeseries{}
+	} else if *traceEvents != "" || *traceTS != "" || *tracePerf != "" {
+		fmt.Fprintln(os.Stderr, "mdcexp: -trace-events/-trace-ts/-trace-perfetto require -trace")
+		os.Exit(2)
+	}
+	// Reject unwritable export paths up front, before the run burns time
+	// on an export that will fail at the end.
+	if err := trace.EnsureWritable(*traceEvents, *traceTS, *tracePerf); err != nil {
+		fmt.Fprintln(os.Stderr, "mdcexp:", err)
 		os.Exit(2)
 	}
 	var toRun []exp.Experiment
@@ -108,7 +117,7 @@ func main() {
 		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if opts.Trace != nil {
-		if err := trace.ExportFiles(opts.Trace, *traceEvents, ""); err != nil {
+		if err := trace.ExportFiles(opts.Trace, *traceEvents, *traceTS, *tracePerf); err != nil {
 			fmt.Fprintln(os.Stderr, "mdcexp:", err)
 			os.Exit(1)
 		}

@@ -38,6 +38,7 @@ import (
 	"os"
 	"strings"
 
+	"megadc/internal/causal"
 	"megadc/internal/cluster"
 	"megadc/internal/core"
 	"megadc/internal/ctrlplane"
@@ -87,6 +88,7 @@ func main() {
 		useTrace    = flag.Bool("trace", false, "attach the flight recorder + time-series sampler (DESIGN.md §10)")
 		traceEvents = flag.String("trace-events", "", "with -trace: write the event log to this file ('-' = stdout)")
 		traceTS     = flag.String("trace-ts", "", "with -trace: write the time series to this file (.json = JSON, else CSV; '-' = stdout)")
+		tracePerf   = flag.String("trace-perfetto", "", "with -trace: write Chrome trace-event JSON for Perfetto (ui.perfetto.dev; '-' = stdout)")
 		traceRing   = flag.Int("trace-ring", trace.DefaultRingSize, "with -trace: event ring capacity (older events are overwritten)")
 		useSpans    = flag.Bool("spans", false, "record control-plane latency histograms (queue waits, drains, fault latencies; DESIGN.md §11)")
 		serialize   = flag.Bool("serialize", false, "serialize switch reconfiguration through the VIP/RIP request queue (§IV queue waits become measurable)")
@@ -131,8 +133,14 @@ func main() {
 		rec = trace.NewRecorder(*traceRing)
 		rec.TS = &trace.Timeseries{}
 		cfg.Trace = rec
-	} else if *traceEvents != "" || *traceTS != "" {
-		fmt.Fprintln(os.Stderr, "megadcsim: -trace-events/-trace-ts require -trace")
+	} else if *traceEvents != "" || *traceTS != "" || *tracePerf != "" {
+		fmt.Fprintln(os.Stderr, "megadcsim: -trace-events/-trace-ts/-trace-perfetto require -trace")
+		os.Exit(2)
+	}
+	// Reject unwritable export paths up front, before the run burns time
+	// on an export that will fail at the end.
+	if err := trace.EnsureWritable(*traceEvents, *traceTS, *tracePerf); err != nil {
+		fmt.Fprintln(os.Stderr, "megadcsim:", err)
 		os.Exit(2)
 	}
 	// The metrics registry backs both the span histograms and the live
@@ -144,6 +152,13 @@ func main() {
 	if *useSpans {
 		tracker = spans.New(reg)
 		cfg.Spans = tracker
+	}
+	// Decision provenance (DESIGN.md §16): with tracing on, assemble
+	// per-decision span trees and feed the causal.* metric families.
+	var asm *causal.Assembler
+	if *useTrace {
+		asm = causal.New(reg)
+		cfg.Causal = asm
 	}
 	if *useCtrl {
 		cfg.Ctrl.Enable = true
@@ -362,6 +377,11 @@ func main() {
 			}
 			st.AuditReport = sb.String()
 		}
+		if asm != nil {
+			var sb strings.Builder
+			asm.WriteAll(&sb)
+			st.CausalReport = sb.String()
+		}
 		obsSession.Obs.Publish(reg, st)
 	}
 
@@ -431,13 +451,17 @@ func main() {
 		printSpanSummary(reg)
 	}
 	if rec != nil {
-		if err := trace.ExportFiles(rec, *traceEvents, *traceTS); err != nil {
+		if err := trace.ExportFiles(rec, *traceEvents, *traceTS, *tracePerf); err != nil {
 			fmt.Fprintln(os.Stderr, "megadcsim:", err)
 			stopProf()
 			os.Exit(1)
 		}
 		fmt.Printf("trace: %d events recorded (%d in ring), %d time-series samples\n",
 			rec.Total(), rec.Len(), rec.TS.Len())
+		if asm != nil {
+			fmt.Printf("causal: %d decision trees assembled (%d abandoned)\n",
+				len(asm.Causes()), asm.Abandoned())
+		}
 	}
 	if err := p.CheckInvariants(); err != nil {
 		fmt.Fprintln(os.Stderr, "megadcsim: INVARIANT VIOLATION:", err)

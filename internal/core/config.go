@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"megadc/internal/causal"
 	"megadc/internal/ctrlplane"
 	"megadc/internal/spans"
 	"megadc/internal/trace"
@@ -174,6 +175,16 @@ type Config struct {
 	// byte-identical with spans on or off
 	// (TestObservabilityDoesNotPerturb).
 	Spans *spans.Tracker
+
+	// Causal, when non-nil, is the decision-provenance assembler
+	// (DESIGN.md §16): the platform subscribes it to the recorder's
+	// OnEvent hook (creating a recorder if Trace is nil, like Spans) and
+	// it reconstructs per-decision span trees — decision → RPC attempts →
+	// queue wait → apply → DNS converge — keyed by CauseID. A pure
+	// observer: seeded runs end byte-identical with it on or off
+	// (TestTracingDoesNotPerturb), and with it wired but no decisions
+	// firing the steady Propagate tick stays allocation-free.
+	Causal *causal.Assembler
 
 	// Policy selects the pluggable control policy (internal/policy,
 	// DESIGN.md §15) by registry name: it drives VIP placement, RIP→VIP

@@ -207,26 +207,30 @@ func (g *GlobalManager) shiftExposureOffLink(vipStr string, hot netmodel.LinkID)
 	newHot := weights[hotIdx] - delta
 	perCold := delta / float64(len(coldIdx))
 	traffic := g.p.Net.VIPTraffic(vipStr)
+	cid := g.p.decide(KnobSelectiveExposure, viprip.PriorityNormal,
+		trace.VIP(vip), trace.App(app), trace.Link(hot))
 	g.p.Eng.After(cfg.DNSUpdateLatency, func() {
-		// The weight set travels as one message; the generation captured
-		// at send time makes a reordered retry that arrives after some
-		// other decision rewrote this app's record abort instead of
-		// clobbering it. On the synchronous path the generation trivially
-		// matches and the guard is free.
-		gen := g.p.DNS.Gen(app)
-		g.p.ctrl.Call(ctrlplane.Global, ctrlplane.DNS, "exposure-shift", func() {
-			if err := g.p.DNS.SetWeightIfGen(app, vipStr, newHot, gen); err != nil {
-				return
-			}
-			g.p.Cfg.Trace.Record(trace.EvUnexpose, newHot, delta,
-				trace.VIP(vip), trace.App(app), trace.Link(hot))
-			for _, i := range coldIdx {
-				g.p.DNS.SetWeight(app, dnsVIPs[i], weights[i]+perCold)
-				g.p.Cfg.Trace.Record(trace.EvExpose, weights[i]+perCold, perCold,
-					trace.VIP(dnsVIPs[i]), trace.App(app))
-			}
-			g.ExposureChanges++
-			g.p.Propagate()
+		g.p.withCause(cid, func() {
+			// The weight set travels as one message; the generation captured
+			// at send time makes a reordered retry that arrives after some
+			// other decision rewrote this app's record abort instead of
+			// clobbering it. On the synchronous path the generation trivially
+			// matches and the guard is free.
+			gen := g.p.DNS.Gen(app)
+			g.p.ctrl.Call(ctrlplane.Global, ctrlplane.DNS, "exposure-shift", func() {
+				if err := g.p.DNS.SetWeightIfGen(app, vipStr, newHot, gen); err != nil {
+					return
+				}
+				g.p.Cfg.Trace.Record(trace.EvUnexpose, newHot, delta,
+					trace.VIP(vip), trace.App(app), trace.Link(hot))
+				for _, i := range coldIdx {
+					g.p.DNS.SetWeight(app, dnsVIPs[i], weights[i]+perCold)
+					g.p.Cfg.Trace.Record(trace.EvExpose, weights[i]+perCold, perCold,
+						trace.VIP(dnsVIPs[i]), trace.App(app))
+				}
+				g.ExposureChanges++
+				g.p.Propagate()
+			})
 		})
 	})
 	return traffic / 2
@@ -286,19 +290,23 @@ func (g *GlobalManager) costAwareExposure() {
 			continue
 		}
 		delta := weights[hotIdx] / 2
+		cid := g.p.decide(KnobSelectiveExposure, viprip.PriorityLow,
+			trace.VIP(vip), trace.App(app), trace.Link(hot.ID))
 		g.p.Eng.After(cfg.DNSUpdateLatency, func() {
-			gen := g.p.DNS.Gen(app)
-			g.p.ctrl.Call(ctrlplane.Global, ctrlplane.DNS, "cost-shift", func() {
-				if err := g.p.DNS.SetWeightIfGen(app, dnsVIPs[hotIdx], weights[hotIdx]-delta, gen); err != nil {
-					return
-				}
-				g.p.DNS.SetWeight(app, dnsVIPs[cheapIdx], weights[cheapIdx]+delta)
-				g.p.Cfg.Trace.Record(trace.EvUnexpose, weights[hotIdx]-delta, delta,
-					trace.VIP(dnsVIPs[hotIdx]), trace.App(app))
-				g.p.Cfg.Trace.Record(trace.EvExpose, weights[cheapIdx]+delta, delta,
-					trace.VIP(dnsVIPs[cheapIdx]), trace.App(app))
-				g.ExposureChanges++
-				g.p.Propagate()
+			g.p.withCause(cid, func() {
+				gen := g.p.DNS.Gen(app)
+				g.p.ctrl.Call(ctrlplane.Global, ctrlplane.DNS, "cost-shift", func() {
+					if err := g.p.DNS.SetWeightIfGen(app, dnsVIPs[hotIdx], weights[hotIdx]-delta, gen); err != nil {
+						return
+					}
+					g.p.DNS.SetWeight(app, dnsVIPs[cheapIdx], weights[cheapIdx]+delta)
+					g.p.Cfg.Trace.Record(trace.EvUnexpose, weights[hotIdx]-delta, delta,
+						trace.VIP(dnsVIPs[hotIdx]), trace.App(app))
+					g.p.Cfg.Trace.Record(trace.EvExpose, weights[cheapIdx]+delta, delta,
+						trace.VIP(dnsVIPs[cheapIdx]), trace.App(app))
+					g.ExposureChanges++
+					g.p.Propagate()
+				})
 			})
 		})
 		return // one shift per step
@@ -480,6 +488,11 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 			restoreWeight = ws[i]
 		}
 	}
+	// The whole drain protocol — hide, TTL wait, transfer attempts with
+	// retries, forced break accounting, restore — is one decision: every
+	// event it records, across every asynchronous hop, carries this cause.
+	cid := g.p.decide(KnobVIPTransfer, viprip.PriorityHigh,
+		trace.VIP(vip), trace.SwitchRef(home), trace.SwitchRef(dst))
 	// mine reports whether this drain instance still owns the VIP. Every
 	// asynchronous completion below checks it first: over a faulty
 	// control plane a step's message can settle twice (at-least-once:
@@ -547,11 +560,14 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 			case err == nil:
 				g.VIPTransfers++
 				g.DrainForceBreaks += broken
+				g.p.Cfg.Causal.AddBroken(cid, broken)
 				finish()
 			case errors.Is(err, lbswitch.ErrActiveConns) && retriesLeft > 0:
 				g.p.Cfg.Trace.Record(trace.EvDrainRetry, float64(retriesLeft), cfg.DrainMargin,
 					trace.VIP(vip), trace.SwitchRef(dst))
-				g.p.Eng.After(cfg.DrainMargin, func() { attemptFn(retriesLeft - 1) })
+				g.p.Eng.After(cfg.DrainMargin, func() {
+					g.p.withCause(cid, func() { attemptFn(retriesLeft - 1) })
+				})
 			default:
 				g.FailedTransfers++
 				finish()
@@ -581,23 +597,27 @@ func (g *GlobalManager) startDrainAndTransfer(vip lbswitch.VIP, dst lbswitch.Swi
 	attemptRec = func(n int) { attempt(n, attemptRec) }
 
 	g.p.Eng.After(cfg.DNSUpdateLatency, func() {
-		g.p.ctrl.CallWithDeadLetter(ctrlplane.Global, ctrlplane.DNS, "drain-hide", func() {
-			if !mine() {
-				return
-			}
-			if err := g.p.DNS.SetWeight(app, string(vip), 0); err != nil {
-				delete(g.draining, vip)
-				g.p.Suppress(vip, false)
-				return
-			}
-			g.p.Cfg.Trace.Record(trace.EvDrainStart, restoreWeight, g.p.DNS.TTL()+cfg.DrainMargin,
-				trace.VIP(vip), trace.SwitchRef(home), trace.SwitchRef(dst))
-			g.p.Propagate()
-			g.p.Eng.After(g.p.DNS.TTL()+cfg.DrainMargin, func() { attemptRec(2) })
-		}, func() {
-			// The hide never reached DNS: the VIP was never actually
-			// drained, so just release it.
-			abort()
+		g.p.withCause(cid, func() {
+			g.p.ctrl.CallWithDeadLetter(ctrlplane.Global, ctrlplane.DNS, "drain-hide", func() {
+				if !mine() {
+					return
+				}
+				if err := g.p.DNS.SetWeight(app, string(vip), 0); err != nil {
+					delete(g.draining, vip)
+					g.p.Suppress(vip, false)
+					return
+				}
+				g.p.Cfg.Trace.Record(trace.EvDrainStart, restoreWeight, g.p.DNS.TTL()+cfg.DrainMargin,
+					trace.VIP(vip), trace.SwitchRef(home), trace.SwitchRef(dst))
+				g.p.Propagate()
+				g.p.Eng.After(g.p.DNS.TTL()+cfg.DrainMargin, func() {
+					g.p.withCause(cid, func() { attemptRec(2) })
+				})
+			}, func() {
+				// The hide never reached DNS: the VIP was never actually
+				// drained, so just release it.
+				abort()
+			})
 		})
 	})
 }
@@ -676,6 +696,8 @@ func (g *GlobalManager) interPodWeights() {
 			shifted := moved
 			cold := len(coldIdx)
 			swID := sw.ID
+			cid := g.p.decide(KnobRIPWeights, viprip.PriorityNormal,
+				trace.VIP(vip), trace.SwitchRef(swID))
 			onApplied := func() {
 				g.p.Cfg.Trace.Record(trace.EvWeightShift, shifted, float64(cold),
 					trace.VIP(vip), trace.SwitchRef(swID))
@@ -687,25 +709,29 @@ func (g *GlobalManager) interPodWeights() {
 				// latency as the request's service time, so no extra
 				// After here — queue wait comes on top of it.
 				app, _ := sw.AppOf(vip)
-				g.p.ctrl.Call(ctrlplane.Global, ctrlplane.CSM, "inter-pod-weights", func() {
-					g.p.VIPRIP.Submit(&viprip.Request{
-						Op: viprip.OpAdjustWeights, App: app,
-						Priority: viprip.PriorityNormal,
-						VIP:      vip, Weights: nw,
-						OnDone: func(r *viprip.Request) {
-							if r.Err == nil {
-								onApplied()
-							}
-						},
+				g.p.withCause(cid, func() {
+					g.p.ctrl.Call(ctrlplane.Global, ctrlplane.CSM, "inter-pod-weights", func() {
+						g.p.VIPRIP.Submit(&viprip.Request{
+							Op: viprip.OpAdjustWeights, App: app,
+							Priority: viprip.PriorityNormal,
+							VIP:      vip, Weights: nw,
+							OnDone: func(r *viprip.Request) {
+								if r.Err == nil {
+									onApplied()
+								}
+							},
+						})
 					})
 				})
 				continue
 			}
 			g.p.Eng.After(cfg.SwitchReconfigLatency, func() {
-				g.p.ctrl.Call(ctrlplane.Global, ctrlplane.CSM, "inter-pod-weights", func() {
-					if err := g.p.VIPRIP.AdjustWeights(vip, nw); err == nil {
-						onApplied()
-					}
+				g.p.withCause(cid, func() {
+					g.p.ctrl.Call(ctrlplane.Global, ctrlplane.CSM, "inter-pod-weights", func() {
+						if err := g.p.VIPRIP.AdjustWeights(vip, nw); err == nil {
+							onApplied()
+						}
+					})
 				})
 			})
 		}
@@ -734,15 +760,19 @@ func (g *GlobalManager) deployToRelievePods() {
 		}
 		vip := g.hottestVIPOfApp(app, podID)
 		g.pendingDeploy[app] = true
+		cid := g.p.decide(KnobAppDeployment, viprip.PriorityNormal,
+			trace.App(app), trace.Pod(target), trace.VIP(vip))
 		g.p.Eng.After(cfg.VMDeployLatency, func() {
 			delete(g.pendingDeploy, app)
-			g.p.ctrl.Call(ctrlplane.Global, ctrlplane.Pod(int(target)), "deploy", func() {
-				if vm, err := g.p.DeployInstanceFor(app, target, vip); err == nil {
-					g.p.Cfg.Trace.Record(trace.EvDeploy, float64(vm.ID), 0,
-						trace.App(app), trace.Pod(target), trace.VIP(vip))
-					g.Deployments++
-					g.p.Propagate()
-				}
+			g.p.withCause(cid, func() {
+				g.p.ctrl.Call(ctrlplane.Global, ctrlplane.Pod(int(target)), "deploy", func() {
+					if vm, err := g.p.DeployInstanceFor(app, target, vip); err == nil {
+						g.p.Cfg.Trace.Record(trace.EvDeploy, float64(vm.ID), 0,
+							trace.App(app), trace.Pod(target), trace.VIP(vip))
+						g.Deployments++
+						g.p.Propagate()
+					}
+				})
 			})
 		})
 	}
@@ -765,15 +795,19 @@ func (g *GlobalManager) removeIdleInstances() {
 			vm := g.p.Cluster.VM(vmID)
 			if vm.State == cluster.VMRunning && vm.Demand.CPU < 1e-6 && a.NumInstances() > g.p.Cfg.VIPsPerApp {
 				vmID := vmID
+				cid := g.p.decide(KnobAppDeployment, viprip.PriorityLow,
+					trace.App(app), trace.VM(vmID))
 				g.p.Eng.After(g.p.Cfg.SwitchReconfigLatency, func() {
-					g.p.ctrl.Call(ctrlplane.Global, ctrlplane.CSM, "remove-instance", func() {
-						if g.p.Cluster.VM(vmID) == nil {
-							return
-						}
-						if err := g.p.RemoveInstance(vmID); err == nil {
-							g.Removals++
-							g.p.Propagate()
-						}
+					g.p.withCause(cid, func() {
+						g.p.ctrl.Call(ctrlplane.Global, ctrlplane.CSM, "remove-instance", func() {
+							if g.p.Cluster.VM(vmID) == nil {
+								return
+							}
+							if err := g.p.RemoveInstance(vmID); err == nil {
+								g.Removals++
+								g.p.Propagate()
+							}
+						})
 					})
 				})
 				break // at most one removal per app per step
@@ -858,29 +892,33 @@ func (g *GlobalManager) vacateAndTransfer(srv cluster.ServerID, donor, recipient
 	server := g.p.Cluster.Server(srv)
 	nVMs := server.NumVMs()
 	latency := g.p.Cfg.VacateLatencyPerVM*float64(nVMs) + g.p.Cfg.VMMigrateLatency
+	cid := g.p.decide(KnobServerTransfer, viprip.PriorityNormal,
+		trace.Server(srv), trace.Pod(donor), trace.Pod(recipient))
 	g.p.Eng.After(latency, func() {
 		delete(g.pendingServer, srv)
-		g.p.ctrl.Call(ctrlplane.Global, ctrlplane.Pod(int(donor)), "server-transfer", func() {
-			server := g.p.Cluster.Server(srv)
-			if server == nil || server.Pod != donor {
-				return
-			}
-			for _, vmID := range server.VMIDs() {
-				vm := g.p.Cluster.VM(vmID)
-				dst := g.rehomeTarget(donor, srv, vm.Slice)
-				if dst == cluster.ServerID(-1) {
-					return // cannot fully vacate; abandon
-				}
-				if err := g.p.Cluster.MigrateVM(vmID, dst); err != nil {
+		g.p.withCause(cid, func() {
+			g.p.ctrl.Call(ctrlplane.Global, ctrlplane.Pod(int(donor)), "server-transfer", func() {
+				server := g.p.Cluster.Server(srv)
+				if server == nil || server.Pod != donor {
 					return
 				}
-			}
-			if err := g.p.Cluster.TransferServer(srv, recipient); err == nil {
-				g.p.Cfg.Trace.Record(trace.EvServerTransfer, float64(nVMs), 0,
-					trace.Server(srv), trace.Pod(donor), trace.Pod(recipient))
-				g.ServerTransfers++
-				g.p.Propagate()
-			}
+				for _, vmID := range server.VMIDs() {
+					vm := g.p.Cluster.VM(vmID)
+					dst := g.rehomeTarget(donor, srv, vm.Slice)
+					if dst == cluster.ServerID(-1) {
+						return // cannot fully vacate; abandon
+					}
+					if err := g.p.Cluster.MigrateVM(vmID, dst); err != nil {
+						return
+					}
+				}
+				if err := g.p.Cluster.TransferServer(srv, recipient); err == nil {
+					g.p.Cfg.Trace.Record(trace.EvServerTransfer, float64(nVMs), 0,
+						trace.Server(srv), trace.Pod(donor), trace.Pod(recipient))
+					g.ServerTransfers++
+					g.p.Propagate()
+				}
+			})
 		})
 	})
 }
@@ -942,11 +980,15 @@ func (g *GlobalManager) guardElephantPods() {
 			if target == cluster.NoPod {
 				break
 			}
+			cid := g.p.decide(KnobServerTransfer, viprip.PriorityHigh,
+				trace.Server(best), trace.Pod(podID), trace.Pod(target))
 			if err := g.p.Cluster.TransferServer(best, target); err != nil {
 				break
 			}
-			g.p.Cfg.Trace.Record(trace.EvServerTransfer, float64(bestVMs), 1,
-				trace.Server(best), trace.Pod(podID), trace.Pod(target))
+			g.p.withCause(cid, func() {
+				g.p.Cfg.Trace.Record(trace.EvServerTransfer, float64(bestVMs), 1,
+					trace.Server(best), trace.Pod(podID), trace.Pod(target))
+			})
 			g.ElephantMoves++
 		}
 	}

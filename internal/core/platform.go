@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"megadc/internal/audit"
+	"megadc/internal/causal"
 	"megadc/internal/cluster"
 	"megadc/internal/ctrlplane"
 	"megadc/internal/dnsctl"
@@ -318,9 +319,10 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 	// Flight recorder: hand the simulation clock to the recorder and wire
 	// it into the substrates. When cfg.Trace is nil every Record call
 	// below and in the substrates is a nil-receiver no-op.
-	if cfg.Spans != nil && cfg.Trace == nil {
-		// The span layer is fed from recorder events, so spans without an
-		// explicit recorder get a default-sized one.
+	if (cfg.Spans != nil || cfg.Causal != nil) && cfg.Trace == nil {
+		// The span layer and the causal assembler are fed from recorder
+		// events, so either without an explicit recorder gets a
+		// default-sized one.
 		cfg.Trace = trace.NewRecorder(trace.DefaultRingSize)
 		p.Cfg.Trace = cfg.Trace
 	}
@@ -328,15 +330,28 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 		cfg.Trace.Now = eng.Now
 		p.Fabric.SetTracer(cfg.Trace)
 		p.VIPRIP.SetTracer(cfg.Trace)
+		p.DNS.SetTracer(cfg.Trace)
 	}
 
-	// Span layer: subscribe to recorder events and wrap the DNS change
-	// hook to track convergence windows (change bursts converge one TTL
-	// after their last change). Scheduling the close callback adds engine
-	// events but consumes no randomness, so seeded runs stay
-	// byte-identical (TestObservabilityDoesNotPerturb).
-	if sp := cfg.Spans; sp != nil {
+	// Observer fan-out: the span layer and the causal assembler both
+	// subscribe to recorder events. Both are pure observers — no
+	// simulation state, no randomness — so seeded runs stay byte-identical
+	// with them on or off (TestObservabilityDoesNotPerturb,
+	// TestTracingDoesNotPerturb).
+	switch sp, ca := cfg.Spans, cfg.Causal; {
+	case sp != nil && ca != nil:
+		cfg.Trace.OnEvent = func(e *trace.Event) { sp.Handle(e); ca.Handle(e) }
+	case sp != nil:
 		cfg.Trace.OnEvent = sp.Handle
+	case ca != nil:
+		cfg.Trace.OnEvent = ca.Handle
+	}
+
+	// Span layer: wrap the DNS change hook to track convergence windows
+	// (change bursts converge one TTL after their last change).
+	// Scheduling the close callback adds engine events but consumes no
+	// randomness.
+	if sp := cfg.Spans; sp != nil {
 		prevOnChange := p.DNS.OnChange
 		p.DNS.OnChange = func(app cluster.AppID) {
 			prevOnChange(app)
@@ -380,6 +395,40 @@ func NewPlatformOn(eng *sim.Engine, topo Topology, cfg Config) (*Platform, error
 // control plane is in effect — every Bus method is nil-safe, so callers
 // need not check.
 func (p *Platform) Ctrl() *ctrlplane.Bus { return p.ctrl }
+
+// Causal returns the decision-provenance assembler (nil unless
+// Cfg.Causal was set). Its methods are nil-safe.
+func (p *Platform) Causal() *causal.Assembler { return p.Cfg.Causal }
+
+// decide allocates a CauseID for one control decision and records its
+// EvDecision root — knob code, priority class, and the entity refs the
+// decision concerns — under that cause scope. On untraced runs it is a
+// no-op returning 0. Cause allocation happens only in single-threaded
+// control code and consumes no engine randomness, so traced runs stay
+// byte-identical to untraced ones and CauseIDs are identical for any
+// Propagate worker count.
+func (p *Platform) decide(k Knob, prio viprip.Priority, refs ...trace.Ref) uint64 {
+	rec := p.Cfg.Trace
+	cid := rec.NewCause()
+	if cid == 0 {
+		return 0
+	}
+	prev := rec.SetCause(cid)
+	rec.Record(trace.EvDecision, float64(k), float64(prio), refs...)
+	rec.SetCause(prev)
+	return cid
+}
+
+// withCause runs f with the recorder's current-cause scope set to cid,
+// restoring the previous scope after. A decision's asynchronous
+// continuations (engine timers; the bus and the serialized pipeline do
+// their own equivalent internally) wrap their bodies in it so the
+// events they record inherit the decision's CauseID.
+func (p *Platform) withCause(cid uint64, f func()) {
+	prev := p.Cfg.Trace.SetCause(cid)
+	f()
+	p.Cfg.Trace.SetCause(prev)
+}
 
 // Policy returns the resolved control-policy bundle (Cfg.Policy);
 // Policy().Stats carries the probe count E18 tabulates.

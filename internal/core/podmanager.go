@@ -8,6 +8,7 @@ import (
 	"megadc/internal/lbswitch"
 	"megadc/internal/placement"
 	"megadc/internal/trace"
+	"megadc/internal/viprip"
 )
 
 // PodManager performs local resource allocation within one logical pod
@@ -224,6 +225,8 @@ func (pm *PodManager) defaultSlice(app cluster.AppID) cluster.Resources {
 
 func (pm *PodManager) scheduleResize(vmID cluster.VMID, slice cluster.Resources) {
 	pm.pendingVM[vmID] = true
+	cid := pm.p.decide(KnobVMResize, viprip.PriorityNormal,
+		trace.VM(vmID), trace.Pod(pm.pod))
 	pm.p.Eng.After(pm.p.Cfg.VMResizeLatency, func() {
 		delete(pm.pendingVM, vmID)
 		vm := pm.p.Cluster.VM(vmID)
@@ -232,8 +235,10 @@ func (pm *PodManager) scheduleResize(vmID cluster.VMID, slice cluster.Resources)
 		}
 		oldCPU := vm.Slice.CPU
 		if err := pm.p.Cluster.ResizeVM(vmID, slice); err == nil {
-			pm.p.Cfg.Trace.Record(trace.EvResizeVM, oldCPU, slice.CPU,
-				trace.VM(vmID), trace.Pod(pm.pod))
+			pm.p.withCause(cid, func() {
+				pm.p.Cfg.Trace.Record(trace.EvResizeVM, oldCPU, slice.CPU,
+					trace.VM(vmID), trace.Pod(pm.pod))
+			})
 			pm.Resizes++
 		}
 	})
@@ -292,14 +297,18 @@ func (pm *PodManager) defragment() {
 		vmID, target := victim, dst
 		from := sid
 		pm.pendingVM[vmID] = true
+		cid := pm.p.decide(KnobVMResize, viprip.PriorityLow,
+			trace.VM(vmID), trace.Server(from), trace.Server(target))
 		pm.p.Eng.After(pm.p.Cfg.VMMigrateLatency, func() {
 			delete(pm.pendingVM, vmID)
 			if pm.p.Cluster.VM(vmID) == nil {
 				return
 			}
 			if err := pm.p.Cluster.MigrateVM(vmID, target); err == nil {
-				pm.p.Cfg.Trace.Record(trace.EvMigrateVM, 0, 0,
-					trace.VM(vmID), trace.Server(from), trace.Server(target))
+				pm.p.withCause(cid, func() {
+					pm.p.Cfg.Trace.Record(trace.EvMigrateVM, 0, 0,
+						trace.VM(vmID), trace.Server(from), trace.Server(target))
+				})
 				pm.Defrags++
 				pm.p.Propagate()
 			}
@@ -422,14 +431,19 @@ func (pm *PodManager) desiredWeights(sw *lbswitch.Switch, vip lbswitch.VIP) ([]f
 }
 
 // issueWeights enacts a knob-F adjustment through the CSM pipeline after
-// the reconfiguration latency.
+// the reconfiguration latency. Both fresh decisions and Reconcile
+// reissues come through here, so each gets its own CauseID.
 func (pm *PodManager) issueWeights(vip lbswitch.VIP, newWeights []float64) {
+	cid := pm.p.decide(KnobRIPWeights, viprip.PriorityNormal,
+		trace.VIP(vip), trace.Pod(pm.pod))
 	pm.p.Eng.After(pm.p.Cfg.SwitchReconfigLatency, func() {
-		pm.p.ctrl.Call(ctrlplane.Pod(int(pm.pod)), ctrlplane.CSM, "intra-weights", func() {
-			if err := pm.p.VIPRIP.AdjustWeights(vip, newWeights); err == nil {
-				pm.WeightAdjusts++
-				pm.p.Propagate()
-			}
+		pm.p.withCause(cid, func() {
+			pm.p.ctrl.Call(ctrlplane.Pod(int(pm.pod)), ctrlplane.CSM, "intra-weights", func() {
+				if err := pm.p.VIPRIP.AdjustWeights(vip, newWeights); err == nil {
+					pm.WeightAdjusts++
+					pm.p.Propagate()
+				}
+			})
 		})
 	})
 }
@@ -506,15 +520,19 @@ func (pm *PodManager) tryScaleOut(app cluster.AppID, vip lbswitch.VIP, overload 
 		return false // no room locally; the global manager's problem
 	}
 	pm.pendingDeploy[app] = true
+	cid := pm.p.decide(KnobAppDeployment, viprip.PriorityNormal,
+		trace.App(app), trace.Pod(pm.pod), trace.VIP(vip))
 	pm.p.Eng.After(pm.p.Cfg.VMDeployLatency, func() {
 		delete(pm.pendingDeploy, app)
-		pm.p.ctrl.Call(ctrlplane.Pod(int(pm.pod)), ctrlplane.CSM, "local-deploy", func() {
-			if vm, err := pm.p.DeployInstanceFor(app, pm.pod, vip); err == nil {
-				pm.p.Cfg.Trace.Record(trace.EvScaleOut, float64(vm.ID), overload,
-					trace.App(app), trace.Pod(pm.pod), trace.VIP(vip))
-				pm.LocalDeploys++
-				pm.p.Propagate()
-			}
+		pm.p.withCause(cid, func() {
+			pm.p.ctrl.Call(ctrlplane.Pod(int(pm.pod)), ctrlplane.CSM, "local-deploy", func() {
+				if vm, err := pm.p.DeployInstanceFor(app, pm.pod, vip); err == nil {
+					pm.p.Cfg.Trace.Record(trace.EvScaleOut, float64(vm.ID), overload,
+						trace.App(app), trace.Pod(pm.pod), trace.VIP(vip))
+					pm.LocalDeploys++
+					pm.p.Propagate()
+				}
+			})
 		})
 	})
 	return true

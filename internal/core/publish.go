@@ -91,4 +91,5 @@ func (p *Platform) PublishMetrics(reg *metrics.Registry) {
 	if sp := p.Cfg.Spans; sp != nil {
 		reg.Gauge("spans.open_lifecycles").Set(now, float64(sp.OpenLifecycles()))
 	}
+	p.Cfg.Causal.PublishMetrics(now)
 }

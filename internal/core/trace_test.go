@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"megadc/internal/causal"
 	"megadc/internal/cluster"
 	"megadc/internal/trace"
 )
@@ -156,10 +157,11 @@ func TestTracedRunDeterminism(t *testing.T) {
 	}
 }
 
-// TestTracingDoesNotPerturb runs the same seeded scenario with and
-// without tracing and requires identical end state: the recorder only
-// observes, it never changes a decision (EXPERIMENTS.md relies on this
-// to compare traced and untraced runs).
+// TestTracingDoesNotPerturb runs the same seeded scenario without
+// tracing, with tracing, and with tracing plus the causal
+// decision-provenance assembler, and requires identical end state: the
+// recorder and its observers never change a decision (EXPERIMENTS.md
+// relies on this to compare traced and untraced runs).
 func TestTracingDoesNotPerturb(t *testing.T) {
 	const nOps = 60
 	plain := DefaultConfig()
@@ -173,5 +175,18 @@ func TestTracingDoesNotPerturb(t *testing.T) {
 	}
 	if sa, sb := a.TotalSatisfaction(), b.TotalSatisfaction(); sa != sb {
 		t.Fatalf("satisfaction differs with tracing: %v != %v", sa, sb)
+	}
+	withCausal, _ := tracedConfig()
+	withCausal.AuditEvery = 10
+	withCausal.Causal = causal.New(nil)
+	c := runPropagationScenario(t, withCausal, nOps)
+	if d := a.captureState().diff(c.captureState()); d != "" {
+		t.Fatalf("causal assembler perturbed the run: %s", d)
+	}
+	if sa, sc := a.TotalSatisfaction(), c.TotalSatisfaction(); sa != sc {
+		t.Fatalf("satisfaction differs with causal assembler: %v != %v", sa, sc)
+	}
+	if len(withCausal.Causal.Causes()) == 0 {
+		t.Fatal("causal assembler saw no decisions — scenario bypassed provenance")
 	}
 }

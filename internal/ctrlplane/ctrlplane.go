@@ -199,6 +199,7 @@ type message struct {
 
 	sentAt   float64 // first attempt's send time
 	attempts int
+	cause    uint64 // decision CauseID captured at Call time (DESIGN.md §16)
 	timer    *sim.Event
 	done     bool // acked or dead-lettered; straggler deliveries are inert
 }
@@ -272,6 +273,18 @@ func (b *Bus) SetTracer(r *trace.Recorder) {
 	if b != nil {
 		b.tracer = r
 	}
+}
+
+// withCause runs f with cause installed as the recorder's current cause
+// scope. Asynchronous continuations (delivery, ack, retry timers) run
+// long after the decision that issued the Call returned, so they
+// restore the message's captured CauseID around their own recording —
+// this is how retries, duplicates, dead letters, and the applied
+// effects themselves all inherit one CauseID.
+func (b *Bus) withCause(cause uint64, f func()) {
+	prev := b.tracer.SetCause(cause)
+	f()
+	b.tracer.SetCause(prev)
 }
 
 // Enabled reports whether messages actually traverse the bus.
@@ -367,7 +380,7 @@ func (b *Bus) CallWithDeadLetter(from, to Endpoint, name string, apply func(), o
 	b.nextID++
 	b.Sent++
 	m := &message{id: b.nextID, from: from, to: to, name: name, apply: apply, onDead: onDead,
-		sentAt: b.eng.Now()}
+		sentAt: b.eng.Now(), cause: b.tracer.CurrentCause()}
 	if b.idealRoundTrip(from, to) {
 		// Inline: delivered, applied, and acked in the same instant.
 		m.attempts, m.done = 1, true
@@ -414,7 +427,7 @@ func (b *Bus) send(m *message) {
 		if link.Jitter > 0 {
 			d += link.Jitter * b.rng.Float64()
 		}
-		b.eng.After(d, func() { b.deliver(m) })
+		b.eng.After(d, func() { b.withCause(m.cause, func() { b.deliver(m) }) })
 		dup := false
 		if b.DupNext > 0 {
 			b.DupNext--
@@ -429,7 +442,7 @@ func (b *Bus) send(m *message) {
 			if link.Jitter > 0 {
 				d2 += link.Jitter * b.rng.Float64()
 			}
-			b.eng.After(d2, func() { b.deliver(m) })
+			b.eng.After(d2, func() { b.withCause(m.cause, func() { b.deliver(m) }) })
 		}
 	}
 
@@ -437,7 +450,7 @@ func (b *Bus) send(m *message) {
 	if b.cfg.RetryJitter > 0 {
 		timeout *= 1 + b.cfg.RetryJitter*b.rng.Float64()
 	}
-	m.timer = b.eng.After(timeout, func() { b.timeout(m) })
+	m.timer = b.eng.After(timeout, func() { b.withCause(m.cause, func() { b.timeout(m) }) })
 }
 
 // deliver lands one copy of m at its receiver. Receiver partitions are
@@ -490,7 +503,9 @@ func (b *Bus) sendAck(m *message) {
 		m.done = true
 		b.Acks++
 		b.eng.Cancel(m.timer)
-		b.tracer.Record(trace.EvRPCAck, float64(m.id), b.eng.Now()-m.sentAt, epRef(m.from), epRef(m.to))
+		b.withCause(m.cause, func() {
+			b.tracer.Record(trace.EvRPCAck, float64(m.id), b.eng.Now()-m.sentAt, epRef(m.from), epRef(m.to))
+		})
 	})
 }
 
@@ -557,15 +572,18 @@ func (b *Bus) Cast(from, to Endpoint, name string, apply func()) {
 	if link.Jitter > 0 {
 		d += link.Jitter * b.rng.Float64()
 	}
+	cause := b.tracer.CurrentCause()
 	deliver := func() {
-		if b.partitioned[to] {
-			b.Dropped++
-			b.tracer.RecordErr(trace.EvRPCDrop, float64(id), 0, epRef(from), epRef(to))
-			return
-		}
-		b.Delivered++
-		b.tracer.Record(trace.EvRPCDeliver, float64(id), 0, epRef(from), epRef(to))
-		apply()
+		b.withCause(cause, func() {
+			if b.partitioned[to] {
+				b.Dropped++
+				b.tracer.RecordErr(trace.EvRPCDrop, float64(id), 0, epRef(from), epRef(to))
+				return
+			}
+			b.Delivered++
+			b.tracer.Record(trace.EvRPCDeliver, float64(id), 0, epRef(from), epRef(to))
+			apply()
+		})
 	}
 	b.eng.After(d, deliver)
 	dup := false

@@ -18,6 +18,7 @@ import (
 	"slices"
 
 	"megadc/internal/cluster"
+	"megadc/internal/trace"
 )
 
 // Errors returned by DNS operations.
@@ -58,7 +59,16 @@ type DNS struct {
 	// uses it to mark the application dirty for incremental demand
 	// propagation; Gen gives caches a cheap staleness check.
 	OnChange func(app cluster.AppID)
+
+	tracer *trace.Recorder
 }
+
+// SetTracer attaches the flight recorder: every effective SetWeight
+// write (and every stale-rejected SetWeightIfGen write) records an
+// EvDNSWrite event carrying the weight and record generation, so the
+// causal assembler can place authoritative DNS actuation inside a
+// decision's span tree. Nil disables DNS tracing.
+func (d *DNS) SetTracer(r *trace.Recorder) { d.tracer = r }
 
 // Gen returns a generation counter for app's record that increases on
 // every change, or 0 when the app has no record. Caches of derived
@@ -141,6 +151,7 @@ func (d *DNS) SetWeight(app cluster.AppID, vip string, weight float64) error {
 				r.vips[i].weight = weight
 				d.WeightChanges++
 				d.changed(app, r)
+				d.tracer.Record(trace.EvDNSWrite, weight, float64(r.gen), trace.App(app), trace.VIP(vip))
 			}
 			return nil
 		}
@@ -157,6 +168,7 @@ func (d *DNS) SetWeight(app cluster.AppID, vip string, weight float64) error {
 func (d *DNS) SetWeightIfGen(app cluster.AppID, vip string, weight float64, gen int64) error {
 	if d.Gen(app) != gen {
 		d.StaleWrites++
+		d.tracer.RecordErr(trace.EvDNSWrite, weight, float64(gen), trace.App(app), trace.VIP(vip))
 		return fmt.Errorf("%w: app %d gen %d != %d", ErrStaleGen, app, d.Gen(app), gen)
 	}
 	return d.SetWeight(app, vip, weight)

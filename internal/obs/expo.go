@@ -20,6 +20,31 @@ func mangle(name string) string {
 	return namePrefix + strings.NewReplacer(".", "_", "-", "_", " ", "_").Replace(name)
 }
 
+// helpFor returns the HELP text for a registry family. The causal
+// decision-provenance families get specific text; everything else gets
+// a generic line — the exposition contract (enforced by
+// ValidateExposition and tools/promlint) is that every family carries
+// both HELP and TYPE.
+func helpFor(name string) string {
+	switch {
+	case name == "causal.decisions":
+		return "control decisions traced (EvDecision roots assembled into span trees)"
+	case name == "causal.deadlettered":
+		return "decision RPC attempts that exhausted their retry cap"
+	case name == "causal.evicted":
+		return "assembled decision trees evicted past the retention cap"
+	case name == "causal.sessions_broken":
+		return "sessions broken by forced transfers, attributed to their decision"
+	case name == "causal.trees":
+		return "decision span trees currently retained"
+	case name == "causal.abandoned":
+		return "retained decisions with no effect and no dead letter"
+	case strings.HasPrefix(name, "causal.actuation."):
+		return "decision-to-effect latency in simulated seconds"
+	}
+	return "megadc simulation metric " + name
+}
+
 // writeSample emits one exposition line, skipping non-finite values
 // entirely: NaN or Inf must never appear raw in the output, matching
 // the metrics.Table JSON policy (where they render as null).
@@ -47,24 +72,29 @@ var summaryQuantiles = []struct {
 // RenderExposition renders reg in the Prometheus text exposition
 // format (version 0.0.4). Metrics appear in sorted registry-name
 // order, so the output is byte-stable for a given registry state
-// (golden-tested). Counters export as counter, gauges as gauge,
-// histograms as summary (quantile series plus _sum/_count/_max), and
-// availability trackers as per-key gauge families.
+// (golden-tested). Every family carries a HELP and a TYPE line.
+// Counters export as counter, gauges as gauge, histograms as summary
+// (quantile series plus _sum/_count/_max), and availability trackers
+// as per-key gauge families.
 func RenderExposition(reg *metrics.Registry) []byte {
 	var b bytes.Buffer
+	family := func(pn, typ, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n", pn, help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", pn, typ)
+	}
 	reg.Each(func(name string, m any) {
 		pn := mangle(name)
 		switch m := m.(type) {
 		case *metrics.Counter:
-			fmt.Fprintf(&b, "# TYPE %s counter\n", pn)
+			family(pn, "counter", helpFor(name))
 			fmt.Fprintf(&b, "%s %d\n", pn, m.Value())
 
 		case *metrics.Gauge:
-			fmt.Fprintf(&b, "# TYPE %s gauge\n", pn)
+			family(pn, "gauge", helpFor(name))
 			writeSample(&b, pn, "", m.Value())
 
 		case *metrics.Histogram:
-			fmt.Fprintf(&b, "# TYPE %s summary\n", pn)
+			family(pn, "summary", helpFor(name))
 			if m.Count() > 0 {
 				for _, sq := range summaryQuantiles {
 					writeSample(&b, pn, `quantile="`+sq.label+`"`, m.Quantile(sq.q))
@@ -73,20 +103,20 @@ func RenderExposition(reg *metrics.Registry) []byte {
 			writeSample(&b, pn+"_sum", "", m.Sum())
 			writeSample(&b, pn+"_count", "", float64(m.Count()))
 			if m.Count() > 0 {
-				fmt.Fprintf(&b, "# TYPE %s_max gauge\n", pn)
+				family(pn+"_max", "gauge", "maximum observed value of "+name)
 				writeSample(&b, pn+"_max", "", m.Max())
 			}
 
 		case *metrics.Availability:
-			fmt.Fprintf(&b, "# TYPE %s_downtime_seconds gauge\n", pn)
+			family(pn+"_downtime_seconds", "gauge", "accumulated downtime per key for "+name)
 			for _, key := range m.Keys() {
 				writeSample(&b, pn+"_downtime_seconds", `key="`+escapeLabel(key)+`"`, m.Downtime(key))
 			}
-			fmt.Fprintf(&b, "# TYPE %s_outages gauge\n", pn)
+			family(pn+"_outages", "gauge", "outages opened per key for "+name)
 			for _, key := range m.Keys() {
 				writeSample(&b, pn+"_outages", `key="`+escapeLabel(key)+`"`, float64(m.Outages(key)))
 			}
-			fmt.Fprintf(&b, "# TYPE %s_ttr_seconds summary\n", pn)
+			family(pn+"_ttr_seconds", "summary", "time-to-recovery per key for "+name)
 			for _, key := range m.Keys() {
 				rec := m.Recoveries(key)
 				if rec.N() == 0 {

@@ -37,6 +37,17 @@ func goldenRegistry() *metrics.Registry {
 	a.Observe("app-b", 0, 50, 100) // outage never recovers
 	a.Finalize(60)
 	reg.RegisterAvailability("faults.availability", a)
+
+	// The decision-provenance families (DESIGN.md §16) carry specific
+	// HELP text; pin them in the golden too.
+	reg.Counter("causal.decisions").Add(12)
+	reg.Counter("causal.deadlettered").Add(1)
+	reg.Gauge("causal.trees").Set(0, 12)
+	reg.Gauge("causal.abandoned").Set(0, 2)
+	ca := reg.Histogram("causal.actuation.vip-transfer.high")
+	for _, v := range []float64{0.25, 0.5, 1.5} {
+		ca.Observe(v)
+	}
 	return reg
 }
 
@@ -91,19 +102,22 @@ func TestExpositionDeterministic(t *testing.T) {
 func TestValidateExpositionRejects(t *testing.T) {
 	cases := map[string]string{
 		"undeclared sample":  "megadc_x 1\n",
-		"nan value":          "# TYPE megadc_x gauge\nmegadc_x NaN\n",
-		"inf value":          "# TYPE megadc_x gauge\nmegadc_x +Inf\n",
-		"bad name":           "# TYPE 0bad counter\n0bad 1\n",
-		"bad type":           "# TYPE megadc_x matrix\nmegadc_x 1\n",
-		"garbage line":       "# TYPE megadc_x gauge\nmegadc_x one\n",
-		"duplicate families": "# TYPE megadc_x gauge\n# TYPE megadc_x gauge\n",
+		"nan value":          "# HELP megadc_x x\n# TYPE megadc_x gauge\nmegadc_x NaN\n",
+		"inf value":          "# HELP megadc_x x\n# TYPE megadc_x gauge\nmegadc_x +Inf\n",
+		"bad name":           "# HELP 0bad x\n# TYPE 0bad counter\n0bad 1\n",
+		"bad type":           "# HELP megadc_x x\n# TYPE megadc_x matrix\nmegadc_x 1\n",
+		"garbage line":       "# HELP megadc_x x\n# TYPE megadc_x gauge\nmegadc_x one\n",
+		"duplicate families": "# HELP megadc_x x\n# TYPE megadc_x gauge\n# TYPE megadc_x gauge\n",
+		"duplicate help":     "# HELP megadc_x x\n# HELP megadc_x x\n# TYPE megadc_x gauge\n",
+		"type without help":  "# TYPE megadc_x gauge\nmegadc_x 1\n",
+		"help without text":  "# HELP megadc_x\n# TYPE megadc_x gauge\n",
 	}
 	for name, text := range cases {
 		if err := ValidateExposition([]byte(text)); err == nil {
 			t.Errorf("%s: validator accepted %q", name, text)
 		}
 	}
-	ok := "# TYPE megadc_q summary\nmegadc_q{quantile=\"0.5\"} 2\nmegadc_q_sum 4\nmegadc_q_count 2\n"
+	ok := "# HELP megadc_q q\n# TYPE megadc_q summary\nmegadc_q{quantile=\"0.5\"} 2\nmegadc_q_sum 4\nmegadc_q_count 2\n"
 	if err := ValidateExposition([]byte(ok)); err != nil {
 		t.Errorf("validator rejected valid summary: %v", err)
 	}

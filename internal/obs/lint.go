@@ -15,14 +15,17 @@ import (
 // whose metric name is legal, whose family was TYPE-declared first,
 // and whose value parses as a finite float (NaN/Inf must never be
 // emitted raw — the renderer drops such samples, and CI fails the run
-// if one leaks through). Returns nil for valid input, or an error
-// naming the first offending line.
+// if one leaks through). Every TYPE-declared family must also carry a
+// HELP line (the renderer emits HELP immediately before TYPE). Returns
+// nil for valid input, or an error naming the first offending line.
 func ValidateExposition(text []byte) error {
 	var (
 		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$`)
 		types    = map[string]bool{"counter": true, "gauge": true, "summary": true, "histogram": true, "untyped": true}
 		declared = map[string]bool{}
+		helped   = map[string]bool{}
+		order    []string
 	)
 	sc := bufio.NewScanner(bytes.NewReader(text))
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -49,6 +52,19 @@ func ValidateExposition(text []byte) error {
 					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
 				}
 				declared[fields[2]] = true
+				order = append(order, fields[2])
+			}
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: malformed HELP comment (name and text required): %q", lineNo, line)
+				}
+				if !nameRe.MatchString(fields[2]) {
+					return fmt.Errorf("line %d: illegal metric name %q", lineNo, fields[2])
+				}
+				if helped[fields[2]] {
+					return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, fields[2])
+				}
+				helped[fields[2]] = true
 			}
 			continue
 		}
@@ -79,6 +95,11 @@ func ValidateExposition(text []byte) error {
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("scanning exposition: %w", err)
+	}
+	for _, name := range order {
+		if !helped[name] {
+			return fmt.Errorf("family %q has TYPE but no HELP", name)
+		}
 	}
 	return nil
 }

@@ -32,6 +32,11 @@ type Status struct {
 	AuditViolations int     // violations accumulated so far
 	OpenLifecycles  int     // span lifecycles currently open
 	AuditReport     string  // latest audit report, "" when clean
+
+	// CausalReport is the decision-provenance dump served at
+	// /trace/causal: every retained span tree in allocation order
+	// (causal.Assembler.WriteAll). Empty when causal tracing is off.
+	CausalReport string
 }
 
 // page is one immutable published snapshot.
@@ -39,6 +44,7 @@ type page struct {
 	metrics []byte
 	healthz []byte
 	audit   []byte
+	causal  []byte
 }
 
 // Server is the observability endpoint. Create with Start, feed with
@@ -63,6 +69,7 @@ func Start(addr string) (*Server, error) {
 		metrics: []byte{},
 		healthz: renderHealthz(Status{}),
 		audit:   []byte("no audit report published\n"),
+		causal:  []byte("no causal trace published\n"),
 	})
 
 	mux := http.NewServeMux()
@@ -77,6 +84,10 @@ func Start(addr string) (*Server, error) {
 	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(s.page.Load().audit)
+	})
+	mux.HandleFunc("/trace/causal", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(s.page.Load().causal)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -105,10 +116,15 @@ func (s *Server) Publish(reg *metrics.Registry, st Status) {
 		audit = fmt.Sprintf("audit clean at t=%v (%d violations total)\n",
 			st.SimTime, st.AuditViolations)
 	}
+	causal := st.CausalReport
+	if causal == "" {
+		causal = "no causal trace published\n"
+	}
 	s.page.Store(&page{
 		metrics: RenderExposition(reg),
 		healthz: renderHealthz(st),
 		audit:   []byte(audit),
+		causal:  []byte(causal),
 	})
 }
 

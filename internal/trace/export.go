@@ -4,17 +4,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
 // ExportFiles writes the recorder's artifacts for the CLI binaries:
-// eventsPath receives the event log and tsPath the time series (JSON
-// when the path ends in .json, CSV otherwise). Either path may be empty
-// (skip) or "-" (stdout). Nil-recorder safe: both paths must then be
-// empty or the export fails.
-func ExportFiles(rec *Recorder, eventsPath, tsPath string) error {
+// eventsPath receives the event log, tsPath the time series (JSON when
+// the path ends in .json, CSV otherwise), and chromePath the Chrome
+// trace-event JSON that Perfetto loads (ExportChrome). Any path may be
+// empty (skip) or "-" (stdout). Nil-recorder safe: all paths must then
+// be empty or the export fails.
+func ExportFiles(rec *Recorder, eventsPath, tsPath, chromePath string) error {
 	if !rec.Enabled() {
-		if eventsPath != "" || tsPath != "" {
+		if eventsPath != "" || tsPath != "" || chromePath != "" {
 			return fmt.Errorf("trace: export requested but recording is disabled")
 		}
 		return nil
@@ -36,7 +38,130 @@ func ExportFiles(rec *Recorder, eventsPath, tsPath string) error {
 			return fmt.Errorf("trace: time series: %w", err)
 		}
 	}
+	if chromePath != "" {
+		if err := toFile(chromePath, rec.ExportChrome); err != nil {
+			return fmt.Errorf("trace: perfetto: %w", err)
+		}
+	}
 	return nil
+}
+
+// EnsureWritable rejects unwritable export paths up front, before a
+// long run is wasted on an export that will fail: each non-empty,
+// non-stdout path is created (and truncated) immediately. The CLI
+// binaries call this right after flag parsing.
+func EnsureWritable(paths ...string) error {
+	for _, p := range paths {
+		if p == "" || p == "-" {
+			continue
+		}
+		f, err := os.Create(p)
+		if err != nil {
+			return fmt.Errorf("trace: output path not writable: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: output path not writable: %w", err)
+		}
+	}
+	return nil
+}
+
+// typeCat maps an event type to the Chrome trace-event category its
+// Perfetto track group is labeled with.
+func typeCat(t Type) string {
+	switch t {
+	case EvReqSubmit, EvReqProcess, EvReqDone, EvReqRequeue:
+		return "viprip.queue"
+	case EvAddVIP, EvDelVIP, EvAddRIP, EvDelRIP, EvAdjustWeights:
+		return "viprip.op"
+	case EvPlaceVIP, EvDropVIP, EvTransferVIP:
+		return "fabric"
+	case EvDrainStart, EvDrainRetry, EvDrainForce, EvDrainFinish:
+		return "drain"
+	case EvRPCSend, EvRPCDeliver, EvRPCDrop, EvRPCRetry, EvRPCAck, EvRPCDeadLetter:
+		return "rpc"
+	case EvPartition, EvHeal:
+		return "partition"
+	case EvHealth:
+		return "health"
+	case EvAudit:
+		return "audit"
+	case EvDecision:
+		return "decision"
+	case EvDNSWrite:
+		return "dns"
+	}
+	return "manager"
+}
+
+// ExportChrome writes the retained events as Chrome trace-event JSON —
+// the format Perfetto (ui.perfetto.dev) and chrome://tracing load
+// directly. Each event becomes an instant event; the thread ID is the
+// event's CauseID, so one decision's whole actuation chain lines up on
+// one track. The JSON is hand-formatted with a fixed field order and
+// no map iteration, so seeded runs export byte-identical files (the CI
+// tracing job diffs two of them).
+func (r *Recorder) ExportChrome(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	sb.WriteString("\n")
+	sb.WriteString(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"megadc"}}`)
+	if r != nil {
+		n := uint64(r.Len())
+		for i := r.next - n; i < r.next; i++ {
+			e := &r.buf[i%uint64(len(r.buf))]
+			sb.WriteString(",\n")
+			writeChromeEvent(&sb, e)
+			if sb.Len() >= 1<<16 {
+				if _, err := io.WriteString(w, sb.String()); err != nil {
+					return err
+				}
+				sb.Reset()
+			}
+		}
+	}
+	sb.WriteString("\n]}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeChromeEvent renders one event as a Chrome trace-event object:
+// timestamps are microseconds of simulated time, "s":"t" scopes the
+// instant marker to its thread (= cause) track, and args carry the
+// full event payload so tools/tracequery can rebuild the span tree
+// from the export alone.
+func writeChromeEvent(sb *strings.Builder, e *Event) {
+	sb.WriteString(`{"name":`)
+	sb.WriteString(strconv.Quote(e.Type.String()))
+	sb.WriteString(`,"cat":`)
+	sb.WriteString(strconv.Quote(typeCat(e.Type)))
+	sb.WriteString(`,"ph":"i","s":"t","ts":`)
+	sb.WriteString(strconv.FormatFloat(e.T*1e6, 'f', -1, 64))
+	sb.WriteString(`,"pid":1,"tid":`)
+	sb.WriteString(strconv.FormatUint(e.Cause, 10))
+	sb.WriteString(`,"args":{"seq":`)
+	sb.WriteString(strconv.FormatUint(e.Seq, 10))
+	sb.WriteString(`,"cause":`)
+	sb.WriteString(strconv.FormatUint(e.Cause, 10))
+	sb.WriteString(`,"a":`)
+	sb.WriteString(strconv.FormatFloat(e.A, 'g', -1, 64))
+	sb.WriteString(`,"b":`)
+	sb.WriteString(strconv.FormatFloat(e.B, 'g', -1, 64))
+	sb.WriteString(`,"err":`)
+	sb.WriteString(strconv.FormatUint(uint64(e.Err), 10))
+	sb.WriteString(`,"refs":`)
+	var refs strings.Builder
+	for i := range e.Refs {
+		if e.Refs[i].Kind == KindNone {
+			continue
+		}
+		if refs.Len() > 0 {
+			refs.WriteByte(' ')
+		}
+		refs.WriteString(e.Refs[i].String())
+	}
+	sb.WriteString(strconv.Quote(refs.String()))
+	sb.WriteString(`}}`)
 }
 
 func toFile(path string, write func(w io.Writer) error) error {

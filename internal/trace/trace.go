@@ -183,6 +183,18 @@ const (
 	// mid-flight and the request was resubmitted (A = priority, B = the
 	// seq the request held before resubmission).
 	EvReqRequeue
+
+	// Decision provenance (DESIGN.md §16). EvDecision is the root of a
+	// causal span tree: a control decision was taken (A = knob code per
+	// causal.KnobName, B = priority class). Every event recorded while
+	// the decision's CauseID is current — including asynchronous
+	// continuations that restore it — carries the same Cause value.
+	EvDecision
+
+	// dnsctl authoritative write (A = weight written, B = record
+	// generation). Err is set when an optimistic SetWeightIfGen write
+	// lost its generation race (the stale-write path).
+	EvDNSWrite
 )
 
 var typeNames = [...]string{
@@ -221,6 +233,8 @@ var typeNames = [...]string{
 	EvPartition:      "partition",
 	EvHeal:           "heal",
 	EvReqRequeue:     "req-requeue",
+	EvDecision:       "decision",
+	EvDNSWrite:       "dns-write",
 }
 
 func (t Type) String() string {
@@ -234,14 +248,18 @@ func (t Type) String() string {
 // pointers, no heap references beyond the (shared, immutable) VIP/RIP
 // address strings — so the ring can hold events without allocating.
 // A and B are a per-type payload (a weight, a state pair, a count);
-// Err is 1 when the traced operation failed.
+// Err is 1 when the traced operation failed. Cause, when nonzero, is
+// the CauseID of the control decision this event descends from
+// (DESIGN.md §16): the recorder stamps it from the current cause scope
+// so whole actuation chains share one ID.
 type Event struct {
-	Seq  uint64
-	T    float64
-	Type Type
-	Err  uint8
-	Refs [3]Ref
-	A, B float64
+	Seq   uint64
+	T     float64
+	Type  Type
+	Err   uint8
+	Cause uint64
+	Refs  [3]Ref
+	A, B  float64
 }
 
 // Touches reports whether the event mentions the entity identified by ref.
@@ -282,6 +300,10 @@ func (e *Event) writeTo(sb *strings.Builder) {
 		sb.WriteString(" b=")
 		sb.WriteString(strconv.FormatFloat(e.B, 'g', -1, 64))
 	}
+	if e.Cause != 0 {
+		sb.WriteString(" cause=")
+		sb.WriteString(strconv.FormatUint(e.Cause, 10))
+	}
 	if e.Err != 0 {
 		sb.WriteString(" err")
 	}
@@ -307,6 +329,9 @@ type Recorder struct {
 
 	buf  []Event
 	next uint64 // total events ever recorded; buf slot is next % len(buf)
+
+	cause     uint64 // current cause scope, stamped onto every event
+	lastCause uint64 // last CauseID handed out by NewCause
 }
 
 // DefaultRingSize is the event capacity used when callers pass n <= 0.
@@ -357,11 +382,51 @@ func (r *Recorder) RecordErr(t Type, a, b float64, refs ...Ref) {
 	r.record(t, 1, a, b, refs)
 }
 
+// NewCause allocates the next CauseID: a deterministic counter starting
+// at 1, advanced only by decision sites in single-threaded control code,
+// so the sequence is identical across seeded runs and independent of
+// Propagate worker counts. Nil-safe: tracing off allocates nothing and
+// returns 0 (the "no cause" value).
+func (r *Recorder) NewCause() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.lastCause++
+	return r.lastCause
+}
+
+// SetCause installs id as the current cause scope and returns the
+// previous scope so callers can restore it:
+//
+//	prev := rec.SetCause(cid)
+//	defer rec.SetCause(prev)
+//
+// Every event recorded while the scope is active carries id in its
+// Cause field. Asynchronous continuations (bus callbacks, engine
+// timers) capture the id when the decision is made and re-install it
+// around their own recording. Nil-safe no-op returning 0.
+func (r *Recorder) SetCause(id uint64) (prev uint64) {
+	if r == nil {
+		return 0
+	}
+	prev = r.cause
+	r.cause = id
+	return prev
+}
+
+// CurrentCause returns the CauseID in scope (0 when none, or nil).
+func (r *Recorder) CurrentCause() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.cause
+}
+
 func (r *Recorder) record(t Type, errFlag uint8, a, b float64, refs []Ref) {
 	if r == nil {
 		return
 	}
-	e := Event{Seq: r.next, Type: t, Err: errFlag, A: a, B: b}
+	e := Event{Seq: r.next, Type: t, Err: errFlag, Cause: r.cause, A: a, B: b}
 	if r.Now != nil {
 		e.T = r.Now()
 	}
@@ -399,19 +464,36 @@ func (r *Recorder) TailTouching(refs []Ref, n int) []Event {
 		return nil
 	}
 	held := uint64(r.Len())
-	var out []Event
-	for i := uint64(0); i < held && len(out) < n; i++ {
-		e := &r.buf[(r.next-1-i)%uint64(len(r.buf))]
+	// Two passes: count the matches first, then fill an exactly-sized
+	// slice — the call's only allocation is its result, and a miss
+	// allocates nothing (pinned by TestTailTouchingAllocs; the auditor
+	// calls this on the hot violation path with n small and fixed).
+	touches := func(e *Event) bool {
 		for _, ref := range refs {
 			if e.Touches(ref) {
-				out = append(out, *e)
-				break
+				return true
 			}
 		}
+		return false
 	}
-	// Collected newest-first; present chronologically.
-	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
-		out[i], out[j] = out[j], out[i]
+	count := 0
+	for i := uint64(0); i < held && count < n; i++ {
+		if touches(&r.buf[(r.next-1-i)%uint64(len(r.buf))]) {
+			count++
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	// Fill back-to-front while walking newest-first, so the result comes
+	// out chronological without a reversal pass.
+	out := make([]Event, count)
+	for i, k := uint64(0), count-1; i < held && k >= 0; i++ {
+		e := &r.buf[(r.next-1-i)%uint64(len(r.buf))]
+		if touches(e) {
+			out[k] = *e
+			k--
+		}
 	}
 	return out
 }

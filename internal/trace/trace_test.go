@@ -194,3 +194,46 @@ func TestTimeseriesNilSafe(t *testing.T) {
 		t.Fatalf("nil WriteJSON = %q; want empty array", sb.String())
 	}
 }
+
+// TestTailTouchingAllocs pins TailTouching at exactly one allocation —
+// the result slice, preallocated from the two-pass count. The auditor
+// calls this on the hot violation path over a full ring.
+func TestTailTouchingAllocs(t *testing.T) {
+	r := NewRecorder(1024)
+	for i := 0; i < 2048; i++ {
+		r.Record(EvPlaceVIP, float64(i), 0, VIP("hot"), SwitchRef(i%8))
+		r.Record(EvAdjustWeights, float64(i), 0, VIP("cold"), Pod(i%4))
+	}
+	refs := []Ref{VIP("hot")}
+	if got := r.TailTouching(refs, 64); len(got) != 64 {
+		t.Fatalf("setup: got %d events, want 64", len(got))
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		r.TailTouching(refs, 64)
+	}); n != 1 {
+		t.Fatalf("TailTouching allocates %v times, want exactly 1 (the result slice)", n)
+	}
+	// No matches means no result slice: zero allocations.
+	miss := []Ref{VIP("absent")}
+	if n := testing.AllocsPerRun(100, func() {
+		r.TailTouching(miss, 64)
+	}); n != 0 {
+		t.Fatalf("no-match TailTouching allocates %v times, want 0", n)
+	}
+}
+
+func BenchmarkTailTouching(b *testing.B) {
+	r := NewRecorder(4096)
+	for i := 0; i < 8192; i++ {
+		r.Record(EvPlaceVIP, float64(i), 0, VIP("hot"), SwitchRef(i%8))
+		r.Record(EvAdjustWeights, float64(i), 0, VIP("cold"), Pod(i%4))
+	}
+	refs := []Ref{VIP("hot")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.TailTouching(refs, 64); len(got) != 64 {
+			b.Fatalf("got %d events, want 64", len(got))
+		}
+	}
+}

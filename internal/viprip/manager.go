@@ -149,6 +149,14 @@ type Request struct {
 	// (e.g. the drain's retry ladder).
 	OnDone func(*Request)
 
+	// Cause is the decision CauseID this request descends from
+	// (DESIGN.md §16). Submit captures the recorder's current cause
+	// scope when it is zero; the serialized pump restores it around
+	// processing so the request's apply-time events (fabric effects,
+	// OnDone continuations) inherit it — across requeues too, since a
+	// resubmitted request keeps its Cause.
+	Cause uint64
+
 	seq      int64
 	requeues int // resubmissions after a mid-flight switch failure
 	Result   Result
@@ -230,11 +238,22 @@ func (m *Manager) FreeRIP(rip lbswitch.RIP) error { return m.ripPool.Free(string
 func (m *Manager) Submit(r *Request) {
 	r.seq = m.seq
 	m.seq++
+	if r.Cause == 0 {
+		r.Cause = m.tracer.CurrentCause()
+	}
 	m.queue = append(m.queue, r)
-	m.traceReq(trace.EvReqSubmit, r)
+	m.withCause(r.Cause, func() { m.traceReq(trace.EvReqSubmit, r) })
 	if m.eng != nil {
 		m.pump()
 	}
+}
+
+// withCause runs f with cause installed as the recorder's current cause
+// scope, restoring the previous scope afterwards. Nil-tracer safe.
+func (m *Manager) withCause(cause uint64, f func()) {
+	prev := m.tracer.SetCause(cause)
+	f()
+	m.tracer.SetCause(prev)
 }
 
 // Pending returns the number of queued, unprocessed requests (including
@@ -286,39 +305,45 @@ func (m *Manager) pump() {
 	r := m.queue[best]
 	m.queue = append(m.queue[:best], m.queue[best+1:]...)
 	m.inflight = r
-	m.traceReq(trace.EvReqProcess, r)
+	m.withCause(r.Cause, func() { m.traceReq(trace.EvReqProcess, r) })
 	m.eng.After(m.serviceTime, func() {
 		m.inflight = nil
-		// The pipeline's switch can fail while the request is in service.
-		// The request must not vanish: it is resubmitted (back of its
-		// priority class — a fresh seq keeps requestOrder honest) up to
-		// maxRequeues times, then surfaces a typed error.
-		if m.switchFailedMidFlight(r) {
-			if r.requeues < maxRequeues {
-				r.requeues++
-				m.Requeues++
-				m.traceReq(trace.EvReqRequeue, r)
-				m.Submit(r)
-				m.pump()
-				return
-			}
-			r.Err = fmt.Errorf("%w: op %d vip %s after %d resubmissions",
-				ErrSwitchFailedMidFlight, r.Op, r.VIP, r.requeues)
-			r.Done = true
-			m.Processed++
-			m.traceReq(trace.EvReqDone, r)
-			if r.OnDone != nil {
-				r.OnDone(r)
-			}
-			m.pump()
+		// Completion runs serviceTime after the decision that submitted
+		// the request returned; restore its CauseID so apply-time events
+		// (fabric effects, OnDone continuations) inherit it.
+		m.withCause(r.Cause, func() { m.complete(r) })
+		m.pump()
+	})
+}
+
+// complete finishes the in-service request when the pipeline's service
+// time elapses. The pipeline's switch can fail while the request is in
+// service. The request must not vanish: it is resubmitted (back of its
+// priority class — a fresh seq keeps requestOrder honest) up to
+// maxRequeues times, then surfaces a typed error.
+func (m *Manager) complete(r *Request) {
+	if m.switchFailedMidFlight(r) {
+		if r.requeues < maxRequeues {
+			r.requeues++
+			m.Requeues++
+			m.traceReq(trace.EvReqRequeue, r)
+			m.Submit(r)
 			return
 		}
-		m.apply(r)
+		r.Err = fmt.Errorf("%w: op %d vip %s after %d resubmissions",
+			ErrSwitchFailedMidFlight, r.Op, r.VIP, r.requeues)
+		r.Done = true
+		m.Processed++
+		m.traceReq(trace.EvReqDone, r)
 		if r.OnDone != nil {
 			r.OnDone(r)
 		}
-		m.pump()
-	})
+		return
+	}
+	m.apply(r)
+	if r.OnDone != nil {
+		r.OnDone(r)
+	}
 }
 
 // switchFailedMidFlight reports whether the serialized request's target
@@ -389,11 +414,13 @@ func (m *Manager) ProcessAll() []*Request {
 }
 
 func (m *Manager) process(r *Request) {
-	m.traceReq(trace.EvReqProcess, r)
-	m.apply(r)
-	if r.OnDone != nil {
-		r.OnDone(r)
-	}
+	m.withCause(r.Cause, func() {
+		m.traceReq(trace.EvReqProcess, r)
+		m.apply(r)
+		if r.OnDone != nil {
+			r.OnDone(r)
+		}
+	})
 }
 
 // apply executes the request's operation and marks it done. In batch

@@ -1,27 +1,56 @@
 // Command promlint validates Prometheus text exposition read from
 // stdin (or a file argument) against the format rules the obs renderer
-// promises: legal names, TYPE-declared families, finite values. CI
-// pipes a live /metrics scrape through it and fails the build on any
-// malformed output.
+// promises: legal names, HELP+TYPE-declared families, finite values.
+// CI pipes a live /metrics scrape through it and fails the build on
+// any malformed output.
+//
+// The -require flag takes a comma-separated list of metric-name
+// prefixes and fails unless every prefix matches at least one
+// TYPE-declared family — CI uses it to assert that a live scrape
+// actually exports the causal actuation histograms, not just that the
+// text parses.
 //
 //	curl -s localhost:8080/metrics | go run ./tools/promlint
+//	curl -s localhost:8080/metrics | go run ./tools/promlint -require megadc_causal_actuation
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"megadc/internal/obs"
 )
 
+// declaredFamilies extracts the TYPE-declared family names from an
+// exposition that has already passed ValidateExposition.
+func declaredFamilies(text []byte) []string {
+	var fams []string
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			fams = append(fams, fields[2])
+		}
+	}
+	return fams
+}
+
 func main() {
+	require := flag.String("require", "", "comma-separated metric-name prefixes; fail unless each matches a TYPE-declared family")
+	flag.Parse()
+
 	var (
 		text []byte
 		err  error
 	)
-	if len(os.Args) > 1 {
-		text, err = os.ReadFile(os.Args[1])
+	if flag.NArg() > 0 {
+		text, err = os.ReadFile(flag.Arg(0))
 	} else {
 		text, err = io.ReadAll(os.Stdin)
 	}
@@ -36,6 +65,26 @@ func main() {
 	if err := obs.ValidateExposition(text); err != nil {
 		fmt.Fprintln(os.Stderr, "promlint:", err)
 		os.Exit(1)
+	}
+	if *require != "" {
+		fams := declaredFamilies(text)
+		for _, prefix := range strings.Split(*require, ",") {
+			prefix = strings.TrimSpace(prefix)
+			if prefix == "" {
+				continue
+			}
+			found := false
+			for _, f := range fams {
+				if strings.HasPrefix(f, prefix) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "promlint: no family matches required prefix %q\n", prefix)
+				os.Exit(1)
+			}
+		}
 	}
 	fmt.Println("promlint: ok")
 }

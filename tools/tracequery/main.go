@@ -1,0 +1,205 @@
+// Command tracequery inspects a Chrome trace-event JSON export
+// (trace.ExportChrome, written by megadcsim/mdcexp -trace-perfetto).
+// The exporter stamps every event's full payload into args, so the
+// decision span trees reconstruct from the export alone — no recorder
+// or simulation state needed.
+//
+//	tracequery trace.json              # list every decision (cause id, knob, events)
+//	tracequery -cause 42 trace.json    # print one decision's tree
+//	tracequery -check trace.json       # validate the export (CI tracing job)
+//
+// With no file argument the export is read from stdin.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"megadc/internal/causal"
+)
+
+// chromeEvent is one entry of the export's traceEvents array. Metadata
+// events (ph "M") carry a different args shape, so args stays raw until
+// the event is known to be an instant.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"` // microseconds of simulated time
+	Pid  *int            `json:"pid"`
+	Tid  *uint64         `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+// eventArgs is the payload trace.writeChromeEvent stamps on every
+// instant event.
+type eventArgs struct {
+	Seq   *uint64 `json:"seq"`
+	Cause *uint64 `json:"cause"`
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Err   uint64  `json:"err"`
+	Refs  string  `json:"refs"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// row is one decoded instant event.
+type row struct {
+	name  string
+	cat   string
+	ts    float64 // seconds
+	seq   uint64
+	cause uint64
+	a, b  float64
+	err   uint64
+	refs  string
+}
+
+func fail(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "tracequery: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+// load parses and schema-checks the export, returning the decoded
+// instant events in file order (= recording sequence order).
+func load(text []byte) []row {
+	if !json.Valid(text) {
+		fail("input is not valid JSON")
+	}
+	var f chromeFile
+	if err := json.Unmarshal(text, &f); err != nil {
+		fail("decoding traceEvents: %v", err)
+	}
+	if f.TraceEvents == nil {
+		fail("no traceEvents array (not a Chrome trace-event export?)")
+	}
+	var rows []row
+	for i, e := range f.TraceEvents {
+		if e.Ph == "M" {
+			continue // process_name metadata
+		}
+		if e.Ph != "i" {
+			fail("traceEvents[%d]: unexpected phase %q (exporter writes instant events only)", i, e.Ph)
+		}
+		if e.Name == "" || e.Pid == nil || e.Tid == nil {
+			fail("traceEvents[%d]: missing name/pid/tid", i)
+		}
+		var a eventArgs
+		if err := json.Unmarshal(e.Args, &a); err != nil {
+			fail("traceEvents[%d]: args: %v", i, err)
+		}
+		if a.Seq == nil || a.Cause == nil {
+			fail("traceEvents[%d]: args missing seq/cause (old export format?)", i)
+		}
+		if *a.Cause != *e.Tid {
+			fail("traceEvents[%d]: tid %d does not match args.cause %d", i, *e.Tid, *a.Cause)
+		}
+		rows = append(rows, row{
+			name: e.Name, cat: e.Cat, ts: e.Ts / 1e6,
+			seq: *a.Seq, cause: *a.Cause,
+			a: a.A, b: a.B, err: a.Err, refs: a.Refs,
+		})
+	}
+	return rows
+}
+
+func printEvent(w io.Writer, indent string, r row, start float64) {
+	fmt.Fprintf(w, "%s+%.6fs  %-16s seq=%d", indent, r.ts-start, r.name, r.seq)
+	if r.err != 0 {
+		fmt.Fprintf(w, " err=%d", r.err)
+	}
+	if r.refs != "" {
+		fmt.Fprintf(w, "  [%s]", r.refs)
+	}
+	fmt.Fprintln(w)
+}
+
+// printTree renders one decision's events as a two-level tree: the
+// EvDecision root, then everything recorded under its CauseID in
+// sequence order.
+func printTree(w io.Writer, cause uint64, evs []row) {
+	root := evs[0]
+	if root.name == "decision" {
+		fmt.Fprintf(w, "cause %d: decision knob=%s priority=%s t=%.6fs (%d events)\n",
+			cause, causal.KnobName(int(root.a)), causal.PriorityName(int(root.b)),
+			root.ts, len(evs))
+		if root.refs != "" {
+			fmt.Fprintf(w, "  refs: %s\n", root.refs)
+		}
+		evs = evs[1:]
+	} else {
+		fmt.Fprintf(w, "cause %d: (no decision root retained — ring evicted it) %d events\n",
+			cause, len(evs))
+	}
+	for _, e := range evs {
+		printEvent(w, "  ", e, root.ts)
+	}
+}
+
+func main() {
+	var (
+		check = flag.Bool("check", false, "validate the export and exit (0 = ok)")
+		cause = flag.Uint64("cause", 0, "print the decision tree for this CauseID")
+	)
+	flag.Parse()
+
+	var (
+		text []byte
+		err  error
+	)
+	if flag.NArg() > 0 {
+		text, err = os.ReadFile(flag.Arg(0))
+	} else {
+		text, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	rows := load(text)
+
+	byCause := map[uint64][]row{}
+	for _, r := range rows {
+		byCause[r.cause] = append(byCause[r.cause], r)
+	}
+	var causes []uint64
+	for c := range byCause {
+		if c != 0 {
+			causes = append(causes, c)
+		}
+	}
+	sort.Slice(causes, func(i, j int) bool { return causes[i] < causes[j] })
+
+	if *check {
+		fmt.Printf("tracequery: ok (%d events, %d decision causes, %d uncaused events)\n",
+			len(rows), len(causes), len(byCause[0]))
+		return
+	}
+	if *cause != 0 {
+		evs, ok := byCause[*cause]
+		if !ok {
+			fail("no events with cause %d", *cause)
+		}
+		printTree(os.Stdout, *cause, evs)
+		return
+	}
+	// Default: one summary line per decision.
+	for _, c := range causes {
+		evs := byCause[c]
+		root := evs[0]
+		desc := root.name
+		if root.name == "decision" {
+			desc = fmt.Sprintf("%s/%s", causal.KnobName(int(root.a)), causal.PriorityName(int(root.b)))
+		}
+		fmt.Printf("cause %-6d t=%-12.6f %-32s %d events\n", c, root.ts, desc, len(evs))
+	}
+	if len(causes) == 0 {
+		fmt.Println("tracequery: no caused events in export")
+	}
+}
